@@ -1,0 +1,44 @@
+# SquatPhi reproduction — convenience targets. Everything is stdlib Go;
+# `go build ./...` with Go >= 1.22 is the only real requirement.
+
+GO ?= go
+
+.PHONY: all build test test-short bench vet fmt fuzz paperbench pipeline clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz campaigns on the parser-facing packages.
+fuzz:
+	$(GO) test -fuzz FuzzExtract -fuzztime 30s ./internal/htmlx/
+	$(GO) test -fuzz FuzzAnalyze -fuzztime 30s ./internal/jsx/
+	$(GO) test -fuzz FuzzUnpack -fuzztime 30s ./internal/dnsx/
+	$(GO) test -fuzz FuzzParseZone -fuzztime 30s ./internal/dnsx/
+
+# Regenerate every paper table and figure.
+paperbench:
+	$(GO) run ./cmd/paperbench | tee paperbench_output.txt
+
+# End-to-end pipeline demo.
+pipeline:
+	$(GO) run ./cmd/squatphi -domains 4000 -phish 400
+
+clean:
+	rm -f test_output.txt bench_output.txt

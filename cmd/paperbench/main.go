@@ -1,0 +1,87 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation from a single shared pipeline run and prints the artifacts
+// with paper-vs-measured shape notes (the data behind EXPERIMENTS.md).
+//
+// Usage:
+//
+//	paperbench [-domains 8000] [-phish 600] [-seed 2018] [-only "Table 7"]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"squatphi/internal/core"
+	"squatphi/internal/experiments"
+	"squatphi/internal/report"
+	"squatphi/internal/webworld"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paperbench: ")
+	domains := flag.Int("domains", 8000, "approximate squatting-domain population")
+	phish := flag.Int("phish", 600, "non-squatting phishing population")
+	seed := flag.Uint64("seed", 2018, "world seed")
+	noise := flag.Int("dnsnoise", 30000, "background DNS records")
+	trees := flag.Int("trees", 40, "random forest size")
+	only := flag.String("only", "", "run a single experiment by id (e.g. \"Table 7\")")
+	shots := flag.String("shots", "", "write case-study screenshot PNGs (Figure 14) to this directory")
+	jsonOut := flag.String("json", "", "additionally write artifacts as JSON lines to this file")
+	flag.Parse()
+
+	env, err := experiments.NewEnv(core.Config{
+		World:           webworld.Config{SquattingDomains: *domains, NonSquattingPhish: *phish, Seed: *seed},
+		DNSNoiseRecords: *noise,
+		ForestTrees:     *trees,
+		Seed:            *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer env.Close()
+	env.ShotsDir = *shots
+
+	var jsonFile *os.File
+	if *jsonOut != "" {
+		jsonFile, err = os.Create(*jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer jsonFile.Close()
+	}
+
+	failures := 0
+	for _, d := range experiments.All() {
+		if *only != "" && d.ID != *only {
+			continue
+		}
+		start := time.Now()
+		res, err := d.Run(env)
+		if err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "FAIL %s (%s): %v\n", d.ID, d.Name, err)
+			continue
+		}
+		fmt.Println(res.String())
+		if jsonFile != nil {
+			for _, tb := range res.Tables {
+				if err := report.WriteJSON(jsonFile, tb); err != nil {
+					log.Fatal(err)
+				}
+			}
+			for _, sr := range res.Series {
+				if err := report.WriteJSON(jsonFile, sr); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		log.Printf("%s done in %s", d.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failures > 0 {
+		log.Fatalf("%d experiments failed", failures)
+	}
+}

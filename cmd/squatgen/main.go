@@ -1,0 +1,60 @@
+// Command squatgen generates candidate squatting domains for a target
+// brand — the repository's equivalent of DNSTwist/URLCrazy, extended per
+// the paper with a complete homograph table, wrongTLD and combo modules.
+//
+// Usage:
+//
+//	squatgen [-type homograph|bits|typo|combo|wrongTLD|all] facebook.com
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"squatphi/internal/punycode"
+	"squatphi/internal/squat"
+)
+
+func main() {
+	typeFlag := flag.String("type", "all", "squatting type to generate (homograph, bits, typo, combo, wrongTLD, all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: squatgen [-type TYPE] DOMAIN\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	brand := squat.NewBrand(flag.Arg(0))
+	gen := squat.NewGenerator()
+
+	var cands []squat.Candidate
+	switch *typeFlag {
+	case "homograph":
+		cands = gen.Homographs(brand)
+	case "bits":
+		cands = gen.BitFlips(brand)
+	case "typo":
+		cands = gen.Typos(brand)
+	case "combo":
+		cands = gen.Combos(brand)
+	case "wrongTLD":
+		cands = gen.WrongTLDs(brand)
+	case "all":
+		cands = gen.Generate(brand)
+	default:
+		fmt.Fprintf(os.Stderr, "squatgen: unknown type %q\n", *typeFlag)
+		os.Exit(2)
+	}
+
+	for _, c := range cands {
+		display := c.Domain
+		if punycode.IsACE(c.Domain) {
+			display = fmt.Sprintf("%s (displayed: %s)", c.Domain, punycode.ToUnicode(c.Domain))
+		}
+		fmt.Printf("%-10s %s\n", c.Type, display)
+	}
+	fmt.Fprintf(os.Stderr, "%d candidates for %s\n", len(cands), brand.Domain())
+}

@@ -1,0 +1,154 @@
+// Command squatmond runs SquatPhi as a continuous monitor, the deployment
+// mode of paper §7: it watches the DNS for newly registered domains, flags
+// the squatting ones, crawls and classifies them, and appends alerts to a
+// JSONL report. Against the synthetic world, "new registrations" arrive by
+// evolving the DNS snapshot between rounds.
+//
+// Usage:
+//
+//	squatmond [-rounds 3] [-interval 0s] [-report alerts.jsonl]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"squatphi/internal/core"
+	"squatphi/internal/crawler"
+	"squatphi/internal/dnsx"
+	"squatphi/internal/features"
+	"squatphi/internal/simrand"
+	"squatphi/internal/squat"
+	"squatphi/internal/webworld"
+)
+
+// Alert is one monitor finding.
+type Alert struct {
+	Round     int     `json:"round"`
+	Domain    string  `json:"domain"`
+	Brand     string  `json:"brand"`
+	SquatType string  `json:"squat_type"`
+	Score     float64 `json:"score"`
+	Profile   string  `json:"profile"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("squatmond: ")
+	rounds := flag.Int("rounds", 3, "monitoring rounds to run")
+	interval := flag.Duration("interval", 0, "pause between rounds")
+	reportPath := flag.String("report", "", "append alerts as JSONL to this file (default stdout)")
+	newPerRound := flag.Int("new", 400, "new registrations arriving per round")
+	flag.Parse()
+
+	p, err := core.New(core.Config{
+		World:           webworld.Config{SquattingDomains: 3000, NonSquattingPhish: 300, Seed: 7},
+		DNSNoiseRecords: 8000,
+		ForestTrees:     25,
+		Seed:            99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+	ctx := context.Background()
+
+	out := os.Stdout
+	if *reportPath != "" {
+		f, err := os.OpenFile(*reportPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+
+	log.Printf("bootstrapping: training the classifier on the feed ground truth...")
+	gt, err := p.BuildGroundTruth(ctx, 400)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clf := p.TrainClassifier(gt, features.AllFeatures())
+	log.Printf("classifier ready: CV AUC=%.3f FP=%.3f FN=%.3f",
+		clf.Eval.AUC, clf.Eval.Confusion.FPR(), clf.Eval.Confusion.FNR())
+
+	// The monitor's view of the DNS starts from the current snapshot; each
+	// round a batch of "new registrations" (a shard of world domains it
+	// has not seen yet plus fresh noise) lands.
+	seen := dnsx.NewStore()
+	worldDomains := p.World.DNSDomains()
+	rng := simrand.New(1)
+	cursor := 0
+	c := &crawler.Crawler{Client: p.Server.Client(), Workers: 16}
+
+	totalAlerts := 0
+	for round := 1; round <= *rounds; round++ {
+		next := dnsx.NewStore()
+		seen.Range(func(rec dnsx.Record) bool {
+			next.Add(rec.Domain, rec.IP)
+			return true
+		})
+		for i := 0; i < *newPerRound && cursor < len(worldDomains); i++ {
+			next.Add(worldDomains[cursor], dnsx.RandomIP(rng))
+			cursor++
+		}
+		for i := 0; i < *newPerRound/2; i++ {
+			next.Add(rng.Letters(10)+".com", dnsx.RandomIP(rng))
+		}
+
+		delta := dnsx.Diff(seen, next)
+		seen = next
+		var candidates []squat.Candidate
+		for _, d := range delta.Added {
+			if cand, ok := p.Matcher.Match(d); ok {
+				candidates = append(candidates, cand)
+			}
+		}
+		log.Printf("round %d: %d new registrations, %d squatting candidates",
+			round, len(delta.Added), len(candidates))
+
+		var domains []string
+		byDomain := map[string]squat.Candidate{}
+		for _, cand := range candidates {
+			domains = append(domains, cand.Domain)
+			byDomain[cand.Domain] = cand
+		}
+		results, err := c.Crawl(ctx, domains)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, res := range results {
+			for _, profile := range []struct {
+				cap    crawler.Capture
+				name   string
+				mobile bool
+			}{{res.Web, "web", false}, {res.Mobile, "mobile", true}} {
+				if !profile.cap.Live || profile.cap.Redirected() {
+					continue
+				}
+				score := core.ClassifyCapture(clf, profile.cap)
+				if score < 0.5 {
+					continue
+				}
+				cand := byDomain[res.Domain]
+				if err := enc.Encode(Alert{
+					Round: round, Domain: res.Domain, Brand: cand.Brand.Name,
+					SquatType: cand.Type.String(), Score: score, Profile: profile.name,
+				}); err != nil {
+					log.Fatal(err)
+				}
+				totalAlerts++
+			}
+		}
+		if *interval > 0 && round < *rounds {
+			time.Sleep(*interval)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "squatmond: %d alerts over %d rounds\n", totalAlerts, *rounds)
+}

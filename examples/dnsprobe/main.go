@@ -1,0 +1,71 @@
+// Dnsprobe demonstrates the ActiveDNS-style measurement substrate: it
+// builds a synthetic zone, serves it from the built-in authoritative DNS
+// server over UDP, actively probes candidate squatting domains with the
+// RFC 1035 codec, and prints which ones resolve.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"squatphi/internal/dnsx"
+	"squatphi/internal/simrand"
+	"squatphi/internal/squat"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dnsprobe: ")
+
+	// 1. Build the zone: some squatting registrations exist, most do not.
+	rng := simrand.New(7)
+	store := dnsx.NewStore()
+	gen := squat.NewGenerator()
+	brand := squat.NewBrand("facebook.com")
+	candidates := gen.Generate(brand)
+	registered := 0
+	for i, c := range candidates {
+		if i%7 == 0 { // an attacker registered every 7th candidate
+			store.Add(c.Domain, dnsx.RandomIP(rng))
+			registered++
+		}
+	}
+	log.Printf("zone: %d of %d candidates registered", registered, len(candidates))
+
+	// 2. Serve it over UDP.
+	srv, err := dnsx.NewServer(store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	log.Printf("authoritative server on %s", srv.Addr())
+
+	// 3. Actively probe all candidates.
+	prober := &dnsx.Prober{Addr: srv.Addr(), Timeout: time.Second, Parallelism: 16}
+	var names []string
+	typeOf := map[string]squat.Type{}
+	for _, c := range candidates {
+		names = append(names, c.Domain)
+		typeOf[c.Domain] = c.Type
+	}
+	start := time.Now()
+	records, err := prober.Probe(context.Background(), names)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("probed %d names in %s, %d resolved (server answered %d queries)",
+		len(names), time.Since(start).Round(time.Millisecond), len(records), srv.Queries())
+
+	// 4. Show a sample of live squatting registrations per type.
+	shown := map[squat.Type]int{}
+	for _, rec := range records {
+		t := typeOf[rec.Domain]
+		if shown[t] >= 2 {
+			continue
+		}
+		shown[t]++
+		fmt.Printf("  %-10s %-30s -> %s\n", t, rec.Domain, rec.IPString())
+	}
+}

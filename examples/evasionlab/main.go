@@ -1,0 +1,84 @@
+// Evasionlab walks through the three evasion techniques of paper §4.2 on a
+// hand-built phishing page, showing what each one hides, what the
+// classical detectors would see, and how the OCR feature path defeats them.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"squatphi/internal/evasion"
+	"squatphi/internal/imghash"
+	"squatphi/internal/ocr"
+	"squatphi/internal/render"
+	"squatphi/internal/simrand"
+)
+
+const original = `<html><head><title>Citizens Bank - Log In</title></head><body>
+<img src="/logo.png" alt="citizens bank">
+<h1>Welcome to Citizens Bank</h1>
+<p>Sign in to your citizens account to manage payments</p>
+<form><input type=email placeholder="Email"><input type=password placeholder="Password">
+<input type=submit value="Log In"></form></body></html>`
+
+// The attacker's page: no "citizens" anywhere in the HTML, the brand lives
+// in the logo pixels; obfuscated JS; randomised layout via the page's own
+// meta tag.
+const phishing = `<html><head><title>Secure payment center</title>
+<meta name="layout-seed" content="424242"></head><body>
+<img src="/logo.png" alt="">
+<h1>Verify your billing information</h1>
+<script>var c=[99,105,116];var s="";for(var i=0;i<c.length;i++){s+=String.fromCharCode(c[i]^0);}eval(s);</script>
+<form><input type=email placeholder="Email"><input type=password placeholder="Password">
+<input type=text placeholder="Card number"><input type=submit value="Verify Now"></form>
+</body></html>`
+
+func main() {
+	brand := "citizens"
+	assets := map[string]string{"/logo.png": "Citizens Bank"}
+
+	origShot := render.Screenshot(original, render.Options{Assets: assets})
+	phishShot := render.Screenshot(phishing, render.Options{Assets: assets})
+
+	fmt.Println("== 1. String obfuscation ==")
+	fmt.Printf("  brand %q in original HTML: %v\n", brand, strings.Contains(strings.ToLower(original), brand))
+	fmt.Printf("  brand %q in phishing HTML: %v\n", brand, strings.Contains(strings.ToLower(phishing), brand))
+	fmt.Println("  -> keyword-matching detectors see nothing")
+
+	fmt.Println("\n== 2. Layout obfuscation ==")
+	d := imghash.Distance(imghash.Perceptual(origShot), imghash.Perceptual(phishShot))
+	same := imghash.Distance(imghash.Perceptual(origShot), imghash.Perceptual(render.Screenshot(original, render.Options{Assets: assets})))
+	fmt.Printf("  pHash distance original vs itself:   %d\n", same)
+	fmt.Printf("  pHash distance original vs phishing: %d\n", d)
+	fmt.Println("  -> visual-similarity detectors with a tight threshold miss it")
+
+	fmt.Println("\n== 3. Code obfuscation ==")
+	rep := evasion.Analyze(phishing, phishShot, brand, origShot)
+	fmt.Printf("  eval calls: %d, string-construction calls: %d, flagged: %v\n",
+		rep.JS.EvalCalls, rep.JS.StringFuncCalls, rep.CodeObfuscated)
+
+	fmt.Println("\n== 4. The OCR counter-measure ==")
+	var engine ocr.Engine
+	words := engine.RecognizeWords(phishShot)
+	sc := ocr.NewSpellchecker(append([]string{"citizens", "bank"}, "password", "email", "verify"))
+	words = sc.CorrectAll(words)
+	joined := strings.Join(words, " ")
+	fmt.Printf("  OCR keywords: %s\n", joined)
+	fmt.Printf("  brand recovered from pixels: %v\n", strings.Contains(joined, brand))
+	fmt.Printf("  credential form visible: %v\n", strings.Contains(joined, "password"))
+
+	fmt.Println("\n== 5. Full evasion report ==")
+	fmt.Printf("  %+v\n", struct {
+		Layout    int
+		StringObf bool
+		CodeObf   bool
+	}{rep.LayoutDistance, rep.StringObfuscated, rep.CodeObfuscated})
+
+	// Bonus: how unstable is the layout under different seeds?
+	fmt.Println("\n== 6. Layout distance across obfuscation seeds ==")
+	for _, seed := range []uint64{1, 2, 3} {
+		shot := render.Screenshot(phishing, render.Options{Assets: assets, Perturb: simrand.New(seed)})
+		fmt.Printf("  seed %d: distance %d\n", seed,
+			imghash.Distance(imghash.Perceptual(origShot), imghash.Perceptual(shot)))
+	}
+}

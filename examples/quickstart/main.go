@@ -1,0 +1,71 @@
+// Quickstart demonstrates the SquatPhi public API in five minutes:
+// generate squatting candidates for a brand, match observed domains
+// against a brand set, render + OCR a phishing page that hides its brand
+// from the HTML, and measure its evasion profile.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"squatphi/internal/evasion"
+	"squatphi/internal/ocr"
+	"squatphi/internal/render"
+	"squatphi/internal/squat"
+)
+
+func main() {
+	// 1. Generate squatting candidates for a brand (dnstwist-style).
+	brand := squat.NewBrand("paypal.com")
+	gen := squat.NewGenerator()
+	fmt.Println("-- a few squatting candidates for paypal.com --")
+	byType := map[squat.Type]int{}
+	for _, c := range gen.Generate(brand) {
+		if byType[c.Type] >= 2 {
+			continue
+		}
+		byType[c.Type]++
+		fmt.Printf("  %-10s %s\n", c.Type, c.Domain)
+	}
+
+	// 2. Match observed DNS domains against a monitored brand set.
+	matcher := squat.NewMatcher([]squat.Brand{
+		squat.NewBrand("paypal.com"),
+		squat.NewBrand("facebook.com"),
+	})
+	fmt.Println("\n-- classifying observed domains --")
+	for _, d := range []string{
+		"paypal-cash.com", "xn--fcebook-8va.com", "paypa1.net",
+		"facebook.audi", "weather-report.org",
+	} {
+		if c, ok := matcher.Match(d); ok {
+			fmt.Printf("  %-25s -> %s squatting of %s\n", d, c.Type, c.Brand.Name)
+		} else {
+			fmt.Printf("  %-25s -> not squatting\n", d)
+		}
+	}
+
+	// 3. A phishing page hides "paypal" from its HTML (string obfuscation):
+	// the brand exists only inside the logo image. OCR on the rendered
+	// screenshot recovers it anyway — the paper's key trick.
+	phishHTML := `<html><head><title>Log in to your account</title></head><body>
+		<img src="/logo.png" alt="">
+		<h1>Your account has been limited</h1>
+		<form><input type=email placeholder="Email or phone">
+		<input type=password placeholder="Password">
+		<input type=submit value="Log In"></form></body></html>`
+	shot := render.Screenshot(phishHTML, render.Options{
+		Assets: map[string]string{"/logo.png": "PayPal"},
+	})
+	var engine ocr.Engine
+	text := engine.Recognize(shot)
+	fmt.Println("\n-- OCR of the rendered screenshot --")
+	fmt.Printf("  HTML contains 'paypal': %v\n", strings.Contains(strings.ToLower(phishHTML), "paypal"))
+	fmt.Printf("  OCR text contains 'paypal': %v\n", strings.Contains(strings.ToLower(text), "paypal"))
+
+	// 4. Evasion profile of the page.
+	rep := evasion.Analyze(phishHTML, shot, "paypal", nil)
+	fmt.Println("\n-- evasion report --")
+	fmt.Printf("  string obfuscated: %v\n", rep.StringObfuscated)
+	fmt.Printf("  code obfuscated:   %v\n", rep.CodeObfuscated)
+}

@@ -1,0 +1,3 @@
+module squatphi
+
+go 1.22

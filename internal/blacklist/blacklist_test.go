@@ -1,0 +1,112 @@
+package blacklist
+
+import (
+	"testing"
+
+	"squatphi/internal/webworld"
+)
+
+func populations(t testing.TB) (squatPhish, nonSquatPhish []*webworld.Site) {
+	t.Helper()
+	w := webworld.Build(webworld.Config{SquattingDomains: 60000, NonSquattingPhish: 1500, Seed: 33})
+	squatPhish = w.PhishingSites()
+	for _, d := range w.NonSquattingPhish {
+		nonSquatPhish = append(nonSquatPhish, w.Sites[d])
+	}
+	return
+}
+
+func TestSquattingPhishingEvadesBlacklists(t *testing.T) {
+	sq, _ := populations(t)
+	if len(sq) < 80 {
+		t.Fatalf("only %d squatting phishing sites", len(sq))
+	}
+	svc := NewService()
+	sum := svc.Summarize(sq, 30)
+	undetectedFrac := float64(sum.Undetect) / float64(sum.Total)
+	if undetectedFrac < 0.85 {
+		t.Fatalf("undetected = %.2f, want >= 0.85 (paper: 91.5%%)", undetectedFrac)
+	}
+	// VT should catch the most among the groups (Table 12).
+	if sum.ByVT < sum.ByFeed || sum.ByVT < sum.ByECrimeX {
+		t.Fatalf("VT=%d feed=%d ecx=%d: VT should dominate", sum.ByVT, sum.ByFeed, sum.ByECrimeX)
+	}
+}
+
+func TestOrdinaryPhishingIsCaught(t *testing.T) {
+	_, ns := populations(t)
+	svc := NewService()
+	sum := svc.Summarize(ns, 30)
+	caughtFrac := 1 - float64(sum.Undetect)/float64(sum.Total)
+	if caughtFrac < 0.80 {
+		t.Fatalf("ordinary phishing caught = %.2f, want high", caughtFrac)
+	}
+}
+
+func TestLatencyMonotonic(t *testing.T) {
+	_, ns := populations(t)
+	svc := NewService()
+	early := svc.Summarize(ns, 0)
+	late := svc.Summarize(ns, 30)
+	if early.Undetect < late.Undetect {
+		t.Fatal("detections decreased over time")
+	}
+	if early.Undetect == late.Undetect {
+		t.Fatal("latency model has no effect")
+	}
+}
+
+func TestBenignNeverListed(t *testing.T) {
+	w := webworld.Build(webworld.Config{SquattingDomains: 2000, NonSquattingPhish: 100, Seed: 9})
+	svc := NewService()
+	for _, d := range w.SquattingDomains {
+		s := w.Sites[d]
+		if s.Kind != webworld.Phishing && svc.Detected(s, 60) {
+			t.Fatalf("benign site %s blacklisted", d)
+		}
+	}
+	if svc.Detected(nil, 60) {
+		t.Fatal("nil site detected")
+	}
+}
+
+func TestCheckDeterministic(t *testing.T) {
+	sq, _ := populations(t)
+	svc := NewService()
+	for _, s := range sq[:10] {
+		a := svc.Check(s, 30)
+		b := svc.Check(s, 30)
+		if len(a) != len(b) {
+			t.Fatal("Check not deterministic")
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("Check hit order unstable")
+			}
+		}
+	}
+}
+
+func TestEngineCount(t *testing.T) {
+	svc := NewService()
+	if len(svc.Engines) != 72 {
+		t.Fatalf("engines = %d, want 72 (70 VT + feed + eCrimeX)", len(svc.Engines))
+	}
+	names := map[string]bool{}
+	for _, e := range svc.Engines {
+		if names[e.Name] {
+			t.Fatalf("duplicate engine name %s", e.Name)
+		}
+		names[e.Name] = true
+	}
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	w := webworld.Build(webworld.Config{SquattingDomains: 20000, NonSquattingPhish: 500, Seed: 3})
+	sites := w.PhishingSites()
+	svc := NewService()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = svc.Summarize(sites, 30)
+	}
+}

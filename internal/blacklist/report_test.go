@@ -1,0 +1,96 @@
+package blacklist
+
+import (
+	"testing"
+
+	"squatphi/internal/webworld"
+)
+
+func firstUndetectedPhish(t *testing.T, svc *Service) *webworld.Site {
+	t.Helper()
+	w := webworld.Build(webworld.Config{SquattingDomains: 30000, NonSquattingPhish: 200, Seed: 51})
+	for _, s := range w.PhishingSites() {
+		if !svc.Detected(s, 60) {
+			return s
+		}
+	}
+	t.Fatal("no undetected phishing site found")
+	return nil
+}
+
+func TestReportListsAfterLatency(t *testing.T) {
+	svc := NewService()
+	site := firstUndetectedPhish(t, svc)
+
+	svc.Report(site.Domain, 10)
+	if svc.Detected(site, 10) {
+		t.Fatal("listed immediately, want review latency")
+	}
+	if svc.Detected(site, 10+reportLatencyDays-1) {
+		t.Fatal("listed before latency elapsed")
+	}
+	if !svc.Detected(site, 10+reportLatencyDays) {
+		t.Fatal("not listed after review latency")
+	}
+	hits := svc.Check(site, 30)
+	if len(hits) != 1 || hits[0] != "phishtank-list" {
+		t.Fatalf("hits = %v, want the feed only", hits)
+	}
+}
+
+func TestReportEarlierSubmissionWins(t *testing.T) {
+	svc := NewService()
+	site := firstUndetectedPhish(t, svc)
+	svc.Report(site.Domain, 20)
+	svc.Report(site.Domain, 5)
+	if !svc.Detected(site, 5+reportLatencyDays) {
+		t.Fatal("earlier submission not honoured")
+	}
+	svc.Report(site.Domain, 25) // later re-report must not delay listing
+	if !svc.Detected(site, 5+reportLatencyDays) {
+		t.Fatal("re-report delayed the listing")
+	}
+}
+
+func TestReportNoDuplicateFeedHit(t *testing.T) {
+	// A domain that the feed catches organically AND is reported must not
+	// produce duplicate "phishtank-list" entries.
+	svc := NewService()
+	w := webworld.Build(webworld.Config{SquattingDomains: 1000, NonSquattingPhish: 400, Seed: 8})
+	for _, d := range w.NonSquattingPhish {
+		site := w.Sites[d]
+		svc.Report(d, 0)
+		hits := svc.Check(site, 30)
+		seen := map[string]bool{}
+		for _, h := range hits {
+			if seen[h] {
+				t.Fatalf("duplicate hit %q for %s", h, d)
+			}
+			seen[h] = true
+		}
+	}
+}
+
+func TestReportDoesNotAffectOthers(t *testing.T) {
+	svc := NewService()
+	w := webworld.Build(webworld.Config{SquattingDomains: 30000, NonSquattingPhish: 100, Seed: 51})
+	var a, b *webworld.Site
+	for _, s := range w.PhishingSites() {
+		if svc.Detected(s, 60) {
+			continue
+		}
+		if a == nil {
+			a = s
+		} else {
+			b = s
+			break
+		}
+	}
+	if a == nil || b == nil {
+		t.Skip("need two undetected sites")
+	}
+	svc.Report(a.Domain, 0)
+	if svc.Detected(b, 30) {
+		t.Fatal("reporting one domain listed another")
+	}
+}

@@ -1,0 +1,270 @@
+// Package brands builds the target-brand universe the paper monitors
+// (§3.1): the top websites of 17 Alexa categories merged with the brands
+// that PhishTank reports phishing against, de-duplicated by registrable
+// domain — 702 unique brands in the paper's data, and by construction here.
+//
+// The universe mixes the real brand names that appear in the paper's tables
+// (so the case studies are reproducible verbatim) with deterministic
+// synthetic brands that fill out the long tail.
+package brands
+
+import (
+	"sort"
+	"strings"
+
+	"squatphi/internal/simrand"
+	"squatphi/internal/squat"
+)
+
+// Brand is a monitored target with selection metadata.
+type Brand struct {
+	squat.Brand
+	// Category is the Alexa category the brand was selected from.
+	Category string
+	// Rank is the global popularity rank (1 = most popular).
+	Rank int
+	// PhishTarget marks brands on the PhishTank-style target list.
+	PhishTarget bool
+}
+
+// Categories are the 17 Alexa-style categories (paper: "Alexa provides 17
+// categories such as business, games, health, finance").
+var Categories = []string{
+	"business", "finance", "games", "health", "news", "shopping",
+	"social", "sports", "technology", "travel", "education", "arts",
+	"science", "computers", "home", "recreation", "society",
+}
+
+// corePhishTargets are real-world brands that the paper's tables and case
+// studies reference; they are always included and always PhishTank targets.
+var corePhishTargets = []string{
+	"paypal.com", "facebook.com", "microsoft.com", "santander.co.uk",
+	"google.com", "ebay.com", "adobe.com", "dropbox.com", "apple.com",
+	"amazon.com", "uber.com", "youtube.com", "citi.com", "twitter.com",
+	"github.com", "adp.com", "bitcoin.org", "netflix.com", "linkedin.com",
+	"instagram.com", "chase.com", "wellsfargo.com", "bankofamerica.com",
+	"hsbc.co.uk", "barclays.co.uk", "alliancebank.com", "rabobank.com",
+	"comerica.com", "verizon.com", "zocdoc.com", "shutterfly.com",
+	"priceline.com", "carfax.com", "citizenslc.com", "steam.com",
+	"blizzard.com", "yahoo.com", "outlook.com", "office.com", "icloud.com",
+	"whatsapp.com", "telegram.org", "skype.com", "zoom.us", "spotify.com",
+	"coinbase.com", "blockchain.com", "binance.com", "kraken.com",
+	"usbank.com", "capitalone.com", "amex.com", "discover.com", "visa.com",
+	"mastercard.com", "westernunion.com", "moneygram.com", "venmo.com",
+	"stripe.com", "square.com",
+}
+
+// coreAlexaTop are additional highly-ranked real domains from the paper's
+// measurement (vice, porn, bt, ford generated the most squatting matches).
+var coreAlexaTop = []string{
+	"vice.com", "porn.com", "bt.com", "ford.com", "archive.org",
+	"europa.eu", "cisco.com", "samsung.com", "intel.com", "target.com",
+	"android.com", "realtor.com", "usda.gov", "nih.gov", "xbox.com",
+	"delta.com", "blogger.com", "pandora.com", "cnet.com", "bing.com",
+	"cnn.com", "nike.com", "pinterest.com", "msn.com", "chess.com",
+	"nyu.edu", "nationwide.com", "cua.edu", "fifa.com", "columbia.edu",
+	"tsn.ca", "bodybuilding.com", "weather.com", "slate.com", "tsb.co.uk",
+	"skyscanner.net", "motorsport.com", "battle.net", "healthcare.gov",
+	"smile.com", "history.com", "compass.com", "poste.it", "visa.co.uk",
+	"patient.info", "arena.com", "mint.com", "discovery.com", "cams.com",
+	"gq.com", "sina.com.cn", "bbb.org", "credit-agricole.fr",
+}
+
+// syllables build pronounceable synthetic brand names for the long tail.
+var syllables = []string{
+	"bel", "cor", "dan", "fin", "gal", "hub", "jet", "kal", "lum", "mer",
+	"nor", "oak", "pex", "quo", "riv", "sol", "tor", "umb", "vex", "wil",
+	"zen", "ark", "bay", "cen", "dex", "eco", "fab", "gro", "hex", "ion",
+}
+
+var synthTLDs = []string{"com", "com", "com", "com", "net", "org", "io", "co"}
+
+// Universe is the selected brand set with lookup indexes.
+type Universe struct {
+	Brands []Brand
+	byName map[string]*Brand
+}
+
+// Config controls universe construction.
+type Config struct {
+	// PerCategory is the number of top sites taken per Alexa category
+	// (paper: 50, giving 850 domains).
+	PerCategory int
+	// PhishTargets is the size of the PhishTank-style target list
+	// (paper: 204).
+	PhishTargets int
+	// IncludeInstitutions extends the scope to government agencies,
+	// military institutions, universities and hospitals — the extension
+	// the paper proposes as future work (§7).
+	IncludeInstitutions bool
+	// Seed drives synthetic name generation.
+	Seed uint64
+}
+
+// institutionDomains seed the future-work scope extension: high-value
+// organisations whose squats enable targeted (spear) phishing.
+var institutionDomains = []string{
+	"irs.gov", "ssa.gov", "medicare.gov", "state.gov", "treasury.gov",
+	"defense.mil", "army.mil", "navy.mil", "va.gov", "uscis.gov",
+	"mit.edu", "stanford.edu", "harvard.edu", "berkeley.edu", "cmu.edu",
+	"mayoclinic.org", "clevelandclinic.org", "hopkinsmedicine.org",
+	"nhs.uk", "cdc.gov", "fda.gov", "nasa.gov", "noaa.gov", "ed.gov",
+}
+
+// DefaultConfig reproduces the paper's selection sizes.
+func DefaultConfig() Config {
+	return Config{PerCategory: 50, PhishTargets: 204, Seed: 2018}
+}
+
+// Select builds the brand universe: per-category Alexa lists merged with
+// the phishing-target list, de-duplicated by registrable domain.
+func Select(cfg Config) *Universe {
+	if cfg.PerCategory <= 0 {
+		cfg.PerCategory = 50
+	}
+	if cfg.PhishTargets <= 0 {
+		cfg.PhishTargets = 204
+	}
+	r := simrand.New(cfg.Seed).Split("brands")
+
+	u := &Universe{byName: map[string]*Brand{}}
+	add := func(domain, category string, rank int, phishTarget bool) {
+		b := squat.NewBrand(domain)
+		if prev, ok := u.byName[b.Name]; ok {
+			// Same registrable name: merge (paper merges niams.nih.gov and
+			// nichd.nih.gov into nih.gov, and co-listed Alexa/PhishTank
+			// entries).
+			if phishTarget {
+				prev.PhishTarget = true
+			}
+			if rank < prev.Rank {
+				prev.Rank = rank
+			}
+			return
+		}
+		u.Brands = append(u.Brands, Brand{Brand: b, Category: category, Rank: rank, PhishTarget: phishTarget})
+		u.byName[b.Name] = &u.Brands[len(u.Brands)-1]
+	}
+
+	// Deterministically spread the curated real domains over categories,
+	// then fill each category to PerCategory with synthetic brands.
+	curated := append(append([]string(nil), corePhishTargets...), coreAlexaTop...)
+	rank := 1
+	for i, domain := range curated {
+		add(domain, Categories[i%len(Categories)], rank, i < len(corePhishTargets))
+		rank++
+	}
+	if cfg.IncludeInstitutions {
+		for _, domain := range institutionDomains {
+			add(domain, "institutions", rank, true)
+			rank++
+		}
+	}
+	perCat := map[string]int{}
+	for _, b := range u.Brands {
+		perCat[b.Category]++
+	}
+	for _, cat := range Categories {
+		cr := r.Split(cat)
+		for perCat[cat] < cfg.PerCategory {
+			name := syntheticName(cr)
+			tld := simrand.Pick(cr, synthTLDs)
+			if _, dup := u.byName[name]; dup {
+				continue
+			}
+			add(name+"."+tld, cat, rank, false)
+			rank++
+			perCat[cat]++
+		}
+	}
+
+	// Extend the phishing-target list to cfg.PhishTargets entries: all core
+	// targets plus the most popular remaining brands (finance and social
+	// first, matching which brands phishers actually target).
+	targets := 0
+	for i := range u.Brands {
+		if u.Brands[i].PhishTarget {
+			targets++
+		}
+	}
+	pref := func(b Brand) int {
+		switch b.Category {
+		case "finance":
+			return 0
+		case "social":
+			return 1
+		case "business", "shopping":
+			return 2
+		}
+		return 3
+	}
+	order := make([]int, len(u.Brands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ba, bb := u.Brands[order[a]], u.Brands[order[b]]
+		if pref(ba) != pref(bb) {
+			return pref(ba) < pref(bb)
+		}
+		return ba.Rank < bb.Rank
+	})
+	for _, i := range order {
+		if targets >= cfg.PhishTargets {
+			break
+		}
+		if !u.Brands[i].PhishTarget {
+			u.Brands[i].PhishTarget = true
+			targets++
+		}
+	}
+	return u
+}
+
+func syntheticName(r *simrand.RNG) string {
+	n := 2 + r.Intn(2)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(simrand.Pick(r, syllables))
+	}
+	return b.String()
+}
+
+// Lookup returns the brand with the given registrable name.
+func (u *Universe) Lookup(name string) (Brand, bool) {
+	b, ok := u.byName[strings.ToLower(name)]
+	if !ok {
+		return Brand{}, false
+	}
+	return *b, true
+}
+
+// SquatBrands returns the underlying squat.Brand list for matcher
+// construction, in universe order.
+func (u *Universe) SquatBrands() []squat.Brand {
+	out := make([]squat.Brand, len(u.Brands))
+	for i, b := range u.Brands {
+		out[i] = b.Brand
+	}
+	return out
+}
+
+// PhishTargetBrands returns only the PhishTank-style target brands.
+func (u *Universe) PhishTargetBrands() []Brand {
+	var out []Brand
+	for _, b := range u.Brands {
+		if b.PhishTarget {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Names returns every brand's registrable name, in universe order.
+func (u *Universe) Names() []string {
+	out := make([]string, len(u.Brands))
+	for i, b := range u.Brands {
+		out[i] = b.Name
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package brands
+
+import (
+	"testing"
+
+	"squatphi/internal/squat"
+)
+
+func TestSelectSizes(t *testing.T) {
+	u := Select(DefaultConfig())
+	// 17 categories x 50 = 850 slots, de-duplicated to a 702-ish universe;
+	// the exact count is deterministic, so pin the invariants instead of a
+	// magic number: at least 600 unique brands, each category populated.
+	if len(u.Brands) < 600 {
+		t.Fatalf("universe = %d brands, want >= 600", len(u.Brands))
+	}
+	perCat := map[string]int{}
+	for _, b := range u.Brands {
+		perCat[b.Category]++
+	}
+	for _, cat := range Categories {
+		if perCat[cat] < 40 {
+			t.Errorf("category %s has only %d brands", cat, perCat[cat])
+		}
+	}
+	targets := len(u.PhishTargetBrands())
+	if targets != 204 {
+		t.Errorf("phish targets = %d, want 204", targets)
+	}
+}
+
+func TestSelectDeterministic(t *testing.T) {
+	a := Select(DefaultConfig())
+	b := Select(DefaultConfig())
+	if len(a.Brands) != len(b.Brands) {
+		t.Fatal("sizes differ across runs")
+	}
+	for i := range a.Brands {
+		if a.Brands[i] != b.Brands[i] {
+			t.Fatalf("brand %d differs: %+v vs %+v", i, a.Brands[i], b.Brands[i])
+		}
+	}
+}
+
+func TestCoreBrandsPresent(t *testing.T) {
+	u := Select(DefaultConfig())
+	for _, name := range []string{"paypal", "facebook", "google", "uber", "adp", "citizenslc", "vice", "ford", "bt"} {
+		b, ok := u.Lookup(name)
+		if !ok {
+			t.Errorf("core brand %s missing", name)
+			continue
+		}
+		if name == "paypal" && !b.PhishTarget {
+			t.Error("paypal not a phish target")
+		}
+	}
+}
+
+func TestNoDuplicateNames(t *testing.T) {
+	u := Select(DefaultConfig())
+	seen := map[string]bool{}
+	for _, b := range u.Brands {
+		if seen[b.Name] {
+			t.Fatalf("duplicate brand name %s", b.Name)
+		}
+		seen[b.Name] = true
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	u := Select(DefaultConfig())
+	if _, ok := u.Lookup("definitely-not-a-brand-xyz"); ok {
+		t.Fatal("Lookup returned a missing brand")
+	}
+}
+
+func TestSquatBrandsAlignment(t *testing.T) {
+	u := Select(DefaultConfig())
+	sb := u.SquatBrands()
+	if len(sb) != len(u.Brands) {
+		t.Fatal("SquatBrands length mismatch")
+	}
+	for i := range sb {
+		if sb[i] != u.Brands[i].Brand {
+			t.Fatal("SquatBrands order mismatch")
+		}
+	}
+}
+
+func TestMultiLabelTLDBrands(t *testing.T) {
+	u := Select(DefaultConfig())
+	b, ok := u.Lookup("santander")
+	if !ok || b.TLD != "co.uk" {
+		t.Fatalf("santander = %+v, ok=%v; want co.uk TLD", b, ok)
+	}
+}
+
+func TestMatcherIntegration(t *testing.T) {
+	u := Select(DefaultConfig())
+	m := squat.NewMatcher(u.SquatBrands())
+	c, ok := m.Match("paypal-login.net")
+	if !ok || c.Brand.Name != "paypal" || c.Type != squat.Combo {
+		t.Fatalf("Match(paypal-login.net) = %+v ok=%v", c, ok)
+	}
+	if _, ok := m.Match("paypal.com"); ok {
+		t.Fatal("original brand domain flagged")
+	}
+}
+
+func TestNames(t *testing.T) {
+	u := Select(DefaultConfig())
+	names := u.Names()
+	if len(names) != len(u.Brands) || names[0] != u.Brands[0].Name {
+		t.Fatal("Names misaligned")
+	}
+}
+
+func BenchmarkSelect(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		_ = Select(cfg)
+	}
+}
+
+func TestIncludeInstitutions(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IncludeInstitutions = true
+	u := Select(cfg)
+	for _, name := range []string{"irs", "mit", "mayoclinic", "defense"} {
+		b, ok := u.Lookup(name)
+		if !ok {
+			t.Errorf("institution brand %s missing", name)
+			continue
+		}
+		if !b.PhishTarget {
+			t.Errorf("institution %s not marked as phish target", name)
+		}
+	}
+	base := Select(DefaultConfig())
+	if _, ok := base.Lookup("irs"); ok {
+		t.Error("institutions leaked into the default universe")
+	}
+}
+
+func TestInstitutionsMatchable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IncludeInstitutions = true
+	u := Select(cfg)
+	m := squat.NewMatcher(u.SquatBrands())
+	c, ok := m.Match("irs-refund.com")
+	if !ok || c.Brand.Name != "irs" {
+		t.Fatalf("Match(irs-refund.com) = %+v ok=%v", c, ok)
+	}
+}

@@ -1,0 +1,159 @@
+// Package confusables provides a homoglyph (visually confusable character)
+// table and a skeleton transform in the style of Unicode UTS #39.
+//
+// The paper (§3.1) found that existing tools like DNSTwist map only part of
+// the confusable space — e.g. 13 of the 23 characters that resemble "a" —
+// and missed homograph squatting domains as a result. This package keeps a
+// single table that serves both directions:
+//
+//   - generation: Variants(r) lists characters an attacker could substitute
+//     for r when minting a homograph domain;
+//   - detection: Skeleton(s) folds every confusable to a canonical ASCII
+//     prototype, so a homograph and its target produce the same skeleton.
+//
+// The table is a curated subset of the Unicode confusables data covering the
+// Latin, Cyrillic and Greek lookalikes relevant to domain labels, plus the
+// ASCII-internal confusions (0/o, 1/l, rn/m, vv/w, ...) used by real
+// squatters.
+package confusables
+
+import (
+	"sort"
+	"strings"
+)
+
+// toASCII maps each confusable rune to the ASCII prototype it imitates.
+// Multi-rune prototypes (e.g. æ -> "ae") are allowed.
+var toASCII = map[rune]string{
+	// --- Latin letters with diacritics ---
+	'à': "a", 'á': "a", 'â': "a", 'ã': "a", 'ä': "a", 'å': "a", 'ā': "a", 'ă': "a", 'ą': "a", 'ǎ': "a",
+	'ạ': "a", 'ả': "a", 'ấ': "a", 'ầ': "a", 'ậ': "a", 'ắ': "a", 'ằ': "a", 'ǻ': "a", 'ɑ': "a",
+	'è': "e", 'é': "e", 'ê': "e", 'ë': "e", 'ē': "e", 'ĕ': "e", 'ė': "e", 'ę': "e", 'ě': "e",
+	'ì': "i", 'í': "i", 'î': "i", 'ï': "i", 'ī': "i", 'ĭ': "i", 'į': "i", 'ı': "i",
+	'ò': "o", 'ó': "o", 'ô': "o", 'õ': "o", 'ö': "o", 'ō': "o", 'ŏ': "o", 'ő': "o", 'ǒ': "o", 'ø': "o",
+	'ù': "u", 'ú': "u", 'û': "u", 'ü': "u", 'ū': "u", 'ŭ': "u", 'ů': "u", 'ű': "u", 'ų': "u",
+	'ý': "y", 'ÿ': "y", 'ŷ': "y",
+	'ç': "c", 'ć': "c", 'ĉ': "c", 'ċ': "c", 'č': "c",
+	'ñ': "n", 'ń': "n", 'ņ': "n", 'ň': "n",
+	'ś': "s", 'ŝ': "s", 'ş': "s", 'š': "s",
+	'ź': "z", 'ż': "z", 'ž': "z",
+	'ĝ': "g", 'ğ': "g", 'ġ': "g", 'ģ': "g",
+	'ĺ': "l", 'ļ': "l", 'ľ': "l", 'ŀ': "l", 'ł': "l",
+	'ŕ': "r", 'ŗ': "r", 'ř': "r",
+	'ť': "t", 'ţ': "t", 'ŧ': "t",
+	'ď': "d", 'đ': "d",
+	'ĥ': "h", 'ħ': "h",
+	'ĵ': "j", 'ķ': "k", 'ŵ': "w",
+	// --- Cyrillic lookalikes ---
+	'а': "a", 'е': "e", 'о': "o", 'р': "p", 'с': "c", 'х': "x", 'у': "y",
+	'і': "i", 'ј': "j", 'ѕ': "s", 'һ': "h", 'ԁ': "d", 'ԛ': "q", 'ԝ': "w",
+	'в': "b", 'к': "k", 'м': "m", 'н': "h", 'т': "t", 'ь': "b", 'г': "r",
+	'п': "n", 'и': "u", 'л': "n", 'д': "d", 'б': "b", 'з': "3", 'ч': "4",
+	'ж': "x", 'ф': "f", 'ц': "u", 'ш': "w", 'щ': "w", 'э': "e", 'ю': "io", 'я': "r", 'ы': "bi", 'й': "u", 'ъ': "b",
+	// --- Greek lookalikes ---
+	'α': "a", 'β': "b", 'ε': "e", 'η': "n", 'ι': "i", 'κ': "k", 'ν': "v",
+	'ο': "o", 'ρ': "p", 'τ': "t", 'υ': "u", 'χ': "x", 'ω': "w", 'γ': "y",
+	'μ': "u", 'σ': "o", 'ϲ': "c", 'ϳ': "j", 'π': "n", 'δ': "d", 'λ': "l",
+	'θ': "o", 'φ': "o", 'ψ': "y", 'ξ': "e", 'ζ': "z", 'ς': "s", 'ά': "a", 'έ': "e", 'ί': "i", 'ό': "o", 'ύ': "u", 'ή': "n", 'ώ': "w",
+	// --- ASCII-internal confusions ---
+	'0': "o", '1': "l", '3': "e", '5': "s",
+	// --- Ligatures / composites ---
+	'æ': "ae", 'œ': "oe", 'ß': "ss", 'ĳ': "ij",
+}
+
+// multiSeq maps multi-character ASCII sequences to the single character they
+// imitate visually (and vice versa during generation).
+var multiSeq = map[string]string{
+	"rn": "m",
+	"vv": "w",
+	"cl": "d",
+	"nn": "m", // at small font sizes
+}
+
+// variants is the reverse index: ASCII prototype -> confusable substitutes.
+var variants map[string][]rune
+
+func init() {
+	variants = make(map[string][]rune)
+	for r, proto := range toASCII {
+		variants[proto] = append(variants[proto], r)
+	}
+	for proto := range variants {
+		rs := variants[proto]
+		sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+		variants[proto] = rs
+	}
+}
+
+// Variants returns the confusable substitutes for an ASCII character, in a
+// deterministic order. The returned slice must not be modified.
+func Variants(ascii rune) []rune {
+	return variants[string(ascii)]
+}
+
+// SequenceVariants returns visually confusable ASCII sequence substitutions
+// for a character: e.g. 'm' -> ["rn", "nn"]. Deterministic order.
+func SequenceVariants(ascii rune) []string {
+	var out []string
+	for seq, target := range multiSeq {
+		if target == string(ascii) {
+			out = append(out, seq)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsConfusable reports whether r is a known confusable for some ASCII
+// character (excluding identity).
+func IsConfusable(r rune) bool {
+	_, ok := toASCII[r]
+	return ok
+}
+
+// Fold returns the ASCII prototype for r, or r itself if none is known.
+func Fold(r rune) string {
+	if p, ok := toASCII[r]; ok {
+		return p
+	}
+	return string(r)
+}
+
+// Skeleton folds every confusable character of s to its ASCII prototype and
+// collapses multi-character visual sequences ("rn" -> "m"), producing a
+// canonical form: a homograph domain and its target share a skeleton.
+// The transform is idempotent: Skeleton(Skeleton(s)) == Skeleton(s).
+func Skeleton(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range strings.ToLower(s) {
+		b.WriteString(Fold(r))
+	}
+	folded := b.String()
+	// Collapse multi-character sequences. Longest-first is irrelevant here
+	// since all sequences are length 2, but replacements may cascade
+	// ("rnn" is ambiguous); apply in deterministic key order until fixpoint.
+	keys := make([]string, 0, len(multiSeq))
+	for k := range multiSeq {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for {
+		prev := folded
+		for _, k := range keys {
+			folded = strings.ReplaceAll(folded, k, multiSeq[k])
+		}
+		if folded == prev {
+			return folded
+		}
+	}
+}
+
+// SkeletonEqual reports whether two strings are visually confusable with
+// each other under the skeleton transform.
+func SkeletonEqual(a, b string) bool { return Skeleton(a) == Skeleton(b) }
+
+// CountVariants returns the number of confusable substitutes known for the
+// ASCII character c. Used to compare table completeness against legacy tools
+// (ablation in DESIGN.md §4).
+func CountVariants(c rune) int { return len(Variants(c)) }

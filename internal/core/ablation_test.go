@@ -1,0 +1,101 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"squatphi/internal/features"
+	"squatphi/internal/ml"
+	"squatphi/internal/webworld"
+)
+
+// TestOCRFeaturesRescueObfuscatedPhishing is the paper's central claim as
+// an integration test (DESIGN.md shape invariant 7). String-obfuscated
+// phishing pages keep the brand only in pixels; benign login pages under
+// squatting domains share their lexical/form surface. A classifier with
+// OCR features must therefore separate the two populations better than
+// one without: only the pixel path still sees the impersonation.
+func TestOCRFeaturesRescueObfuscatedPhishing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline is slow")
+	}
+	p := testPipeline(t)
+	ctx := context.Background()
+	gt, err := p.BuildGroundTruth(ctx, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withOCR := p.TrainClassifier(gt, features.AllFeatures())
+	withoutOCR := p.TrainClassifier(gt, features.Options{UseLexical: true, UseForms: true})
+
+	// Positives: live phishing pages whose HTML genuinely lacks the brand.
+	var posDomains []string
+	collect := func(s *webworld.Site) {
+		if !s.StringObf || !s.IsPhishingAt(0) || s.Cloak == webworld.CloakMobileOnly {
+			return
+		}
+		page, ok := p.World.PageFor(s, 0, false)
+		if !ok || strings.Contains(strings.ToLower(page.HTML), s.Brand.Name) {
+			return
+		}
+		posDomains = append(posDomains, s.Domain)
+	}
+	for _, s := range p.World.PhishingSites() {
+		collect(s)
+	}
+	for _, d := range p.World.NonSquattingPhish {
+		collect(p.World.Sites[d])
+	}
+	// Negatives: benign squatting pages with credential forms (member
+	// logins, webmail, fan forums) — the lexical lookalikes.
+	var negDomains []string
+	for _, d := range p.World.SquattingDomains {
+		s := p.World.Sites[d]
+		if s.Kind != webworld.Benign {
+			continue
+		}
+		page, ok := p.World.PageFor(s, 0, false)
+		if !ok || !strings.Contains(page.HTML, `type="password"`) {
+			continue
+		}
+		negDomains = append(negDomains, d)
+		if len(negDomains) >= 60 {
+			break
+		}
+	}
+	if len(posDomains) < 5 || len(negDomains) < 5 {
+		t.Skipf("thin populations: %d obfuscated phishing, %d benign logins", len(posDomains), len(negDomains))
+	}
+
+	scoreAll := func(clf *Classifier, domains []string, label int, truths *[]int, with, without *[]float64) {
+		results, err := p.CrawlDomains(ctx, 0, domains)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, res := range results {
+			if !res.Web.Live {
+				continue
+			}
+			*truths = append(*truths, label)
+			*with = append(*with, ClassifyCapture(withOCR, res.Web))
+			*without = append(*without, ClassifyCapture(withoutOCR, res.Web))
+		}
+		_ = clf
+	}
+	var truths []int
+	var withScores, withoutScores []float64
+	scoreAll(withOCR, posDomains, 1, &truths, &withScores, &withoutScores)
+	scoreAll(withOCR, negDomains, 0, &truths, &withScores, &withoutScores)
+
+	aucWith := ml.AUC(ml.ROC(truths, withScores))
+	aucWithout := ml.AUC(ml.ROC(truths, withoutScores))
+	t.Logf("obfuscated-vs-benign-login AUC: with OCR %.3f, without %.3f (pos=%d neg=%d)",
+		aucWith, aucWithout, len(posDomains), len(truths)-len(posDomains))
+	if aucWith < aucWithout-0.02 {
+		t.Errorf("OCR features hurt separation: %.3f < %.3f", aucWith, aucWithout)
+	}
+	if aucWith < 0.75 {
+		t.Errorf("with-OCR AUC %.3f too low on the obfuscated subset", aucWith)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"context"
+
+	"squatphi/internal/blacklist"
+	"squatphi/internal/evasion"
+	"squatphi/internal/render"
+	"squatphi/internal/webworld"
+)
+
+// OriginalShot crawls (once) and returns the screenshot of a brand's
+// original page, or nil if the brand is unknown.
+func (p *Pipeline) OriginalShot(ctx context.Context, brandName string) *render.Raster {
+	if p.originalShots == nil {
+		p.originalShots = map[string]*render.Raster{}
+	}
+	if shot, ok := p.originalShots[brandName]; ok {
+		return shot
+	}
+	var shot *render.Raster
+	if b, ok := p.World.Brands.Lookup(brandName); ok {
+		cap := p.crawlerByProfile.CaptureProfile(ctx, b.Domain(), false)
+		if cap.Live {
+			shot = cap.Shot
+		}
+	}
+	p.originalShots[brandName] = shot
+	return shot
+}
+
+// EvasionStatsFor crawls the given phishing domains and aggregates their
+// evasion reports against their target brands (Tables 6 and 11).
+func (p *Pipeline) EvasionStatsFor(ctx context.Context, domains []string, snapshot int) (evasion.Stats, error) {
+	var stats evasion.Stats
+	results, err := p.CrawlDomains(ctx, snapshot, domains)
+	if err != nil {
+		return stats, err
+	}
+	for _, r := range results {
+		cap := r.Web
+		if !cap.Live {
+			cap = r.Mobile
+		}
+		if !cap.Live {
+			continue
+		}
+		site, ok := p.World.Site(r.Domain)
+		if !ok {
+			continue
+		}
+		orig := p.OriginalShot(ctx, site.Brand.Name)
+		stats.Add(evasion.Analyze(cap.HTML, cap.Shot, site.Brand.Name, orig))
+	}
+	return stats, nil
+}
+
+// BlacklistSummary checks the given phishing domains against the blacklist
+// ecosystem at the given day offset (Table 12).
+func (p *Pipeline) BlacklistSummary(domains []string, day int) blacklist.Summary {
+	var sites []*webworld.Site
+	for _, d := range domains {
+		if s, ok := p.World.Site(d); ok {
+			sites = append(sites, s)
+		}
+	}
+	return p.Blacklists.Summarize(sites, day)
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"squatphi/internal/features"
+	"squatphi/internal/squat"
+	"squatphi/internal/webworld"
+)
+
+// testPipeline builds a small but complete pipeline. The world is sized so
+// that every stage has meaningful data while the test stays fast.
+func testPipeline(t testing.TB) *Pipeline {
+	t.Helper()
+	cfg := Config{
+		World:           webworld.Config{SquattingDomains: 1500, NonSquattingPhish: 250, Seed: 99},
+		DNSNoiseRecords: 4000,
+		ForestTrees:     15,
+		CrawlWorkers:    16,
+		Seed:            7,
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestScanDNSFindsPlantedSquats(t *testing.T) {
+	p := testPipeline(t)
+	cands := p.ScanDNS()
+	if len(cands) < len(p.World.SquattingDomains)*9/10 {
+		t.Fatalf("scan found %d candidates, planted %d", len(cands), len(p.World.SquattingDomains))
+	}
+	// Every candidate should be a known site or combo noise; phishing
+	// sites must all be found.
+	found := map[string]bool{}
+	for _, c := range cands {
+		found[c.Domain] = true
+	}
+	for _, s := range p.World.PhishingSites() {
+		if !found[s.Domain] {
+			t.Errorf("phishing domain %s missed by DNS scan", s.Domain)
+		}
+	}
+}
+
+func TestScanDNSCached(t *testing.T) {
+	p := testPipeline(t)
+	a := p.ScanDNS()
+	b := p.ScanDNS()
+	if &a[0] != &b[0] {
+		t.Fatal("ScanDNS not cached")
+	}
+}
+
+func TestGroundTruthLabels(t *testing.T) {
+	p := testPipeline(t)
+	gt, err := p.BuildGroundTruth(context.Background(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, neg := gt.Counts()
+	if pos < 30 {
+		t.Fatalf("positives = %d, want >= 30", pos)
+	}
+	if neg < 100 {
+		t.Fatalf("negatives = %d, want >= 100", neg)
+	}
+	// Positives must carry forms (phishing pages always do).
+	for _, s := range gt.Samples[:10] {
+		if s.Sample.HTML == "" {
+			t.Fatal("empty HTML in ground truth")
+		}
+	}
+}
+
+func TestEndToEndDetection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline is slow")
+	}
+	p := testPipeline(t)
+	ctx := context.Background()
+
+	gt, err := p.BuildGroundTruth(ctx, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf := p.TrainClassifier(gt, features.AllFeatures())
+
+	// Table 7 shape: the classifier must be strong on ground truth.
+	if clf.Eval.AUC < 0.85 {
+		t.Errorf("CV AUC = %.3f, want >= 0.85 (paper: 0.97)", clf.Eval.AUC)
+	}
+	if fpr := clf.Eval.Confusion.FPR(); fpr > 0.15 {
+		t.Errorf("CV FPR = %.3f, want small (paper: 0.03)", fpr)
+	}
+
+	det, err := p.DetectInWild(ctx, clf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	confirmed := det.ConfirmedUnion()
+	truePhish := 0
+	for _, s := range p.World.PhishingSites() {
+		if s.IsPhishingAt(0) {
+			truePhish++
+		}
+	}
+	if truePhish == 0 {
+		t.Fatal("world has no live phishing to find")
+	}
+	recall := float64(len(confirmed)) / float64(truePhish)
+	if recall < 0.5 {
+		t.Errorf("detection recall = %.2f (%d/%d), want >= 0.5", recall, len(confirmed), truePhish)
+	}
+	// Precision of flagging: the majority of flags should confirm
+	// (paper: ~70%).
+	flagged := len(det.FlaggedWeb) + len(det.FlaggedMobile)
+	confirmedFlags := 0
+	for _, f := range det.FlaggedWeb {
+		if f.Confirmed {
+			confirmedFlags++
+		}
+	}
+	for _, f := range det.FlaggedMobile {
+		if f.Confirmed {
+			confirmedFlags++
+		}
+	}
+	if flagged == 0 {
+		t.Fatal("nothing flagged")
+	}
+	if prec := float64(confirmedFlags) / float64(flagged); prec < 0.4 {
+		t.Errorf("confirmation rate = %.2f (%d/%d), want >= 0.4", prec, confirmedFlags, flagged)
+	}
+}
+
+func TestDetectionSquatTypesCovered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline is slow")
+	}
+	p := testPipeline(t)
+	ctx := context.Background()
+	liveCombo := 0
+	for _, s := range p.World.PhishingSites() {
+		if s.SquatType == squat.Combo && s.IsPhishingAt(0) {
+			liveCombo++
+		}
+	}
+	if liveCombo == 0 {
+		t.Skip("test world has no live combo phishing to confirm")
+	}
+	gt, err := p.BuildGroundTruth(ctx, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf := p.TrainClassifier(gt, features.AllFeatures())
+	det, err := p.DetectInWild(ctx, clf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := map[squat.Type]bool{}
+	for _, f := range append(det.FlaggedWeb, det.FlaggedMobile...) {
+		if f.Confirmed {
+			types[f.SquatType] = true
+		}
+	}
+	if !types[squat.Combo] {
+		t.Error("no combo squatting phishing confirmed (should dominate)")
+	}
+}
+
+func TestBlacklistSummaryIntegration(t *testing.T) {
+	p := testPipeline(t)
+	var phishDomains []string
+	for _, s := range p.World.PhishingSites() {
+		phishDomains = append(phishDomains, s.Domain)
+	}
+	sum := p.BlacklistSummary(phishDomains, 30)
+	if sum.Total != len(phishDomains) {
+		t.Fatalf("summary total = %d", sum.Total)
+	}
+	if float64(sum.Undetect)/float64(sum.Total) < 0.8 {
+		t.Errorf("undetected = %d/%d, want >= 80%%", sum.Undetect, sum.Total)
+	}
+}
+
+func TestEvasionStatsIntegration(t *testing.T) {
+	p := testPipeline(t)
+	var phishDomains []string
+	for _, s := range p.World.PhishingSites() {
+		if s.IsPhishingAt(0) {
+			phishDomains = append(phishDomains, s.Domain)
+		}
+	}
+	if len(phishDomains) == 0 {
+		t.Skip("no live phishing")
+	}
+	stats, err := p.EvasionStatsFor(context.Background(), phishDomains, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.N == 0 {
+		t.Fatal("no evasion reports collected")
+	}
+	if rate := stats.StringObfRate(); rate < 0.3 {
+		t.Errorf("string obfuscation rate = %.2f, want substantial (~0.68)", rate)
+	}
+	mean, _ := stats.LayoutMeanStd()
+	if mean <= 1 {
+		t.Errorf("layout distance mean = %.1f, want > 1", mean)
+	}
+}
+
+func TestOriginalShotCached(t *testing.T) {
+	p := testPipeline(t)
+	ctx := context.Background()
+	a := p.OriginalShot(ctx, "paypal")
+	b := p.OriginalShot(ctx, "paypal")
+	if a == nil || a != b {
+		t.Fatal("OriginalShot not cached or nil")
+	}
+	if p.OriginalShot(ctx, "not-a-brand") != nil {
+		t.Fatal("unknown brand returned a shot")
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"squatphi/internal/crawler"
+	"squatphi/internal/features"
+	"squatphi/internal/squat"
+	"squatphi/internal/webworld"
+)
+
+// Flagged is one page the classifier marked as phishing.
+type Flagged struct {
+	Domain    string
+	Mobile    bool
+	Score     float64
+	SquatType squat.Type
+	Brand     string
+	// Confirmed is the manual-verification verdict (ground-truth oracle).
+	Confirmed bool
+}
+
+// Detection is the outcome of scanning the wild (Table 8).
+type Detection struct {
+	// FlaggedWeb and FlaggedMobile are the classifier hits per profile.
+	FlaggedWeb, FlaggedMobile []Flagged
+}
+
+// confirmedSet collects confirmed domains of one profile list.
+func confirmedSet(fs []Flagged) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range fs {
+		if f.Confirmed {
+			out[f.Domain] = true
+		}
+	}
+	return out
+}
+
+// ConfirmedWeb returns the confirmed web phishing domains.
+func (d *Detection) ConfirmedWeb() map[string]bool { return confirmedSet(d.FlaggedWeb) }
+
+// ConfirmedMobile returns the confirmed mobile phishing domains.
+func (d *Detection) ConfirmedMobile() map[string]bool { return confirmedSet(d.FlaggedMobile) }
+
+// ConfirmedUnion returns all confirmed squatting phishing domains.
+func (d *Detection) ConfirmedUnion() map[string]bool {
+	out := d.ConfirmedWeb()
+	for dom := range d.ConfirmedMobile() {
+		out[dom] = true
+	}
+	return out
+}
+
+// DetectInWild applies the trained classifier to every live crawled page
+// of both profiles and verifies the flagged ones against the oracle
+// (paper §6.1: classify, then manually confirm).
+func (p *Pipeline) DetectInWild(ctx context.Context, clf *Classifier, snapshot int) (*Detection, error) {
+	results, err := p.Crawl(ctx, snapshot)
+	if err != nil {
+		return nil, fmt.Errorf("core: crawl for detection: %w", err)
+	}
+	det := &Detection{}
+	for _, r := range results {
+		for _, mobile := range []bool{false, true} {
+			cap := r.Web
+			if mobile {
+				cap = r.Mobile
+			}
+			if !cap.Live || cap.Redirected() {
+				continue // redirected pages are someone else's content
+			}
+			score := clf.Model.PredictProba(clf.Extractor.Vector(features.Sample{HTML: cap.HTML, Shot: cap.Shot}))
+			if score < 0.5 {
+				continue
+			}
+			site, _ := p.World.Site(r.Domain)
+			f := Flagged{Domain: r.Domain, Mobile: mobile, Score: score}
+			if site != nil {
+				f.SquatType = site.SquatType
+				f.Brand = site.Brand.Name
+				// Manual verification: does the page truly impersonate the
+				// brand with a credential form right now?
+				f.Confirmed = site.IsPhishingAt(snapshot) &&
+					(site.Cloak == webworld.CloakNone ||
+						mobile && site.Cloak == webworld.CloakMobileOnly ||
+						!mobile && site.Cloak == webworld.CloakWebOnly)
+			}
+			if mobile {
+				det.FlaggedMobile = append(det.FlaggedMobile, f)
+			} else {
+				det.FlaggedWeb = append(det.FlaggedWeb, f)
+			}
+		}
+	}
+	return det, nil
+}
+
+// ClassifyCapture scores one capture with a trained classifier.
+func ClassifyCapture(clf *Classifier, cap crawler.Capture) float64 {
+	return clf.Model.PredictProba(clf.Extractor.Vector(features.Sample{HTML: cap.HTML, Shot: cap.Shot}))
+}
+
+// MonitorLiveness re-crawls the confirmed phishing domains at each
+// snapshot and re-classifies them, returning per-snapshot live-phishing
+// counts per profile (Figure 17).
+func (p *Pipeline) MonitorLiveness(ctx context.Context, clf *Classifier, confirmed []string) (web, mobile []int, err error) {
+	web = make([]int, webworld.Snapshots)
+	mobile = make([]int, webworld.Snapshots)
+	for snap := 0; snap < webworld.Snapshots; snap++ {
+		results, err := p.CrawlDomains(ctx, snap, confirmed)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, r := range results {
+			if r.Web.Live && !r.Web.Redirected() && ClassifyCapture(clf, r.Web) >= 0.5 {
+				web[snap]++
+			}
+			if r.Mobile.Live && !r.Mobile.Redirected() && ClassifyCapture(clf, r.Mobile) >= 0.5 {
+				mobile[snap]++
+			}
+		}
+	}
+	return web, mobile, nil
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"squatphi/internal/features"
+)
+
+func TestReinforceGrowsGroundTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline is slow")
+	}
+	p := testPipeline(t)
+	ctx := context.Background()
+
+	gt, err := p.BuildGroundTruth(ctx, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf := p.TrainClassifier(gt, features.AllFeatures())
+	det, err := p.DetectInWild(ctx, clf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det.FlaggedWeb)+len(det.FlaggedMobile) == 0 {
+		t.Skip("nothing flagged to reinforce with")
+	}
+
+	enlarged, clf2, err := p.Reinforce(ctx, gt, det, 0, features.AllFeatures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enlarged.Samples) <= len(gt.Samples) {
+		t.Fatalf("reinforced corpus %d <= original %d", len(enlarged.Samples), len(gt.Samples))
+	}
+	// No duplicate domains.
+	seen := map[string]bool{}
+	for _, s := range enlarged.Samples {
+		if seen[s.Domain] {
+			t.Fatalf("duplicate domain %s in reinforced corpus", s.Domain)
+		}
+		seen[s.Domain] = true
+	}
+	// The retrained classifier remains strong.
+	if clf2.Eval.AUC < 0.80 {
+		t.Errorf("reinforced AUC = %.3f, want >= 0.80", clf2.Eval.AUC)
+	}
+}
+
+func TestReportConfirmedImprovesBlacklists(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline is slow")
+	}
+	p := testPipeline(t)
+	ctx := context.Background()
+	gt, err := p.BuildGroundTruth(ctx, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf := p.TrainClassifier(gt, features.AllFeatures())
+	det, err := p.DetectInWild(ctx, clf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	confirmed := det.ConfirmedUnion()
+	if len(confirmed) == 0 {
+		t.Skip("nothing confirmed")
+	}
+	var domains []string
+	for d := range confirmed {
+		domains = append(domains, d)
+	}
+	before := p.BlacklistSummary(domains, 40)
+	reported := p.ReportConfirmed(det, 30)
+	after := p.BlacklistSummary(domains, 40)
+	if reported == 0 {
+		t.Skip("all confirmed domains already listed")
+	}
+	if after.Undetect >= before.Undetect {
+		t.Fatalf("reporting did not reduce undetected: before %d after %d", before.Undetect, after.Undetect)
+	}
+	if after.Undetect != 0 {
+		t.Errorf("after reporting, %d domains still unlisted (should all be on the feed)", after.Undetect)
+	}
+}

@@ -1,0 +1,162 @@
+// Package core implements SquatPhi, the paper's end-to-end measurement
+// system: brand selection, squatting-domain detection over a DNS snapshot,
+// distributed web+mobile crawling, ground-truth construction from the
+// crowdsourced feed, classifier training with OCR/lexical/form features,
+// detection of squatting phishing in the wild, and the follow-up analyses
+// (evasion, blacklists, liveness).
+//
+// Each pipeline stage is an explicit method returning its artifact, so the
+// experiment drivers (internal/experiments) can reproduce individual
+// tables and figures without re-running the whole system, while cmd/
+// binaries run it end to end.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"squatphi/internal/blacklist"
+	"squatphi/internal/crawler"
+	"squatphi/internal/dnsx"
+	"squatphi/internal/phishtank"
+	"squatphi/internal/render"
+	"squatphi/internal/squat"
+	"squatphi/internal/webworld"
+)
+
+// Config parameterises a pipeline run.
+type Config struct {
+	// World configures the synthetic Internet.
+	World webworld.Config
+	// DNSNoiseRecords is the number of unrelated background DNS records
+	// mixed into the snapshot (the 224M-record haystack, scaled down).
+	DNSNoiseRecords int
+	// ForestTrees is the random-forest size (default 40).
+	ForestTrees int
+	// CrawlWorkers is the crawler pool width (default 16).
+	CrawlWorkers int
+	// Seed drives feed generation and training randomness.
+	Seed uint64
+}
+
+// DefaultConfig is the laptop-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		World:           webworld.DefaultConfig(),
+		DNSNoiseRecords: 30000,
+		ForestTrees:     40,
+		CrawlWorkers:    16,
+		Seed:            3278532,
+	}
+}
+
+// Pipeline is one instantiated SquatPhi system bound to a synthetic world.
+type Pipeline struct {
+	Cfg        Config
+	World      *webworld.World
+	Server     *webworld.Server
+	Feed       *phishtank.Feed
+	Matcher    *squat.Matcher
+	Blacklists *blacklist.Service
+
+	crawlerByProfile *crawler.Crawler
+
+	// Caches.
+	snapshot      *dnsx.Store
+	candidates    []squat.Candidate
+	crawls        map[int][]crawler.Result
+	originalShots map[string]*render.Raster
+}
+
+// New builds the world, starts its HTTP server, and prepares the pipeline.
+// Callers must Close it.
+func New(cfg Config) (*Pipeline, error) {
+	if cfg.ForestTrees <= 0 {
+		cfg.ForestTrees = 40
+	}
+	if cfg.DNSNoiseRecords <= 0 {
+		cfg.DNSNoiseRecords = 30000
+	}
+	world := webworld.Build(cfg.World)
+	server, err := webworld.NewServer(world)
+	if err != nil {
+		return nil, fmt.Errorf("core: start world server: %w", err)
+	}
+	p := &Pipeline{
+		Cfg:        cfg,
+		World:      world,
+		Server:     server,
+		Feed:       phishtank.Build(world, cfg.Seed),
+		Matcher:    squat.NewMatcher(world.Brands.SquatBrands()),
+		Blacklists: blacklist.NewService(),
+		crawls:     map[int][]crawler.Result{},
+	}
+	p.crawlerByProfile = &crawler.Crawler{Client: server.Client(), Workers: cfg.CrawlWorkers}
+	return p, nil
+}
+
+// Close shuts down the world server.
+func (p *Pipeline) Close() error { return p.Server.Close() }
+
+// DNSSnapshot lazily builds the ActiveDNS-style snapshot: every resolving
+// domain of the world planted among background noise.
+func (p *Pipeline) DNSSnapshot() *dnsx.Store {
+	if p.snapshot == nil {
+		p.snapshot = dnsx.GenerateSnapshot(dnsx.SnapshotSpec{
+			Planted:      p.World.DNSDomains(),
+			NoiseRecords: p.Cfg.DNSNoiseRecords,
+			Seed:         p.Cfg.Seed,
+		})
+	}
+	return p.snapshot
+}
+
+// ScanDNS runs the squatting matcher over the whole snapshot and returns
+// the candidate squatting domains (paper §3.1; Figure 2).
+func (p *Pipeline) ScanDNS() []squat.Candidate {
+	if p.candidates == nil {
+		var out []squat.Candidate
+		p.DNSSnapshot().Range(func(rec dnsx.Record) bool {
+			if c, ok := p.Matcher.Match(rec.Domain); ok {
+				out = append(out, c)
+			}
+			return true
+		})
+		sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+		p.candidates = out
+	}
+	return p.candidates
+}
+
+// CandidateDomains returns just the domain names from ScanDNS.
+func (p *Pipeline) CandidateDomains() []string {
+	cands := p.ScanDNS()
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.Domain
+	}
+	return out
+}
+
+// Crawl crawls all candidate squatting domains (web + mobile) at the given
+// snapshot date, with caching (paper §3.2).
+func (p *Pipeline) Crawl(ctx context.Context, snapshot int) ([]crawler.Result, error) {
+	if cached, ok := p.crawls[snapshot]; ok {
+		return cached, nil
+	}
+	p.Server.SetSnapshot(snapshot)
+	results, err := p.crawlerByProfile.Crawl(ctx, p.CandidateDomains())
+	if err != nil {
+		return nil, err
+	}
+	p.crawls[snapshot] = results
+	return results, nil
+}
+
+// CrawlDomains crawls an arbitrary domain list at a snapshot (used for the
+// feed's ground-truth collection and liveness re-checks).
+func (p *Pipeline) CrawlDomains(ctx context.Context, snapshot int, domains []string) ([]crawler.Result, error) {
+	p.Server.SetSnapshot(snapshot)
+	return p.crawlerByProfile.Crawl(ctx, domains)
+}

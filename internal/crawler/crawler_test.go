@@ -1,0 +1,233 @@
+package crawler
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"squatphi/internal/ocr"
+	"squatphi/internal/webworld"
+)
+
+// testEnv builds a small world and server shared by the tests.
+func testEnv(t testing.TB) (*webworld.World, *webworld.Server, *Crawler) {
+	t.Helper()
+	w := webworld.Build(webworld.Config{SquattingDomains: 2000, NonSquattingPhish: 150, Seed: 41})
+	srv, err := webworld.NewServer(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return w, srv, &Crawler{Client: srv.Client(), Workers: 8}
+}
+
+func TestCaptureOriginalBrandPage(t *testing.T) {
+	_, _, c := testEnv(t)
+	cap := c.CaptureProfile(context.Background(), "paypal.com", false)
+	if !cap.Live || cap.StatusCode != 200 {
+		t.Fatalf("capture = %+v", cap)
+	}
+	if !strings.Contains(cap.HTML, "Paypal") {
+		t.Error("HTML missing brand")
+	}
+	if cap.Assets["/logo.png"] != "Paypal" {
+		t.Errorf("assets = %v", cap.Assets)
+	}
+	if cap.Shot == nil || cap.Shot.InkRatio() == 0 {
+		t.Error("screenshot missing or empty")
+	}
+	if cap.Redirected() {
+		t.Error("original page reported as redirected")
+	}
+}
+
+func TestCaptureFollowsRedirects(t *testing.T) {
+	w, _, c := testEnv(t)
+	var domain, target string
+	for _, d := range w.SquattingDomains {
+		if s := w.Sites[d]; s.Kind == webworld.RedirectOriginal {
+			domain, target = d, s.RedirectTo
+			break
+		}
+	}
+	if domain == "" {
+		t.Skip("no redirect domain in world")
+	}
+	cap := c.CaptureProfile(context.Background(), domain, false)
+	if !cap.Live {
+		t.Fatalf("redirect capture dead: %+v", cap)
+	}
+	if !cap.Redirected() || cap.FinalHost != target {
+		t.Fatalf("chain = %v final = %s, want -> %s", cap.RedirectChain, cap.FinalHost, target)
+	}
+}
+
+func TestCaptureDeadDomain(t *testing.T) {
+	w, _, c := testEnv(t)
+	var dead string
+	for _, d := range w.SquattingDomains {
+		if w.Sites[d].Kind == webworld.Dead {
+			dead = d
+			break
+		}
+	}
+	if dead == "" {
+		t.Skip("no dead domain")
+	}
+	cap := c.CaptureProfile(context.Background(), dead, false)
+	if cap.Live {
+		t.Fatalf("dead domain reported live: %+v", cap)
+	}
+}
+
+func TestCaptureCloakedSiteDiffersByProfile(t *testing.T) {
+	w, _, c := testEnv(t)
+	var site *webworld.Site
+	for _, s := range w.PhishingSites() {
+		if s.Cloak == webworld.CloakMobileOnly && s.Alive[0] && s.ReplacedAt != 0 && s.ReplacedFrom != 0 {
+			site = s
+			break
+		}
+	}
+	if site == nil {
+		t.Skip("no mobile-only site")
+	}
+	web := c.CaptureProfile(context.Background(), site.Domain, false)
+	mob := c.CaptureProfile(context.Background(), site.Domain, true)
+	if !web.Live || !mob.Live {
+		t.Fatalf("cloaked site not live for both (web %v mobile %v)", web.Live, mob.Live)
+	}
+	// Every phishing page carries a data-submission form; the cloak filler
+	// page does not.
+	if strings.Contains(web.HTML, "<form") {
+		t.Error("web profile saw the cloaked phishing form")
+	}
+	if !strings.Contains(mob.HTML, "<form") {
+		t.Error("mobile profile missed the phishing form")
+	}
+}
+
+func TestCrawlBulkStatistics(t *testing.T) {
+	w, _, c := testEnv(t)
+	domains := w.SquattingDomains
+	if len(domains) > 400 {
+		domains = domains[:400]
+	}
+	results, err := c.Crawl(context.Background(), domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(domains) {
+		t.Fatalf("results = %d, want %d", len(results), len(domains))
+	}
+	live, redirected := 0, 0
+	for i, r := range results {
+		if r.Domain != domains[i] {
+			t.Fatal("result order broken")
+		}
+		if r.Web.Live {
+			live++
+			if r.Web.Redirected() {
+				redirected++
+			}
+		}
+	}
+	liveFrac := float64(live) / float64(len(results))
+	if liveFrac < 0.35 || liveFrac > 0.75 {
+		t.Errorf("live fraction = %.2f, want ~0.55 (Table 2)", liveFrac)
+	}
+	if redirected == 0 {
+		t.Error("no redirections observed")
+	}
+}
+
+func TestCrawlContextCancel(t *testing.T) {
+	w, _, c := testEnv(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.Crawl(ctx, w.SquattingDomains[:50])
+	if err == nil {
+		t.Fatal("cancelled crawl returned nil error")
+	}
+}
+
+func TestScreenshotOCRSeesImageText(t *testing.T) {
+	// End-to-end: a string-obfuscated phishing page crawled over HTTP must
+	// yield a screenshot from which OCR recovers the brand that is absent
+	// from the HTML.
+	w, _, c := testEnv(t)
+	var site *webworld.Site
+	for _, s := range w.PhishingSites() {
+		if s.StringObf && s.Cloak != webworld.CloakMobileOnly && s.IsPhishingAt(0) {
+			page, _ := w.PageFor(s, 0, false)
+			if !strings.Contains(strings.ToLower(page.HTML), s.Brand.Name) {
+				site = s
+				break
+			}
+		}
+	}
+	if site == nil {
+		t.Skip("no fully string-obfuscated page in world")
+	}
+	cap := c.CaptureProfile(context.Background(), site.Domain, false)
+	if !cap.Live {
+		t.Fatal("site not live")
+	}
+	if strings.Contains(strings.ToLower(cap.HTML), site.Brand.Name) {
+		t.Fatal("HTML contains brand; test premise broken")
+	}
+	var e ocr.Engine
+	text := strings.ToLower(e.Recognize(cap.Shot))
+	if !strings.Contains(text, site.Brand.Name) {
+		t.Errorf("OCR text %q missing brand %q", text, site.Brand.Name)
+	}
+}
+
+func TestSkipRender(t *testing.T) {
+	_, _, c := testEnv(t)
+	c.SkipRender = true
+	cap := c.CaptureProfile(context.Background(), "paypal.com", false)
+	if cap.Shot != nil {
+		t.Fatal("SkipRender still rendered")
+	}
+}
+
+func TestHostOfAndAbsoluteURL(t *testing.T) {
+	if hostOf("http://a.com:8080/x/y") != "a.com" {
+		t.Error("hostOf with port/path")
+	}
+	if absoluteURL("http://a.com/x", "/y") != "http://a.com/y" {
+		t.Error("absolute path resolution")
+	}
+	if absoluteURL("http://a.com/x", "http://b.com/") != "http://b.com/" {
+		t.Error("full URL resolution")
+	}
+	if absoluteURL("http://a.com/x", "y") != "http://a.com/y" {
+		t.Error("relative resolution")
+	}
+}
+
+func TestDayOfSnapshot(t *testing.T) {
+	if DayOfSnapshot(0) != 0 || DayOfSnapshot(3) != 28 || DayOfSnapshot(9) != 0 {
+		t.Fatal("DayOfSnapshot mapping wrong")
+	}
+}
+
+func BenchmarkCaptureProfile(b *testing.B) {
+	_, _, c := testEnv(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.CaptureProfile(ctx, "paypal.com", false)
+	}
+}
+
+func BenchmarkCrawl100(b *testing.B) {
+	w, _, c := testEnv(b)
+	domains := w.SquattingDomains[:100]
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = c.Crawl(ctx, domains)
+	}
+}

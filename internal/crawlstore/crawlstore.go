@@ -1,0 +1,170 @@
+// Package crawlstore persists crawl captures between pipeline stages and
+// across runs. The paper's crawler stores 1.3M pages (HTML + screenshots)
+// over four snapshots and re-analyses them offline; this package provides
+// the equivalent archive: a gzip-compressed JSON-lines stream with one
+// record per (domain, profile) capture, screenshots included as compact
+// run-length-encoded bitmaps.
+package crawlstore
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"squatphi/internal/crawler"
+	"squatphi/internal/render"
+)
+
+// Entry is the serialised form of one capture.
+type Entry struct {
+	Domain        string            `json:"domain"`
+	Snapshot      int               `json:"snapshot"`
+	Mobile        bool              `json:"mobile"`
+	Live          bool              `json:"live"`
+	StatusCode    int               `json:"status,omitempty"`
+	RedirectChain []string          `json:"redirects,omitempty"`
+	FinalHost     string            `json:"final_host,omitempty"`
+	HTML          string            `json:"html,omitempty"`
+	Assets        map[string]string `json:"assets,omitempty"`
+	ShotW         int               `json:"shot_w,omitempty"`
+	ShotH         int               `json:"shot_h,omitempty"`
+	ShotRLE       []int             `json:"shot_rle,omitempty"`
+}
+
+// Writer streams entries to a gzip JSONL archive.
+type Writer struct {
+	gz  *gzip.Writer
+	buf *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewWriter wraps w. Callers must Close to flush.
+func NewWriter(w io.Writer) *Writer {
+	gz := gzip.NewWriter(w)
+	buf := bufio.NewWriter(gz)
+	return &Writer{gz: gz, buf: buf, enc: json.NewEncoder(buf)}
+}
+
+// WriteCapture appends one capture.
+func (w *Writer) WriteCapture(snapshot int, mobile bool, cap crawler.Capture) error {
+	e := Entry{
+		Domain:        cap.Domain,
+		Snapshot:      snapshot,
+		Mobile:        mobile,
+		Live:          cap.Live,
+		StatusCode:    cap.StatusCode,
+		RedirectChain: cap.RedirectChain,
+		FinalHost:     cap.FinalHost,
+		HTML:          cap.HTML,
+		Assets:        cap.Assets,
+	}
+	if cap.Shot != nil {
+		e.ShotW, e.ShotH = cap.Shot.W, cap.Shot.H
+		e.ShotRLE = encodeRLE(cap.Shot)
+	}
+	return w.enc.Encode(&e)
+}
+
+// WriteResult appends both profiles of one crawl result.
+func (w *Writer) WriteResult(snapshot int, res crawler.Result) error {
+	if err := w.WriteCapture(snapshot, false, res.Web); err != nil {
+		return err
+	}
+	return w.WriteCapture(snapshot, true, res.Mobile)
+}
+
+// Close flushes and finalises the gzip stream.
+func (w *Writer) Close() error {
+	if err := w.buf.Flush(); err != nil {
+		return err
+	}
+	return w.gz.Close()
+}
+
+// Reader streams entries back.
+type Reader struct {
+	gz *gzip.Reader
+	sc *bufio.Scanner
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) (*Reader, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("crawlstore: %w", err)
+	}
+	sc := bufio.NewScanner(gz)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	return &Reader{gz: gz, sc: sc}, nil
+}
+
+// Next returns the next entry, or io.EOF.
+func (r *Reader) Next() (*Entry, error) {
+	if !r.sc.Scan() {
+		if err := r.sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	var e Entry
+	if err := json.Unmarshal(r.sc.Bytes(), &e); err != nil {
+		return nil, fmt.Errorf("crawlstore: %w", err)
+	}
+	return &e, nil
+}
+
+// Close closes the gzip reader.
+func (r *Reader) Close() error { return r.gz.Close() }
+
+// Capture reconstructs the crawler capture from an entry.
+func (e *Entry) Capture() crawler.Capture {
+	cap := crawler.Capture{
+		Domain:        e.Domain,
+		Live:          e.Live,
+		StatusCode:    e.StatusCode,
+		RedirectChain: e.RedirectChain,
+		FinalHost:     e.FinalHost,
+		HTML:          e.HTML,
+		Assets:        e.Assets,
+	}
+	if e.ShotW > 0 && e.ShotH > 0 {
+		cap.Shot = decodeRLE(e.ShotW, e.ShotH, e.ShotRLE)
+	}
+	return cap
+}
+
+// encodeRLE run-length-encodes a raster as alternating (value, count)
+// pairs. Page screenshots are dominated by long white runs, so this is
+// compact even before gzip.
+func encodeRLE(ra *render.Raster) []int {
+	if len(ra.Pix) == 0 {
+		return nil
+	}
+	var out []int
+	cur := int(ra.Pix[0])
+	count := 0
+	for _, v := range ra.Pix {
+		if int(v) == cur {
+			count++
+			continue
+		}
+		out = append(out, cur, count)
+		cur, count = int(v), 1
+	}
+	return append(out, cur, count)
+}
+
+func decodeRLE(w, h int, rle []int) *render.Raster {
+	ra := render.NewRaster(w, h)
+	i := 0
+	for p := 0; p+1 < len(rle); p += 2 {
+		v, n := uint8(rle[p]), rle[p+1]
+		for k := 0; k < n && i < len(ra.Pix); k++ {
+			ra.Pix[i] = v
+			i++
+		}
+	}
+	return ra
+}

@@ -1,0 +1,157 @@
+package crawlstore
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"squatphi/internal/crawler"
+	"squatphi/internal/render"
+	"squatphi/internal/simrand"
+)
+
+func sampleCapture(domain string, live bool) crawler.Capture {
+	cap := crawler.Capture{
+		Domain:        domain,
+		Live:          live,
+		StatusCode:    200,
+		RedirectChain: []string{domain, "final.example"},
+		FinalHost:     "final.example",
+		HTML:          "<html><body><h1>Hello</h1></body></html>",
+		Assets:        map[string]string{"/logo.png": "Brand"},
+	}
+	if live {
+		cap.Shot = render.Screenshot(cap.HTML, render.Options{})
+	}
+	return cap
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	caps := []crawler.Capture{
+		sampleCapture("a.com", true),
+		sampleCapture("b.com", false),
+	}
+	for i, c := range caps {
+		if err := w.WriteCapture(i, i%2 == 1, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i, want := range caps {
+		e, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Snapshot != i || e.Mobile != (i%2 == 1) {
+			t.Fatalf("entry meta = %+v", e)
+		}
+		got := e.Capture()
+		if got.Domain != want.Domain || got.Live != want.Live || got.HTML != want.HTML ||
+			got.FinalHost != want.FinalHost || got.Assets["/logo.png"] != want.Assets["/logo.png"] {
+			t.Fatalf("capture mismatch: %+v vs %+v", got, want)
+		}
+		if want.Shot != nil {
+			if got.Shot == nil || got.Shot.W != want.Shot.W || got.Shot.H != want.Shot.H {
+				t.Fatal("shot dimensions lost")
+			}
+			for p := range want.Shot.Pix {
+				if got.Shot.Pix[p] != want.Shot.Pix[p] {
+					t.Fatal("shot pixels corrupted")
+				}
+			}
+		} else if got.Shot != nil {
+			t.Fatal("phantom shot appeared")
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestWriteResult(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	res := crawler.Result{Domain: "x.com", Web: sampleCapture("x.com", true), Mobile: sampleCapture("x.com", true)}
+	if err := w.WriteResult(2, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	e1, err := r.Next()
+	if err != nil || e1.Mobile {
+		t.Fatalf("first entry = %+v, %v", e1, err)
+	}
+	e2, err := r.Next()
+	if err != nil || !e2.Mobile {
+		t.Fatalf("second entry = %+v, %v", e2, err)
+	}
+}
+
+func TestRLERoundTripProperty(t *testing.T) {
+	r := simrand.New(15)
+	for trial := 0; trial < 50; trial++ {
+		w, h := 1+r.Intn(40), 1+r.Intn(40)
+		ra := render.NewRaster(w, h)
+		for i := range ra.Pix {
+			if r.Bool(0.3) {
+				ra.Pix[i] = uint8(r.Intn(256))
+			}
+		}
+		got := decodeRLE(w, h, encodeRLE(ra))
+		for i := range ra.Pix {
+			if got.Pix[i] != ra.Pix[i] {
+				t.Fatalf("trial %d: RLE corrupted pixel %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not gzip"))); err == nil {
+		t.Fatal("NewReader accepted plain text")
+	}
+}
+
+func TestCompressionIsEffective(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	cap := sampleCapture("compress.example", true)
+	raw := len(cap.HTML) + len(cap.Shot.Pix)
+	for i := 0; i < 10; i++ {
+		if err := w.WriteCapture(0, false, cap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > raw {
+		t.Fatalf("10 captures stored in %d bytes, raw single capture is %d — compression ineffective", buf.Len(), raw)
+	}
+}
+
+func BenchmarkWriteCapture(b *testing.B) {
+	cap := sampleCapture("bench.example", true)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.WriteCapture(0, false, cap)
+	}
+}

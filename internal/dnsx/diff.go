@@ -1,0 +1,46 @@
+package dnsx
+
+import "sort"
+
+// Delta is the difference between two DNS snapshots: the material a
+// continuous squatting monitor consumes (paper §7: "keep monitoring the
+// newly registered domain names to the DNS").
+type Delta struct {
+	// Added lists domains present only in the new snapshot.
+	Added []string
+	// Removed lists domains present only in the old snapshot.
+	Removed []string
+	// Changed lists domains whose address changed (re-pointed sites often
+	// signal ownership changes or kit deployment).
+	Changed []string
+}
+
+// Diff computes the delta from old to new. All slices are sorted.
+func Diff(oldSnap, newSnap *Store) Delta {
+	var d Delta
+	newSnap.Range(func(rec Record) bool {
+		oldIP, ok := oldSnap.Lookup(rec.Domain)
+		switch {
+		case !ok:
+			d.Added = append(d.Added, rec.Domain)
+		case oldIP != rec.IP:
+			d.Changed = append(d.Changed, rec.Domain)
+		}
+		return true
+	})
+	oldSnap.Range(func(rec Record) bool {
+		if _, ok := newSnap.Lookup(rec.Domain); !ok {
+			d.Removed = append(d.Removed, rec.Domain)
+		}
+		return true
+	})
+	sort.Strings(d.Added)
+	sort.Strings(d.Removed)
+	sort.Strings(d.Changed)
+	return d
+}
+
+// Empty reports whether the delta carries no changes.
+func (d Delta) Empty() bool {
+	return len(d.Added) == 0 && len(d.Removed) == 0 && len(d.Changed) == 0
+}

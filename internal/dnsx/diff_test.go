@@ -1,0 +1,53 @@
+package dnsx
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDiff(t *testing.T) {
+	oldSnap := NewStore()
+	oldSnap.Add("stays.com", [4]byte{1, 1, 1, 1})
+	oldSnap.Add("repointed.com", [4]byte{2, 2, 2, 2})
+	oldSnap.Add("dropped.com", [4]byte{3, 3, 3, 3})
+
+	newSnap := NewStore()
+	newSnap.Add("stays.com", [4]byte{1, 1, 1, 1})
+	newSnap.Add("repointed.com", [4]byte{9, 9, 9, 9})
+	newSnap.Add("brandnew.com", [4]byte{4, 4, 4, 4})
+
+	d := Diff(oldSnap, newSnap)
+	if !reflect.DeepEqual(d.Added, []string{"brandnew.com"}) {
+		t.Errorf("Added = %v", d.Added)
+	}
+	if !reflect.DeepEqual(d.Removed, []string{"dropped.com"}) {
+		t.Errorf("Removed = %v", d.Removed)
+	}
+	if !reflect.DeepEqual(d.Changed, []string{"repointed.com"}) {
+		t.Errorf("Changed = %v", d.Changed)
+	}
+	if d.Empty() {
+		t.Error("non-empty delta reported empty")
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	s := GenerateSnapshot(SnapshotSpec{NoiseRecords: 500, Seed: 1})
+	if d := Diff(s, s); !d.Empty() {
+		t.Fatalf("self-diff not empty: %+v", d)
+	}
+}
+
+func TestDiffSorted(t *testing.T) {
+	oldSnap := NewStore()
+	newSnap := NewStore()
+	for _, d := range []string{"zz.com", "aa.com", "mm.com"} {
+		newSnap.Add(d, [4]byte{1, 2, 3, 4})
+	}
+	d := Diff(oldSnap, newSnap)
+	for i := 1; i < len(d.Added); i++ {
+		if d.Added[i] < d.Added[i-1] {
+			t.Fatal("Added not sorted")
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package dnsx
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnpack feeds arbitrary bytes to the wire-format decoder: it must
+// never panic, and any message that unpacks successfully must re-pack.
+func FuzzUnpack(f *testing.F) {
+	queries := []string{"example.com", "a.b.c.d.e", "xn--fcebook-8va.com"}
+	for _, q := range queries {
+		wire, _ := NewQuery(1, q, TypeA).Pack()
+		f.Add(wire)
+	}
+	resp := &Message{
+		Header:    Header{ID: 9, QR: true, AA: true},
+		Questions: []Question{{Name: "x.com", Type: TypeA, Class: ClassIN}},
+		Answers:   []RR{A("x.com", 60, [4]byte{1, 2, 3, 4})},
+	}
+	wire, _ := resp.Pack()
+	f.Add(wire)
+	f.Add([]byte{})
+	f.Add([]byte{0xc0, 0x0c})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		// Successfully unpacked messages must round-trip through Pack;
+		// counts in the header may be normalised but sections must agree.
+		out, err := m.Pack()
+		if err != nil {
+			// Names rebuilt from compressed form can exceed limits only if
+			// the decoder let an over-long name through — that is a bug.
+			for _, q := range m.Questions {
+				if len(q.Name) <= 255 {
+					continue
+				}
+				return
+			}
+			t.Fatalf("repack failed for valid message: %v", err)
+		}
+		m2, err := Unpack(out)
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if len(m2.Questions) != len(m.Questions) || len(m2.Answers) != len(m.Answers) {
+			t.Fatal("sections changed across round trip")
+		}
+	})
+}
+
+// FuzzParseZone feeds arbitrary text to the master-file parser.
+func FuzzParseZone(f *testing.F) {
+	f.Add("$ORIGIN x.\na IN A 1.2.3.4\n")
+	f.Add("; comment only\n")
+	f.Add("$TTL 60\n@ IN TXT \"text ; quoted\"\n")
+	f.Add("\tIN A 1.2.3.4\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		recs, err := ParseZone(bytes.NewReader([]byte(src)), "fuzz.test")
+		if err != nil {
+			return
+		}
+		for _, rec := range recs {
+			if rec.Name == "" {
+				t.Fatal("record with empty name accepted")
+			}
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package dnsx
+
+import (
+	"squatphi/internal/simrand"
+)
+
+// SnapshotSpec configures synthetic snapshot generation. The generator
+// plays the role of the global DNS population that ActiveDNS sampled:
+// planted domains (brand sites, squatting registrations from the web-world
+// model) are mixed into a sea of unrelated background registrations.
+type SnapshotSpec struct {
+	// Planted domains are inserted verbatim (deduplicated against noise).
+	Planted []string
+	// NoiseRecords is the number of unrelated background domains.
+	NoiseRecords int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// noiseTLDs weights the TLD mix of background registrations.
+var noiseTLDs = []string{
+	"com", "com", "com", "com", "net", "net", "org", "org",
+	"info", "de", "cn", "uk", "ru", "nl", "io", "co", "biz", "xyz",
+}
+
+// noiseWords seeds plausible multi-part background domains so the noise is
+// not pure gibberish (real zone files contain dictionary compounds that can
+// collide with combo rules; the matcher must not fire on them).
+var noiseWords = []string{
+	"cloud", "shop", "blue", "media", "tech", "data", "home", "world",
+	"solutions", "digital", "group", "labs", "consulting", "travel",
+	"garden", "photo", "design", "market", "fresh", "smart", "global",
+	"river", "stone", "craft", "studio", "prime", "rapid", "nova",
+}
+
+// GenerateSnapshot builds a Store per spec. Generation is deterministic for
+// a given spec. IPs are drawn uniformly from non-reserved space.
+func GenerateSnapshot(spec SnapshotSpec) *Store {
+	r := simrand.New(spec.Seed).Split("dns-snapshot")
+	s := NewStore()
+	for _, d := range spec.Planted {
+		s.Add(d, RandomIP(r))
+	}
+	for i := 0; i < spec.NoiseRecords; i++ {
+		s.Add(noiseDomain(r), RandomIP(r))
+	}
+	return s
+}
+
+// noiseDomain mints one background domain name.
+func noiseDomain(r *simrand.RNG) string {
+	tld := simrand.Pick(r, noiseTLDs)
+	switch r.Intn(4) {
+	case 0: // random letters
+		return r.Letters(4+r.Intn(10)) + "." + tld
+	case 1: // word + letters
+		return simrand.Pick(r, noiseWords) + r.Letters(2+r.Intn(5)) + "." + tld
+	case 2: // word-word compound with hyphen
+		return simrand.Pick(r, noiseWords) + "-" + simrand.Pick(r, noiseWords) + "." + tld
+	default: // two words concatenated
+		return simrand.Pick(r, noiseWords) + simrand.Pick(r, noiseWords) + "." + tld
+	}
+}
+
+// RandomIP draws a plausible public IPv4 address (avoids 0/8, 10/8,
+// 127/8, 169.254/16, 172.16/12, 192.168/16, 224/4 and above).
+func RandomIP(r *simrand.RNG) [4]byte {
+	for {
+		ip := [4]byte{byte(1 + r.Intn(222)), byte(r.Intn(256)), byte(r.Intn(256)), byte(1 + r.Intn(254))}
+		switch {
+		case ip[0] == 10 || ip[0] == 127:
+			continue
+		case ip[0] == 172 && ip[1] >= 16 && ip[1] < 32:
+			continue
+		case ip[0] == 192 && ip[1] == 168:
+			continue
+		case ip[0] == 169 && ip[1] == 254:
+			continue
+		}
+		return ip
+	}
+}

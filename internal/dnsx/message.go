@@ -1,0 +1,359 @@
+// Package dnsx implements the DNS substrate of the reproduction: an
+// RFC 1035 wire-format codec, an in-memory record store with a snapshot
+// serialisation format, a UDP authoritative server, and an active prober.
+//
+// The paper consumes a 224M-record snapshot from the ActiveDNS project,
+// which runs active DNS probing from multiple seeds (Kountouras et al.,
+// RAID 2016). This package reproduces that substrate end to end: the
+// snapshot generator plants squatting domains among background noise, the
+// server answers authoritatively for the synthetic zone, and the prober
+// performs the active measurement that produces (domain, IP) records for
+// the squatting scanner.
+package dnsx
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Record and query type codes (RFC 1035 §3.2.2).
+const (
+	TypeA     uint16 = 1
+	TypeNS    uint16 = 2
+	TypeCNAME uint16 = 5
+	TypeTXT   uint16 = 16
+	TypeAAAA  uint16 = 28
+)
+
+// ClassIN is the Internet class.
+const ClassIN uint16 = 1
+
+// Response codes (RFC 1035 §4.1.1).
+const (
+	RCodeSuccess  = 0
+	RCodeFormErr  = 1
+	RCodeServFail = 2
+	RCodeNXDomain = 3
+	RCodeNotImpl  = 4
+	RCodeRefused  = 5
+)
+
+// Errors returned by the codec.
+var (
+	ErrTruncated   = errors.New("dnsx: message truncated")
+	ErrBadPointer  = errors.New("dnsx: bad compression pointer")
+	ErrNameTooLong = errors.New("dnsx: name exceeds 255 octets")
+	ErrLabelLength = errors.New("dnsx: label exceeds 63 octets")
+)
+
+// Header is the fixed 12-octet DNS message header.
+type Header struct {
+	ID      uint16
+	QR      bool  // response flag
+	Opcode  uint8 // 0 = standard query
+	AA      bool  // authoritative answer
+	TC      bool  // truncated
+	RD      bool  // recursion desired
+	RA      bool  // recursion available
+	RCode   uint8
+	QDCount uint16
+	ANCount uint16
+	NSCount uint16
+	ARCount uint16
+}
+
+// Question is a single query.
+type Question struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// RR is a resource record. RData holds the uncompressed record payload:
+// 4 bytes for A, 16 for AAAA, a packed name for NS/CNAME, a length-prefixed
+// string for TXT.
+type RR struct {
+	Name  string
+	Type  uint16
+	Class uint16
+	TTL   uint32
+	RData []byte
+}
+
+// A constructs an address record for a dotted-quad IPv4 address.
+func A(name string, ttl uint32, ip [4]byte) RR {
+	return RR{Name: name, Type: TypeA, Class: ClassIN, TTL: ttl, RData: ip[:]}
+}
+
+// IPv4 returns the record's address for TypeA records.
+func (r RR) IPv4() ([4]byte, bool) {
+	var ip [4]byte
+	if r.Type != TypeA || len(r.RData) != 4 {
+		return ip, false
+	}
+	copy(ip[:], r.RData)
+	return ip, true
+}
+
+// Message is a full DNS message.
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// packName appends the wire encoding of a domain name to buf, using the
+// compression map (name suffix -> offset) when a suffix was already packed.
+func packName(buf []byte, name string, compress map[string]int) ([]byte, error) {
+	name = strings.TrimSuffix(strings.ToLower(name), ".")
+	if name == "" {
+		return append(buf, 0), nil
+	}
+	if len(name) > 253 {
+		return nil, ErrNameTooLong
+	}
+	labels := strings.Split(name, ".")
+	for i := range labels {
+		suffix := strings.Join(labels[i:], ".")
+		if off, ok := compress[suffix]; ok && off < 0x3fff {
+			return append(buf, byte(0xc0|off>>8), byte(off)), nil
+		}
+		if len(labels[i]) > 63 {
+			return nil, ErrLabelLength
+		}
+		if len(labels[i]) == 0 {
+			return nil, fmt.Errorf("dnsx: empty label in %q", name)
+		}
+		if compress != nil && len(buf) < 0x3fff {
+			compress[suffix] = len(buf)
+		}
+		buf = append(buf, byte(len(labels[i])))
+		buf = append(buf, labels[i]...)
+	}
+	return append(buf, 0), nil
+}
+
+// unpackName decodes a possibly-compressed name starting at off, returning
+// the name and the offset just past its in-place encoding.
+func unpackName(msg []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	jumped := false
+	next := -1
+	hops := 0
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrTruncated
+		}
+		b := msg[off]
+		switch {
+		case b == 0:
+			if !jumped {
+				next = off + 1
+			}
+			name := sb.String()
+			if name == "" {
+				name = "."
+			}
+			return name, next, nil
+		case b&0xc0 == 0xc0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrTruncated
+			}
+			ptr := int(b&0x3f)<<8 | int(msg[off+1])
+			if !jumped {
+				next = off + 2
+			}
+			if ptr >= off && !jumped || ptr >= len(msg) {
+				return "", 0, ErrBadPointer
+			}
+			if hops++; hops > 64 {
+				return "", 0, ErrBadPointer
+			}
+			off = ptr
+			jumped = true
+		case b&0xc0 != 0:
+			return "", 0, fmt.Errorf("dnsx: reserved label type %#x", b&0xc0)
+		default:
+			if off+1+int(b) > len(msg) {
+				return "", 0, ErrTruncated
+			}
+			label := msg[off+1 : off+1+int(b)]
+			// A literal '.' inside a label would be ambiguous in the
+			// dotted string representation this package uses for names;
+			// hostnames never contain one, so reject rather than alias.
+			if bytes.IndexByte(label, '.') >= 0 {
+				return "", 0, fmt.Errorf("dnsx: label contains '.': %w", ErrBadPointer)
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			sb.Write(label)
+			off += 1 + int(b)
+			if sb.Len() > 255 {
+				return "", 0, ErrNameTooLong
+			}
+		}
+	}
+}
+
+func put16(buf []byte, v uint16) []byte { return append(buf, byte(v>>8), byte(v)) }
+func put32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func get16(msg []byte, off int) (uint16, int, error) {
+	if off+2 > len(msg) {
+		return 0, 0, ErrTruncated
+	}
+	return uint16(msg[off])<<8 | uint16(msg[off+1]), off + 2, nil
+}
+
+func get32(msg []byte, off int) (uint32, int, error) {
+	if off+4 > len(msg) {
+		return 0, 0, ErrTruncated
+	}
+	return uint32(msg[off])<<24 | uint32(msg[off+1])<<16 | uint32(msg[off+2])<<8 | uint32(msg[off+3]), off + 4, nil
+}
+
+// Pack serialises the message with name compression.
+func (m *Message) Pack() ([]byte, error) {
+	h := m.Header
+	h.QDCount = uint16(len(m.Questions))
+	h.ANCount = uint16(len(m.Answers))
+	h.NSCount = uint16(len(m.Authority))
+	h.ARCount = uint16(len(m.Additional))
+
+	buf := make([]byte, 0, 512)
+	buf = put16(buf, h.ID)
+	var flags uint16
+	if h.QR {
+		flags |= 1 << 15
+	}
+	flags |= uint16(h.Opcode&0xf) << 11
+	if h.AA {
+		flags |= 1 << 10
+	}
+	if h.TC {
+		flags |= 1 << 9
+	}
+	if h.RD {
+		flags |= 1 << 8
+	}
+	if h.RA {
+		flags |= 1 << 7
+	}
+	flags |= uint16(h.RCode & 0xf)
+	buf = put16(buf, flags)
+	buf = put16(buf, h.QDCount)
+	buf = put16(buf, h.ANCount)
+	buf = put16(buf, h.NSCount)
+	buf = put16(buf, h.ARCount)
+
+	compress := map[string]int{}
+	var err error
+	for _, q := range m.Questions {
+		if buf, err = packName(buf, q.Name, compress); err != nil {
+			return nil, err
+		}
+		buf = put16(buf, q.Type)
+		buf = put16(buf, q.Class)
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for _, rr := range sec {
+			if buf, err = packName(buf, rr.Name, compress); err != nil {
+				return nil, err
+			}
+			buf = put16(buf, rr.Type)
+			buf = put16(buf, rr.Class)
+			buf = put32(buf, rr.TTL)
+			buf = put16(buf, uint16(len(rr.RData)))
+			buf = append(buf, rr.RData...)
+		}
+	}
+	return buf, nil
+}
+
+// Unpack parses a wire-format message.
+func Unpack(msg []byte) (*Message, error) {
+	if len(msg) < 12 {
+		return nil, ErrTruncated
+	}
+	var m Message
+	m.Header.ID = uint16(msg[0])<<8 | uint16(msg[1])
+	flags := uint16(msg[2])<<8 | uint16(msg[3])
+	m.Header.QR = flags&(1<<15) != 0
+	m.Header.Opcode = uint8(flags >> 11 & 0xf)
+	m.Header.AA = flags&(1<<10) != 0
+	m.Header.TC = flags&(1<<9) != 0
+	m.Header.RD = flags&(1<<8) != 0
+	m.Header.RA = flags&(1<<7) != 0
+	m.Header.RCode = uint8(flags & 0xf)
+	m.Header.QDCount = uint16(msg[4])<<8 | uint16(msg[5])
+	m.Header.ANCount = uint16(msg[6])<<8 | uint16(msg[7])
+	m.Header.NSCount = uint16(msg[8])<<8 | uint16(msg[9])
+	m.Header.ARCount = uint16(msg[10])<<8 | uint16(msg[11])
+
+	off := 12
+	var err error
+	for i := 0; i < int(m.Header.QDCount); i++ {
+		var q Question
+		if q.Name, off, err = unpackName(msg, off); err != nil {
+			return nil, err
+		}
+		if q.Type, off, err = get16(msg, off); err != nil {
+			return nil, err
+		}
+		if q.Class, off, err = get16(msg, off); err != nil {
+			return nil, err
+		}
+		m.Questions = append(m.Questions, q)
+	}
+	sections := []struct {
+		count uint16
+		dst   *[]RR
+	}{
+		{m.Header.ANCount, &m.Answers},
+		{m.Header.NSCount, &m.Authority},
+		{m.Header.ARCount, &m.Additional},
+	}
+	for _, sec := range sections {
+		for i := 0; i < int(sec.count); i++ {
+			var rr RR
+			if rr.Name, off, err = unpackName(msg, off); err != nil {
+				return nil, err
+			}
+			if rr.Type, off, err = get16(msg, off); err != nil {
+				return nil, err
+			}
+			if rr.Class, off, err = get16(msg, off); err != nil {
+				return nil, err
+			}
+			if rr.TTL, off, err = get32(msg, off); err != nil {
+				return nil, err
+			}
+			var rdlen uint16
+			if rdlen, off, err = get16(msg, off); err != nil {
+				return nil, err
+			}
+			if off+int(rdlen) > len(msg) {
+				return nil, ErrTruncated
+			}
+			rr.RData = append([]byte(nil), msg[off:off+int(rdlen)]...)
+			off += int(rdlen)
+			*sec.dst = append(*sec.dst, rr)
+		}
+	}
+	return &m, nil
+}
+
+// NewQuery builds a standard recursion-desired A query for name.
+func NewQuery(id uint16, name string, qtype uint16) *Message {
+	return &Message{
+		Header:    Header{ID: id, RD: true},
+		Questions: []Question{{Name: name, Type: qtype, Class: ClassIN}},
+	}
+}

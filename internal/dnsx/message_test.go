@@ -1,0 +1,200 @@
+package dnsx
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"squatphi/internal/simrand"
+)
+
+func TestPackUnpackQuery(t *testing.T) {
+	q := NewQuery(0x1234, "www.example.com", TypeA)
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.ID != 0x1234 || !got.Header.RD || got.Header.QR {
+		t.Fatalf("header mismatch: %+v", got.Header)
+	}
+	if len(got.Questions) != 1 || got.Questions[0].Name != "www.example.com" ||
+		got.Questions[0].Type != TypeA || got.Questions[0].Class != ClassIN {
+		t.Fatalf("question mismatch: %+v", got.Questions)
+	}
+}
+
+func TestPackUnpackResponse(t *testing.T) {
+	m := &Message{
+		Header:    Header{ID: 7, QR: true, AA: true, RCode: RCodeSuccess},
+		Questions: []Question{{Name: "facebook-login.com", Type: TypeA, Class: ClassIN}},
+		Answers: []RR{
+			A("facebook-login.com", 300, [4]byte{93, 184, 216, 34}),
+			A("facebook-login.com", 300, [4]byte{93, 184, 216, 35}),
+		},
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Header.QR || !got.Header.AA || got.Header.ANCount != 2 {
+		t.Fatalf("header mismatch: %+v", got.Header)
+	}
+	ip, ok := got.Answers[1].IPv4()
+	if !ok || ip != [4]byte{93, 184, 216, 35} {
+		t.Fatalf("answer mismatch: %+v", got.Answers)
+	}
+}
+
+func TestNameCompressionSavesSpace(t *testing.T) {
+	// A response repeating the same owner name must compress: the second
+	// occurrence should be a 2-byte pointer, not a re-encoded name.
+	long := "averyveryverylongsubdomainlabel.example.com"
+	m := &Message{
+		Header:    Header{ID: 1, QR: true},
+		Questions: []Question{{Name: long, Type: TypeA, Class: ClassIN}},
+		Answers:   []RR{A(long, 60, [4]byte{1, 2, 3, 4})},
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncompressedSize := 12 + (len(long)+2+4)*2 + 10 + 4
+	if len(wire) >= uncompressedSize {
+		t.Fatalf("wire size %d, expected compression below %d", len(wire), uncompressedSize)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Answers[0].Name != long {
+		t.Fatalf("decompressed name = %q", got.Answers[0].Name)
+	}
+}
+
+func TestPackRejectsOversizeLabels(t *testing.T) {
+	q := NewQuery(1, strings.Repeat("a", 64)+".com", TypeA)
+	if _, err := q.Pack(); err == nil {
+		t.Fatal("Pack accepted a 64-octet label")
+	}
+	q = NewQuery(1, strings.Repeat("a.", 130)+"com", TypeA)
+	if _, err := q.Pack(); err == nil {
+		t.Fatal("Pack accepted a >255-octet name")
+	}
+}
+
+func TestUnpackTruncated(t *testing.T) {
+	q := NewQuery(9, "example.org", TypeA)
+	wire, _ := q.Pack()
+	for cut := 1; cut < len(wire); cut++ {
+		if _, err := Unpack(wire[:cut]); err == nil {
+			t.Fatalf("Unpack accepted truncation at %d", cut)
+		}
+	}
+}
+
+func TestUnpackPointerLoop(t *testing.T) {
+	// Header + a name that is a pointer to itself.
+	msg := make([]byte, 12, 16)
+	msg[5] = 1 // QDCount = 1
+	msg = append(msg, 0xc0, 12, 0, 1, 0, 1)
+	if _, err := Unpack(msg); err == nil {
+		t.Fatal("Unpack accepted a self-referential compression pointer")
+	}
+}
+
+func TestUnpackGarbage(t *testing.T) {
+	r := simrand.New(99)
+	for i := 0; i < 2000; i++ {
+		n := r.Intn(64)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = byte(r.Uint64())
+		}
+		// Must never panic; errors are fine.
+		_, _ = Unpack(buf)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	r := simrand.New(5)
+	if err := quick.Check(func(seed uint64) bool {
+		rr := r.SplitN(seed)
+		name := rr.Letters(3+rr.Intn(8)) + "." + rr.Letters(2+rr.Intn(4))
+		m := &Message{
+			Header:    Header{ID: uint16(rr.Uint64()), QR: rr.Bool(0.5), RD: rr.Bool(0.5), RCode: uint8(rr.Intn(6))},
+			Questions: []Question{{Name: name, Type: TypeA, Class: ClassIN}},
+		}
+		if rr.Bool(0.7) {
+			m.Answers = append(m.Answers, A(name, uint32(rr.Intn(86400)), RandomIP(rr)))
+		}
+		wire, err := m.Pack()
+		if err != nil {
+			return false
+		}
+		got, err := Unpack(wire)
+		if err != nil {
+			return false
+		}
+		if got.Header.ID != m.Header.ID || got.Header.QR != m.Header.QR ||
+			got.Header.RCode != m.Header.RCode || len(got.Answers) != len(m.Answers) {
+			return false
+		}
+		if got.Questions[0].Name != name {
+			return false
+		}
+		for i := range m.Answers {
+			if !bytes.Equal(got.Answers[i].RData, m.Answers[i].RData) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootName(t *testing.T) {
+	m := &Message{Header: Header{ID: 2}, Questions: []Question{{Name: ".", Type: TypeNS, Class: ClassIN}}}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Questions[0].Name != "." {
+		t.Fatalf("root name round-trip = %q", got.Questions[0].Name)
+	}
+}
+
+func BenchmarkPack(b *testing.B) {
+	m := NewQuery(1, "www.facebook-login.com", TypeA)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = m.Pack()
+	}
+}
+
+func BenchmarkUnpack(b *testing.B) {
+	m := &Message{
+		Header:    Header{ID: 1, QR: true},
+		Questions: []Question{{Name: "www.facebook-login.com", Type: TypeA, Class: ClassIN}},
+		Answers:   []RR{A("www.facebook-login.com", 300, [4]byte{1, 2, 3, 4})},
+	}
+	wire, _ := m.Pack()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Unpack(wire)
+	}
+}

@@ -1,0 +1,229 @@
+package dnsx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Server is an authoritative DNS server over UDP answering A queries from a
+// Store. It plays the role of the zone infrastructure that the ActiveDNS
+// prober measures.
+type Server struct {
+	store *Store
+	conn  net.PacketConn
+
+	mu     sync.Mutex
+	closed bool
+
+	// Queries counts answered queries (for tests and throughput benches).
+	queries int64
+}
+
+// NewServer starts an authoritative server on a free localhost UDP port.
+// Callers must Close it.
+func NewServer(store *Store) (*Server, error) {
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("dnsx: listen: %w", err)
+	}
+	s := &Server{store: store, conn: conn}
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the server's UDP address.
+func (s *Server) Addr() string { return s.conn.LocalAddr().String() }
+
+// Queries returns the number of queries answered so far.
+func (s *Server) Queries() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queries
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.conn.Close()
+}
+
+func (s *Server) serve() {
+	buf := make([]byte, 4096)
+	for {
+		n, addr, err := s.conn.ReadFrom(buf)
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		resp := s.handle(buf[:n])
+		if resp != nil {
+			_, _ = s.conn.WriteTo(resp, addr)
+		}
+	}
+}
+
+// handle produces the wire response for one query datagram.
+func (s *Server) handle(req []byte) []byte {
+	q, err := Unpack(req)
+	if err != nil || q.Header.QR || len(q.Questions) == 0 {
+		return nil
+	}
+	resp := &Message{
+		Header: Header{
+			ID: q.Header.ID, QR: true, AA: true,
+			RD: q.Header.RD, Opcode: q.Header.Opcode,
+		},
+		Questions: q.Questions,
+	}
+	if q.Header.Opcode != 0 {
+		resp.Header.RCode = RCodeNotImpl
+	} else {
+		for _, question := range q.Questions {
+			if question.Class != ClassIN || question.Type != TypeA {
+				continue
+			}
+			if ip, ok := s.store.Lookup(question.Name); ok {
+				resp.Answers = append(resp.Answers, A(question.Name, 300, ip))
+			}
+		}
+		if len(resp.Answers) == 0 {
+			resp.Header.RCode = RCodeNXDomain
+		}
+	}
+	s.mu.Lock()
+	s.queries++
+	s.mu.Unlock()
+	out, err := resp.Pack()
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// Prober performs active DNS measurement: it resolves batches of candidate
+// domains against an authoritative server and collects (domain, IP) records,
+// reproducing the ActiveDNS collection methodology.
+type Prober struct {
+	// Addr is the server address ("host:port").
+	Addr string
+	// Timeout bounds each query round trip. Default 2s.
+	Timeout time.Duration
+	// Retries is the number of re-sends after a timeout. Default 2.
+	Retries int
+	// Parallelism is the number of concurrent workers. Default 8.
+	Parallelism int
+}
+
+// Probe resolves the given domains and returns the records that resolved.
+// Unresolvable domains (NXDOMAIN, timeouts after retries) are skipped.
+func (p *Prober) Probe(ctx context.Context, domains []string) ([]Record, error) {
+	timeout := p.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	retries := p.Retries
+	if retries <= 0 {
+		retries = 2
+	}
+	workers := p.Parallelism
+	if workers <= 0 {
+		workers = 8
+	}
+	if workers > len(domains) && len(domains) > 0 {
+		workers = len(domains)
+	}
+
+	jobs := make(chan string)
+	results := make(chan Record, len(domains))
+	var wg sync.WaitGroup
+	var firstErr error
+	var errOnce sync.Once
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id uint16) {
+			defer wg.Done()
+			conn, err := net.Dial("udp", p.Addr)
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				return
+			}
+			defer conn.Close()
+			seq := id
+			for domain := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				seq += 257 // distinct IDs per worker stream
+				if ip, ok := p.query(conn, seq, domain, timeout, retries); ok {
+					results <- Record{Domain: domain, IP: ip}
+				}
+			}
+		}(uint16(w))
+	}
+
+	go func() {
+		defer close(jobs)
+		for _, d := range domains {
+			select {
+			case jobs <- d:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(results)
+	var out []Record
+	for r := range results {
+		out = append(out, r)
+	}
+	if ctx.Err() != nil {
+		return out, ctx.Err()
+	}
+	return out, firstErr
+}
+
+func (p *Prober) query(conn net.Conn, id uint16, domain string, timeout time.Duration, retries int) ([4]byte, bool) {
+	req, err := NewQuery(id, domain, TypeA).Pack()
+	if err != nil {
+		return [4]byte{}, false
+	}
+	buf := make([]byte, 4096)
+	for attempt := 0; attempt <= retries; attempt++ {
+		if _, err := conn.Write(req); err != nil {
+			return [4]byte{}, false
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(timeout))
+		n, err := conn.Read(buf)
+		if err != nil {
+			continue // timeout: retry
+		}
+		resp, err := Unpack(buf[:n])
+		if err != nil || resp.Header.ID != id || !resp.Header.QR {
+			continue
+		}
+		if resp.Header.RCode != RCodeSuccess {
+			return [4]byte{}, false
+		}
+		for _, rr := range resp.Answers {
+			if ip, ok := rr.IPv4(); ok {
+				return ip, true
+			}
+		}
+		return [4]byte{}, false
+	}
+	return [4]byte{}, false
+}

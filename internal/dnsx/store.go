@@ -1,0 +1,159 @@
+package dnsx
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Record is one entry of an ActiveDNS-style snapshot: a domain name paired
+// with the IPv4 address it resolved to. This is the unit the squatting
+// scanner consumes (paper §3.1: "each record is characterized by a domain
+// and an IP address").
+type Record struct {
+	Domain string
+	IP     [4]byte
+}
+
+// IPString returns the dotted-quad form of the record's address.
+func (r Record) IPString() string {
+	return fmt.Sprintf("%d.%d.%d.%d", r.IP[0], r.IP[1], r.IP[2], r.IP[3])
+}
+
+// Store is an in-memory authoritative record set: the synthetic equivalent
+// of the DNS snapshot the paper obtained from the ActiveDNS project.
+// It is safe for concurrent readers once populated; Add must not race with
+// lookups unless the caller serialises them.
+type Store struct {
+	mu      sync.RWMutex
+	records map[string][4]byte
+	order   []string // insertion order for deterministic iteration
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{records: make(map[string][4]byte)}
+}
+
+// Add inserts or overwrites a record. Domains are normalised to lower case
+// without a trailing dot.
+func (s *Store) Add(domain string, ip [4]byte) {
+	d := normalize(domain)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.records[d]; !exists {
+		s.order = append(s.order, d)
+	}
+	s.records[d] = ip
+}
+
+// Lookup returns the address for a domain.
+func (s *Store) Lookup(domain string) ([4]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ip, ok := s.records[normalize(domain)]
+	return ip, ok
+}
+
+// Len returns the number of records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+// Range calls fn for every record in insertion order, stopping if fn
+// returns false. The store must not be mutated during iteration.
+func (s *Store) Range(fn func(Record) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, d := range s.order {
+		if !fn(Record{Domain: d, IP: s.records[d]}) {
+			return
+		}
+	}
+}
+
+// Domains returns all domain names in insertion order.
+func (s *Store) Domains() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.order...)
+}
+
+// WriteSnapshot serialises the store as "domain,ip" lines sorted by domain,
+// the on-disk snapshot format shared with ReadSnapshot.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	s.mu.RLock()
+	domains := append([]string(nil), s.order...)
+	s.mu.RUnlock()
+	sort.Strings(domains)
+	bw := bufio.NewWriter(w)
+	for _, d := range domains {
+		ip, _ := s.Lookup(d)
+		if _, err := fmt.Fprintf(bw, "%s,%d.%d.%d.%d\n", d, ip[0], ip[1], ip[2], ip[3]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot parses the snapshot format produced by WriteSnapshot.
+func ReadSnapshot(r io.Reader) (*Store, error) {
+	s := NewStore()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		comma := strings.LastIndexByte(text, ',')
+		if comma < 0 {
+			return nil, fmt.Errorf("dnsx: snapshot line %d: missing comma", line)
+		}
+		ip, err := parseIPv4(text[comma+1:])
+		if err != nil {
+			return nil, fmt.Errorf("dnsx: snapshot line %d: %w", line, err)
+		}
+		s.Add(text[:comma], ip)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func parseIPv4(s string) ([4]byte, error) {
+	var ip [4]byte
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return ip, fmt.Errorf("bad IPv4 %q", s)
+	}
+	for i, p := range parts {
+		v := 0
+		if p == "" || len(p) > 3 {
+			return ip, fmt.Errorf("bad IPv4 %q", s)
+		}
+		for _, c := range p {
+			if c < '0' || c > '9' {
+				return ip, fmt.Errorf("bad IPv4 %q", s)
+			}
+			v = v*10 + int(c-'0')
+		}
+		if v > 255 {
+			return ip, fmt.Errorf("bad IPv4 %q", s)
+		}
+		ip[i] = byte(v)
+	}
+	return ip, nil
+}
+
+func normalize(domain string) string {
+	return strings.ToLower(strings.TrimSuffix(domain, "."))
+}

@@ -1,0 +1,117 @@
+// Package evasion implements the evasion measurement of paper §4.2 and
+// §6.3: layout obfuscation (perceptual-hash distance between a phishing
+// page's screenshot and the brand's real page), string obfuscation (the
+// target brand name absent from the HTML text), and code obfuscation
+// (JavaScript obfuscation indicators).
+package evasion
+
+import (
+	"math"
+	"strings"
+
+	"squatphi/internal/htmlx"
+	"squatphi/internal/imghash"
+	"squatphi/internal/jsx"
+	"squatphi/internal/render"
+)
+
+// Report is the evasion profile of one page against its target brand.
+type Report struct {
+	// LayoutDistance is the perceptual-hash Hamming distance to the
+	// brand's original page screenshot (0-64); -1 when either raster is
+	// unavailable.
+	LayoutDistance int
+	// StringObfuscated reports that the brand name does not occur in any
+	// HTML-level text (tags, attributes, title).
+	StringObfuscated bool
+	// CodeObfuscated reports JavaScript obfuscation indicators.
+	CodeObfuscated bool
+	// JS is the merged script analysis backing CodeObfuscated.
+	JS jsx.Report
+}
+
+// Analyze builds the report for one page.
+//
+// html is the page source, shot its screenshot (may be nil), brandName the
+// impersonated brand's registrable name, and originalShot the screenshot
+// of the brand's real page (may be nil).
+func Analyze(html string, shot *render.Raster, brandName string, originalShot *render.Raster) Report {
+	var rep Report
+	rep.LayoutDistance = -1
+	if shot != nil && originalShot != nil {
+		rep.LayoutDistance = imghash.Distance(imghash.Perceptual(shot), imghash.Perceptual(originalShot))
+	}
+	rep.StringObfuscated = StringObfuscated(html, brandName)
+	page := htmlx.Extract(html)
+	rep.JS, rep.CodeObfuscated = jsx.AnalyzeAll(page.Scripts)
+	return rep
+}
+
+// StringObfuscated reports whether brandName is missing from every text
+// surface of the HTML: visible text, title, link targets, form attributes
+// and image alt text. Matching is case-insensitive on the raw source —
+// attackers who keep the brand anywhere in markup are not string
+// obfuscated (paper: "extract all the texts from the HTML source; if the
+// target brand name is not within the texts, the page is string
+// obfuscated").
+func StringObfuscated(html, brandName string) bool {
+	if brandName == "" {
+		return false
+	}
+	return !strings.Contains(strings.ToLower(html), strings.ToLower(brandName))
+}
+
+// Stats aggregates reports into the percentages the paper tabulates
+// (Tables 6 and 11).
+type Stats struct {
+	N                int
+	StringObfuscated int
+	CodeObfuscated   int
+	// LayoutDistances collects the valid distances for mean/stddev.
+	LayoutDistances []int
+}
+
+// Add folds one report into the aggregate.
+func (s *Stats) Add(r Report) {
+	s.N++
+	if r.StringObfuscated {
+		s.StringObfuscated++
+	}
+	if r.CodeObfuscated {
+		s.CodeObfuscated++
+	}
+	if r.LayoutDistance >= 0 {
+		s.LayoutDistances = append(s.LayoutDistances, r.LayoutDistance)
+	}
+}
+
+// StringObfRate returns the fraction of string-obfuscated pages.
+func (s *Stats) StringObfRate() float64 { return rate(s.StringObfuscated, s.N) }
+
+// CodeObfRate returns the fraction of code-obfuscated pages.
+func (s *Stats) CodeObfRate() float64 { return rate(s.CodeObfuscated, s.N) }
+
+// LayoutMeanStd returns the mean and standard deviation of the layout
+// distances.
+func (s *Stats) LayoutMeanStd() (mean, std float64) {
+	if len(s.LayoutDistances) == 0 {
+		return 0, 0
+	}
+	for _, d := range s.LayoutDistances {
+		mean += float64(d)
+	}
+	mean /= float64(len(s.LayoutDistances))
+	for _, d := range s.LayoutDistances {
+		diff := float64(d) - mean
+		std += diff * diff
+	}
+	std /= float64(len(s.LayoutDistances))
+	return mean, math.Sqrt(std)
+}
+
+func rate(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

@@ -1,0 +1,127 @@
+package evasion
+
+import (
+	"math"
+	"testing"
+
+	"squatphi/internal/render"
+	"squatphi/internal/simrand"
+)
+
+const copycatHTML = `<html><head><title>Paypal - Log In</title></head><body>
+<h1>Welcome to Paypal</h1>
+<form><input type=email placeholder="Email"><input type=password placeholder="Password">
+<input type=submit value="Log In"></form></body></html>`
+
+const obfuscatedHTML = `<html><head><title>Log in to your account</title>
+<meta name="layout-seed" content="99991"></head><body>
+<img src="/logo.png" alt="">
+<h1>Your account has been limited</h1>
+<script>var c=[104,105];var s="";for(var i=0;i<c.length;i++){s+=String.fromCharCode(c[i]);}eval(s);</script>
+<form><input type=email placeholder="Email"><input type=password placeholder="Password">
+<input type=submit value="Continue"></form></body></html>`
+
+func TestStringObfuscated(t *testing.T) {
+	if StringObfuscated(copycatHTML, "paypal") {
+		t.Error("copycat flagged as string obfuscated")
+	}
+	if !StringObfuscated(obfuscatedHTML, "paypal") {
+		t.Error("obfuscated page not flagged")
+	}
+	if StringObfuscated(obfuscatedHTML, "") {
+		t.Error("empty brand flagged")
+	}
+	// Case-insensitive.
+	if StringObfuscated(copycatHTML, "PAYPAL") {
+		t.Error("case sensitivity broke detection")
+	}
+}
+
+func TestAnalyzeCopycat(t *testing.T) {
+	orig := render.Screenshot(copycatHTML, render.Options{})
+	shot := render.Screenshot(copycatHTML, render.Options{})
+	rep := Analyze(copycatHTML, shot, "paypal", orig)
+	if rep.LayoutDistance != 0 {
+		t.Errorf("copycat layout distance = %d", rep.LayoutDistance)
+	}
+	if rep.StringObfuscated || rep.CodeObfuscated {
+		t.Errorf("copycat evasion flags: %+v", rep)
+	}
+}
+
+func TestAnalyzeObfuscated(t *testing.T) {
+	orig := render.Screenshot(copycatHTML, render.Options{})
+	shot := render.Screenshot(obfuscatedHTML, render.Options{Assets: map[string]string{"/logo.png": "Paypal"}})
+	rep := Analyze(obfuscatedHTML, shot, "paypal", orig)
+	if !rep.StringObfuscated {
+		t.Error("string obfuscation missed")
+	}
+	if !rep.CodeObfuscated {
+		t.Errorf("code obfuscation missed: %+v", rep.JS)
+	}
+	if rep.LayoutDistance <= 0 {
+		t.Errorf("layout distance = %d, want > 0", rep.LayoutDistance)
+	}
+}
+
+func TestAnalyzeNilShots(t *testing.T) {
+	rep := Analyze(copycatHTML, nil, "paypal", nil)
+	if rep.LayoutDistance != -1 {
+		t.Errorf("nil-shot distance = %d, want -1", rep.LayoutDistance)
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	var s Stats
+	s.Add(Report{StringObfuscated: true, CodeObfuscated: false, LayoutDistance: 10})
+	s.Add(Report{StringObfuscated: true, CodeObfuscated: true, LayoutDistance: 30})
+	s.Add(Report{StringObfuscated: false, CodeObfuscated: false, LayoutDistance: -1})
+	if s.N != 3 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if got := s.StringObfRate(); math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("StringObfRate = %f", got)
+	}
+	if got := s.CodeObfRate(); math.Abs(got-1.0/3) > 1e-9 {
+		t.Errorf("CodeObfRate = %f", got)
+	}
+	mean, std := s.LayoutMeanStd()
+	if mean != 20 || std != 10 {
+		t.Errorf("layout mean/std = %f/%f, want 20/10", mean, std)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	var s Stats
+	if s.StringObfRate() != 0 || s.CodeObfRate() != 0 {
+		t.Error("empty stats rates non-zero")
+	}
+	mean, std := s.LayoutMeanStd()
+	if mean != 0 || std != 0 {
+		t.Error("empty stats layout non-zero")
+	}
+}
+
+func TestLayoutObfuscationIncreasesDistance(t *testing.T) {
+	// Rendering the same content with different layout seeds should move
+	// the perceptual hash away from the canonical render (paper Fig. 8).
+	orig := render.Screenshot(copycatHTML, render.Options{})
+	distSum := 0
+	for seed := uint64(1); seed <= 5; seed++ {
+		shot := render.Screenshot(copycatHTML, render.Options{Perturb: simrand.New(seed)})
+		rep := Analyze(copycatHTML, shot, "paypal", orig)
+		distSum += rep.LayoutDistance
+	}
+	if distSum/5 <= 2 {
+		t.Errorf("mean perturbed distance = %d, want > 2", distSum/5)
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	orig := render.Screenshot(copycatHTML, render.Options{})
+	shot := render.Screenshot(obfuscatedHTML, render.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Analyze(obfuscatedHTML, shot, "paypal", orig)
+	}
+}

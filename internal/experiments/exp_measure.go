@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"squatphi/internal/crawler"
+	"squatphi/internal/report"
+	"squatphi/internal/squat"
+)
+
+// ExpTable1 regenerates Table 1: example squatting domains of each type
+// for the facebook brand, produced by the candidate generator.
+func ExpTable1(e *Env) (*Result, error) {
+	r := &Result{ID: "Table 1", Name: "Example squatting domains for facebook"}
+	gen := squat.NewGenerator()
+	brand := squat.NewBrand("facebook.com")
+	tb := report.NewTable("Squatting examples (facebook)", "Domain", "Type")
+	seen := map[squat.Type]int{}
+	for _, c := range gen.Generate(brand) {
+		if seen[c.Type] >= 2 {
+			continue
+		}
+		seen[c.Type]++
+		tb.AddRow(c.Domain, c.Type.String())
+	}
+	r.Tables = append(r.Tables, tb)
+	if len(seen) == len(squat.AllTypes) {
+		r.Note("all 5 squatting types exemplified (paper Table 1: homograph/bits/typo/combo/wrongTLD)")
+	} else {
+		r.Note("MISSING types: got %d of 5", len(seen))
+	}
+	return r, nil
+}
+
+// typeCounts tallies candidates per squatting type.
+func typeCounts(cands []squat.Candidate) map[squat.Type]int {
+	out := map[squat.Type]int{}
+	for _, c := range cands {
+		out[c.Type]++
+	}
+	return out
+}
+
+// ExpFigure2 regenerates Figure 2: number of squatting domains per type
+// found by scanning the DNS snapshot.
+func ExpFigure2(e *Env) (*Result, error) {
+	r := &Result{ID: "Figure 2", Name: "# of squatting domains per squatting type"}
+	cands := e.P.ScanDNS()
+	counts := typeCounts(cands)
+	s := report.NewSeries("Squatting domains by type", "type", "# domains")
+	for _, t := range squat.AllTypes {
+		s.Add(t.String(), float64(counts[t]))
+	}
+	r.Series = append(r.Series, s)
+	total := len(cands)
+	comboFrac := float64(counts[squat.Combo]) / float64(total)
+	r.Note("total squatting domains: %d (paper: 657,663 at full scale)", total)
+	r.Note("combo share %.1f%% — paper: 56%%, combo dominates: %v", comboFrac*100, counts[squat.Combo] > counts[squat.Typo])
+	return r, nil
+}
+
+// brandCandidateCounts tallies candidates per brand, sorted descending.
+func brandCandidateCounts(cands []squat.Candidate) []struct {
+	Brand string
+	Count int
+} {
+	m := map[string]int{}
+	for _, c := range cands {
+		m[c.Brand.Name]++
+	}
+	type bc struct {
+		Brand string
+		Count int
+	}
+	var list []bc
+	for b, c := range m {
+		list = append(list, bc{b, c})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].Count != list[j].Count {
+			return list[i].Count > list[j].Count
+		}
+		return list[i].Brand < list[j].Brand
+	})
+	out := make([]struct {
+		Brand string
+		Count int
+	}, len(list))
+	for i, e := range list {
+		out[i] = struct {
+			Brand string
+			Count int
+		}{e.Brand, e.Count}
+	}
+	return out
+}
+
+// ExpFigure3 regenerates Figure 3: accumulated % of squatting domains
+// against brand rank (sorted by squatting-domain count).
+func ExpFigure3(e *Env) (*Result, error) {
+	r := &Result{ID: "Figure 3", Name: "Accumulated % of squatting domains from top brands"}
+	list := brandCandidateCounts(e.P.ScanDNS())
+	counts := make([]int, len(list))
+	for i, b := range list {
+		counts[i] = b.Count
+	}
+	cdf := report.CDF(counts)
+	s := report.NewSeries("Accumulated % of squatting domains", "brand rank", "accumulated %")
+	for _, idx := range []int{0, 4, 9, 19, 49, 99, 199} {
+		if idx < len(cdf) {
+			s.Add(fmt.Sprintf("top-%d", idx+1), cdf[idx])
+		}
+	}
+	if len(cdf) > 0 {
+		s.Add(fmt.Sprintf("all-%d", len(cdf)), cdf[len(cdf)-1])
+	}
+	r.Series = append(r.Series, s)
+	if len(cdf) > 19 {
+		r.Note("top-20 brands cover %.1f%% of squatting domains (paper: >30%%)", cdf[19])
+	}
+	return r, nil
+}
+
+// ExpFigure4 regenerates Figure 4: the top-5 brands by squatting domains.
+func ExpFigure4(e *Env) (*Result, error) {
+	r := &Result{ID: "Figure 4", Name: "Top 5 brands with the most squatting domains"}
+	list := brandCandidateCounts(e.P.ScanDNS())
+	total := len(e.P.ScanDNS())
+	tb := report.NewTable("Top brands by squatting domains", "Brand", "Squatting Domains", "Percent")
+	for i := 0; i < 5 && i < len(list); i++ {
+		tb.AddRow(list[i].Brand, list[i].Count, fmt.Sprintf("%.2f%%", float64(list[i].Count)/float64(total)*100))
+	}
+	r.Tables = append(r.Tables, tb)
+	r.Note("paper's top-5: vice, porn, bt, apple, ford — short/generic names attract squats")
+	return r, nil
+}
+
+// crawlStats summarises one profile's crawl (Table 2 row).
+type crawlStats struct {
+	Live, NoRedirect, ToOriginal, ToMarket, ToOther int
+}
+
+func (e *Env) statsForProfile(results []crawler.Result, mobile bool) crawlStats {
+	markets := map[string]bool{}
+	for _, m := range e.P.World.Marketplaces {
+		markets[m] = true
+	}
+	var st crawlStats
+	for _, res := range results {
+		cap := res.Web
+		if mobile {
+			cap = res.Mobile
+		}
+		if !cap.Live {
+			continue
+		}
+		st.Live++
+		if !cap.Redirected() {
+			st.NoRedirect++
+			continue
+		}
+		site, _ := e.P.World.Site(res.Domain)
+		switch {
+		case site != nil && cap.FinalHost == site.Brand.Domain():
+			st.ToOriginal++
+		case markets[cap.FinalHost]:
+			st.ToMarket++
+		default:
+			st.ToOther++
+		}
+	}
+	return st
+}
+
+// ExpTable2 regenerates Table 2: crawl statistics with redirect
+// destinations for web and mobile profiles.
+func ExpTable2(e *Env) (*Result, error) {
+	r := &Result{ID: "Table 2", Name: "Crawling statistics and redirection destinations"}
+	results, err := e.Crawl0()
+	if err != nil {
+		return nil, err
+	}
+	tb := report.NewTable("Crawl statistics", "Type", "Live Domains", "No Redirect", "To Original", "To Market", "To Others")
+	for _, mobile := range []bool{false, true} {
+		st := e.statsForProfile(results, mobile)
+		name := "Web"
+		if mobile {
+			name = "Mobile"
+		}
+		tb.AddRow(name, st.Live, pct(st.NoRedirect, st.Live), pct(st.ToOriginal, st.Live), pct(st.ToMarket, st.Live), pct(st.ToOther, st.Live))
+	}
+	r.Tables = append(r.Tables, tb)
+	web := e.statsForProfile(results, false)
+	liveFrac := float64(web.Live) / float64(len(results))
+	r.Note("live fraction %.1f%% (paper: ~55%%); no-redirect %.1f%% of live (paper: 87%%)",
+		liveFrac*100, float64(web.NoRedirect)/float64(web.Live)*100)
+	return r, nil
+}
+
+func pct(n, total int) string {
+	if total == 0 {
+		return "0 (0.0%)"
+	}
+	return fmt.Sprintf("%d (%.1f%%)", n, float64(n)/float64(total)*100)
+}
+
+// redirectByBrand tallies, per brand, live domains with redirections and
+// their destinations.
+type brandRedirects struct {
+	Brand                     string
+	Redirects                 int
+	Original, Market, Other   int
+	LiveDomains, TotalDomains int
+}
+
+func (e *Env) redirectTable(results []crawler.Result) []brandRedirects {
+	markets := map[string]bool{}
+	for _, m := range e.P.World.Marketplaces {
+		markets[m] = true
+	}
+	byBrand := map[string]*brandRedirects{}
+	for _, res := range results {
+		site, ok := e.P.World.Site(res.Domain)
+		if !ok || site.Brand.Name == "" {
+			continue
+		}
+		br := byBrand[site.Brand.Name]
+		if br == nil {
+			br = &brandRedirects{Brand: site.Brand.Name}
+			byBrand[site.Brand.Name] = br
+		}
+		br.TotalDomains++
+		cap := res.Web
+		if !cap.Live {
+			continue
+		}
+		br.LiveDomains++
+		if !cap.Redirected() {
+			continue
+		}
+		br.Redirects++
+		switch {
+		case cap.FinalHost == site.Brand.Domain():
+			br.Original++
+		case markets[cap.FinalHost]:
+			br.Market++
+		default:
+			br.Other++
+		}
+	}
+	var list []brandRedirects
+	for _, br := range byBrand {
+		list = append(list, *br)
+	}
+	return list
+}
+
+// ExpTable3 regenerates Table 3: top brands redirecting squatting traffic
+// back to their own site (defensive registrations). Like the paper, brands
+// rank by the *ratio* of redirections landing on the original site.
+func ExpTable3(e *Env) (*Result, error) {
+	return e.redirectTopTable("Table 3", "Top brands redirecting to the original site",
+		func(br brandRedirects) int { return br.Original },
+		"paper: Shutterfly/Alliancebank/Rabobank/Priceline/Carfax — defensive registrations lead")
+}
+
+// ExpTable4 regenerates Table 4: top brands whose squatting domains are
+// parked on marketplaces, ranked by marketplace-redirect ratio.
+func ExpTable4(e *Env) (*Result, error) {
+	return e.redirectTopTable("Table 4", "Top brands redirecting to domain marketplaces",
+		func(br brandRedirects) int { return br.Market },
+		"paper: Zocdoc/Comerica/Verizon/Amazon/Paypal — resale-heavy brands lead")
+}
+
+func (e *Env) redirectTopTable(id, name string, key func(brandRedirects) int, note string) (*Result, error) {
+	r := &Result{ID: id, Name: name}
+	results, err := e.Crawl0()
+	if err != nil {
+		return nil, err
+	}
+	list := e.redirectTable(results)
+	// Rank by the destination's share of the brand's redirects (minimum 3
+	// hits so tiny brands with one lucky redirect don't top the table).
+	ratio := func(br brandRedirects) float64 {
+		if br.Redirects == 0 || key(br) < 3 {
+			return -1
+		}
+		return float64(key(br)) / float64(br.Redirects)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		ri, rj := ratio(list[i]), ratio(list[j])
+		if ri != rj {
+			return ri > rj
+		}
+		if key(list[i]) != key(list[j]) {
+			return key(list[i]) > key(list[j])
+		}
+		return list[i].Brand < list[j].Brand
+	})
+	tb := report.NewTable(name, "Brand", "Domains w/ Redirect", "To Original", "To Market", "To Others")
+	for i := 0; i < 5 && i < len(list); i++ {
+		br := list[i]
+		if key(br) == 0 {
+			break
+		}
+		tb.AddRow(br.Brand, pct(br.Redirects, br.LiveDomains), br.Original, br.Market, br.Other)
+	}
+	r.Tables = append(r.Tables, tb)
+	r.Note(note)
+	return r, nil
+}

@@ -1,0 +1,43 @@
+package experiments
+
+// Driver regenerates one paper artifact from the shared environment.
+type Driver struct {
+	ID   string
+	Name string
+	Run  func(*Env) (*Result, error)
+}
+
+// All lists every experiment in the paper's presentation order.
+func All() []Driver {
+	return []Driver{
+		{"Table 1", "Example squatting domains", ExpTable1},
+		{"Figure 2", "Squatting domains per type", ExpFigure2},
+		{"Figure 3", "Accumulated % per brand", ExpFigure3},
+		{"Figure 4", "Top-5 squatted brands", ExpFigure4},
+		{"Table 2", "Crawling statistics", ExpTable2},
+		{"Table 3", "Redirects to original sites", ExpTable3},
+		{"Table 4", "Redirects to marketplaces", ExpTable4},
+		{"Figure 5", "Feed URL accumulation per brand", ExpFigure5},
+		{"Figure 6", "Feed Alexa-rank distribution", ExpFigure6},
+		{"Figure 7", "Feed squatting distribution", ExpFigure7},
+		{"Table 5", "Feed re-verification", ExpTable5},
+		{"Figure 8", "Layout obfuscation example", ExpFigure8},
+		{"Figure 9", "Image-hash distance per brand", ExpFigure9},
+		{"Table 6", "String/code obfuscation per brand", ExpTable6},
+		{"Table 7", "Classifier performance", ExpTable7},
+		{"Figure 10", "ROC curves", ExpFigure10},
+		{"Table 8", "Detection in the wild", ExpTable8},
+		{"Table 9", "Per-brand predictions", ExpTable9},
+		{"Figure 11", "Verified domains per brand CDF", ExpFigure11},
+		{"Figure 12", "Squat types of phishing domains", ExpFigure12},
+		{"Figure 13", "Top targeted brands", ExpFigure13},
+		{"Table 10", "Example phishing domains", ExpTable10},
+		{"Figure 14", "Case-study scam flavours", ExpFigure14},
+		{"Figure 15", "IP geolocation", ExpFigure15},
+		{"Figure 16", "Registration time", ExpFigure16},
+		{"Figure 17", "Liveness over snapshots", ExpFigure17},
+		{"Table 11", "Evasion squat vs non-squat", ExpTable11},
+		{"Table 12", "Blacklist coverage", ExpTable12},
+		{"Table 13", "Per-domain liveness timeline", ExpTable13},
+	}
+}

@@ -1,0 +1,187 @@
+package htmlx
+
+import "strings"
+
+// Page is the structured view of an HTML document that the classifier's
+// feature extractors consume (paper §5.1: lexical features from h/p/a/title
+// tags, form-based features from type/name/submit/placeholder attributes).
+type Page struct {
+	Title       string
+	Headings    []string // text of h1..h6
+	Paragraphs  []string // text of p
+	LinkTexts   []string // text of a
+	LinkHrefs   []string
+	Forms       []Form
+	Images      []Image
+	Scripts     []string // inline script bodies
+	ScriptSrcs  []string // external script URLs
+	MetaRefresh string   // redirect target of <meta http-equiv=refresh>
+	Meta        map[string]string
+	FullText    string // all visible text
+}
+
+// Form is one data-submission form with the attributes the paper's
+// form-based features use.
+type Form struct {
+	Action string
+	Method string
+	Inputs []Input
+}
+
+// Input is one form control.
+type Input struct {
+	Type        string
+	Name        string
+	Placeholder string
+	Value       string
+}
+
+// Image is an <img> element.
+type Image struct {
+	Src string
+	Alt string
+}
+
+// Extract parses src and pulls out the classifier-relevant structure.
+func Extract(src string) *Page {
+	root := Parse(src)
+	p := &Page{FullText: root.InnerText()}
+
+	root.Walk(func(n *Node) bool {
+		if n.Type != ElementNode {
+			return true
+		}
+		switch n.Tag {
+		case "title":
+			if p.Title == "" {
+				p.Title = strings.TrimSpace(n.InnerText())
+			}
+		case "h1", "h2", "h3", "h4", "h5", "h6":
+			if t := n.InnerText(); t != "" {
+				p.Headings = append(p.Headings, t)
+			}
+		case "p":
+			if t := n.InnerText(); t != "" {
+				p.Paragraphs = append(p.Paragraphs, t)
+			}
+		case "a":
+			if t := n.InnerText(); t != "" {
+				p.LinkTexts = append(p.LinkTexts, t)
+			}
+			if href, ok := n.Attr("href"); ok {
+				p.LinkHrefs = append(p.LinkHrefs, href)
+			}
+		case "form":
+			p.Forms = append(p.Forms, extractForm(n))
+			return false // inputs collected by extractForm
+		case "img":
+			src, _ := n.Attr("src")
+			alt, _ := n.Attr("alt")
+			p.Images = append(p.Images, Image{Src: src, Alt: alt})
+		case "script":
+			if src, ok := n.Attr("src"); ok && src != "" {
+				p.ScriptSrcs = append(p.ScriptSrcs, src)
+			} else if body := rawText(n); strings.TrimSpace(body) != "" {
+				p.Scripts = append(p.Scripts, body)
+			}
+		case "meta":
+			if eq, _ := n.Attr("http-equiv"); strings.EqualFold(eq, "refresh") {
+				if content, ok := n.Attr("content"); ok {
+					p.MetaRefresh = parseMetaRefresh(content)
+				}
+			}
+			if name, ok := n.Attr("name"); ok {
+				if content, ok := n.Attr("content"); ok {
+					if p.Meta == nil {
+						p.Meta = map[string]string{}
+					}
+					p.Meta[strings.ToLower(name)] = content
+				}
+			}
+		}
+		return true
+	})
+	return p
+}
+
+func extractForm(n *Node) Form {
+	f := Form{}
+	f.Action, _ = n.Attr("action")
+	f.Method, _ = n.Attr("method")
+	n.Walk(func(c *Node) bool {
+		if c.Type != ElementNode {
+			return true
+		}
+		switch c.Tag {
+		case "input", "button", "select", "textarea":
+			in := Input{}
+			in.Type, _ = c.Attr("type")
+			in.Name, _ = c.Attr("name")
+			in.Placeholder, _ = c.Attr("placeholder")
+			in.Value, _ = c.Attr("value")
+			if in.Type == "" && c.Tag == "button" {
+				in.Type = "submit"
+			}
+			if c.Tag == "button" && in.Value == "" {
+				in.Value = c.InnerText()
+			}
+			f.Inputs = append(f.Inputs, in)
+		}
+		return true
+	})
+	return f
+}
+
+// rawText returns the concatenated raw text children of a node without
+// whitespace normalisation (script bodies are whitespace-sensitive).
+func rawText(n *Node) string {
+	var b strings.Builder
+	for _, c := range n.Children {
+		if c.Type == TextNode {
+			b.WriteString(c.Text)
+		}
+	}
+	return b.String()
+}
+
+// parseMetaRefresh extracts the URL from a refresh content value like
+// "0; url=https://example.com".
+func parseMetaRefresh(content string) string {
+	for _, part := range strings.Split(content, ";") {
+		part = strings.TrimSpace(part)
+		if len(part) > 4 && strings.EqualFold(part[:4], "url=") {
+			return strings.Trim(part[4:], "'\" ")
+		}
+	}
+	return ""
+}
+
+// HasPasswordInput reports whether any form collects a password — the core
+// structural hint of a credential-phishing page.
+func (p *Page) HasPasswordInput() bool {
+	for _, f := range p.Forms {
+		for _, in := range f.Inputs {
+			if strings.EqualFold(in.Type, "password") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FormKeywords returns all lexical material from the page's forms: input
+// types, names, placeholders, and button values. These are the paper's
+// form-based features.
+func (p *Page) FormKeywords() []string {
+	var out []string
+	for _, f := range p.Forms {
+		for _, in := range f.Inputs {
+			for _, s := range []string{in.Type, in.Name, in.Placeholder, in.Value} {
+				if s != "" {
+					out = append(out, strings.ToLower(s))
+				}
+			}
+		}
+	}
+	return out
+}

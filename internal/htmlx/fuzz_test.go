@@ -1,0 +1,43 @@
+package htmlx
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzExtract drives the tokenizer, parser, and extractor with arbitrary
+// bytes: they must never panic, and parsing must preserve basic sanity.
+func FuzzExtract(f *testing.F) {
+	seeds := []string{
+		"",
+		"<p>hello</p>",
+		"<form><input type=password></form>",
+		"<script>if (a<b) x();</script>",
+		"<!doctype html><html><head><title>t</title></head><body></body></html>",
+		"<<<>>>",
+		"<a href='x' broken",
+		"&amp;&#65;&#x41;&bogus;",
+		"<img src=/logo.png alt=\"brand\">",
+		"<meta http-equiv=refresh content='0;url=http://x'>",
+		strings.Repeat("<div>", 200),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		page := Extract(src)
+		if page == nil {
+			t.Fatal("Extract returned nil")
+		}
+		for _, form := range page.Forms {
+			if len(form.Inputs) < 0 {
+				t.Fatal("impossible")
+			}
+		}
+		// DecodeEntities output must be valid UTF-8 for valid input.
+		if utf8.ValidString(src) && !utf8.ValidString(DecodeEntities(src)) {
+			t.Fatalf("DecodeEntities produced invalid UTF-8 from %q", src)
+		}
+	})
+}

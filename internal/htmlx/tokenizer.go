@@ -1,0 +1,312 @@
+// Package htmlx implements the HTML-processing substrate: a tokenizer and a
+// lightweight DOM parser for the HTML subset produced and analysed in this
+// reproduction, plus the extraction helpers the classifier's feature
+// engineering needs (paper §5.1): per-tag text (h*, p, a, title), form
+// attributes (type, name, submit, placeholder), image metadata, and inline
+// script bodies.
+//
+// It intentionally implements tag-soup recovery rather than the full HTML5
+// tree-construction algorithm: phishing kits in the wild emit sloppy markup,
+// and the extractor must degrade gracefully rather than reject pages.
+package htmlx
+
+import "strings"
+
+// TokenType identifies a lexical token in an HTML byte stream.
+type TokenType int
+
+const (
+	// TextToken is character data between tags.
+	TextToken TokenType = iota
+	// StartTagToken is <name attr=...>.
+	StartTagToken
+	// EndTagToken is </name>.
+	EndTagToken
+	// SelfClosingToken is <name ... />.
+	SelfClosingToken
+	// CommentToken is <!-- ... --> (also covers <!doctype>).
+	CommentToken
+)
+
+// Attr is a single name="value" attribute. Names are lower-cased.
+type Attr struct {
+	Key, Val string
+}
+
+// Token is one lexical token. Data holds text content for TextToken and
+// CommentToken, and the lower-cased tag name otherwise.
+type Token struct {
+	Type  TokenType
+	Data  string
+	Attrs []Attr
+}
+
+// rawTextTags switch the tokenizer into raw-text mode: content runs until
+// the matching end tag without tag interpretation.
+var rawTextTags = map[string]bool{"script": true, "style": true, "textarea": true, "title": true}
+
+// Tokenize lexes an HTML document into tokens. It never fails: malformed
+// markup degrades to text tokens.
+func Tokenize(src string) []Token {
+	var toks []Token
+	i := 0
+	for i < len(src) {
+		lt := strings.IndexByte(src[i:], '<')
+		if lt < 0 {
+			toks = appendText(toks, src[i:])
+			break
+		}
+		if lt > 0 {
+			toks = appendText(toks, src[i:i+lt])
+			i += lt
+		}
+		tok, n, ok := lexTag(src[i:])
+		if !ok {
+			// A lone '<' that opens no tag is literal text.
+			toks = appendText(toks, "<")
+			i++
+			continue
+		}
+		i += n
+		toks = append(toks, tok)
+		// Raw-text elements: swallow everything up to the closing tag.
+		if tok.Type == StartTagToken && rawTextTags[tok.Data] {
+			end := "</" + tok.Data
+			idx := indexFold(src[i:], end)
+			if idx < 0 {
+				toks = appendText(toks, src[i:])
+				break
+			}
+			toks = appendText(toks, src[i:i+idx])
+			i += idx
+			if tok2, n2, ok2 := lexTag(src[i:]); ok2 {
+				toks = append(toks, tok2)
+				i += n2
+			}
+		}
+	}
+	return toks
+}
+
+func appendText(toks []Token, s string) []Token {
+	if s == "" {
+		return toks
+	}
+	return append(toks, Token{Type: TextToken, Data: DecodeEntities(s)})
+}
+
+// lexTag lexes one tag starting at src[0] == '<'. It returns the token, the
+// number of bytes consumed, and whether a tag was recognised.
+func lexTag(src string) (Token, int, bool) {
+	if len(src) < 2 {
+		return Token{}, 0, false
+	}
+	// Comments and declarations.
+	if strings.HasPrefix(src, "<!--") {
+		end := strings.Index(src[4:], "-->")
+		if end < 0 {
+			return Token{Type: CommentToken, Data: src[4:]}, len(src), true
+		}
+		return Token{Type: CommentToken, Data: src[4 : 4+end]}, 4 + end + 3, true
+	}
+	if src[1] == '!' || src[1] == '?' {
+		end := strings.IndexByte(src, '>')
+		if end < 0 {
+			return Token{Type: CommentToken, Data: src[2:]}, len(src), true
+		}
+		return Token{Type: CommentToken, Data: src[2:end]}, end + 1, true
+	}
+
+	closing := false
+	j := 1
+	if src[j] == '/' {
+		closing = true
+		j++
+	}
+	nameStart := j
+	for j < len(src) && isNameByte(src[j]) {
+		j++
+	}
+	if j == nameStart {
+		return Token{}, 0, false
+	}
+	name := strings.ToLower(src[nameStart:j])
+
+	var attrs []Attr
+	selfClose := false
+	for j < len(src) {
+		for j < len(src) && isSpace(src[j]) {
+			j++
+		}
+		if j >= len(src) {
+			break
+		}
+		if src[j] == '>' {
+			j++
+			typ := StartTagToken
+			if closing {
+				typ = EndTagToken
+			} else if selfClose {
+				typ = SelfClosingToken
+			}
+			return Token{Type: typ, Data: name, Attrs: attrs}, j, true
+		}
+		if src[j] == '/' {
+			selfClose = true
+			j++
+			continue
+		}
+		// Attribute name.
+		aStart := j
+		for j < len(src) && !isSpace(src[j]) && src[j] != '=' && src[j] != '>' && src[j] != '/' {
+			j++
+		}
+		key := strings.ToLower(src[aStart:j])
+		val := ""
+		for j < len(src) && isSpace(src[j]) {
+			j++
+		}
+		if j < len(src) && src[j] == '=' {
+			j++
+			for j < len(src) && isSpace(src[j]) {
+				j++
+			}
+			if j < len(src) && (src[j] == '"' || src[j] == '\'') {
+				q := src[j]
+				j++
+				vStart := j
+				for j < len(src) && src[j] != q {
+					j++
+				}
+				val = src[vStart:j]
+				if j < len(src) {
+					j++
+				}
+			} else {
+				vStart := j
+				for j < len(src) && !isSpace(src[j]) && src[j] != '>' {
+					j++
+				}
+				val = src[vStart:j]
+			}
+		}
+		if key != "" {
+			attrs = append(attrs, Attr{Key: key, Val: DecodeEntities(val)})
+		}
+	}
+	// Unterminated tag: treat the rest as consumed.
+	typ := StartTagToken
+	if closing {
+		typ = EndTagToken
+	}
+	return Token{Type: typ, Data: name, Attrs: attrs}, len(src), true
+}
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == ':'
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}
+
+// entities covers the named references that appear in generated and
+// real-world phishing markup; numeric references are decoded generally.
+var entities = map[string]rune{
+	"amp": '&', "lt": '<', "gt": '>', "quot": '"', "apos": '\'',
+	"nbsp": ' ', "copy": '©', "reg": '®', "trade": '™', "mdash": '—',
+	"ndash": '–', "hellip": '…', "laquo": '«', "raquo": '»',
+}
+
+// DecodeEntities resolves &name; and &#NNN; / &#xHH; references. Unknown
+// references pass through verbatim.
+func DecodeEntities(s string) string {
+	amp := strings.IndexByte(s, '&')
+	if amp < 0 {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); {
+		if s[i] != '&' {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		semi := strings.IndexByte(s[i:], ';')
+		if semi < 0 || semi > 12 {
+			b.WriteByte('&')
+			i++
+			continue
+		}
+		ref := s[i+1 : i+semi]
+		if r, ok := decodeRef(ref); ok {
+			b.WriteRune(r)
+			i += semi + 1
+			continue
+		}
+		b.WriteByte('&')
+		i++
+	}
+	return b.String()
+}
+
+func decodeRef(ref string) (rune, bool) {
+	if ref == "" {
+		return 0, false
+	}
+	if ref[0] == '#' {
+		num := ref[1:]
+		base := 10
+		if len(num) > 1 && (num[0] == 'x' || num[0] == 'X') {
+			base = 16
+			num = num[1:]
+		}
+		v := 0
+		for _, c := range num {
+			d := digitVal(c, base)
+			if d < 0 {
+				return 0, false
+			}
+			v = v*base + d
+			if v > 0x10ffff {
+				return 0, false
+			}
+		}
+		if v == 0 {
+			return 0, false
+		}
+		return rune(v), true
+	}
+	r, ok := entities[strings.ToLower(ref)]
+	return r, ok
+}
+
+func digitVal(c rune, base int) int {
+	switch {
+	case c >= '0' && c <= '9':
+		v := int(c - '0')
+		if v < base {
+			return v
+		}
+	case base == 16 && c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case base == 16 && c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}
+
+// indexFold finds the first case-insensitive occurrence of needle in s.
+func indexFold(s, needle string) int {
+	n := len(needle)
+	if n == 0 {
+		return 0
+	}
+	for i := 0; i+n <= len(s); i++ {
+		if strings.EqualFold(s[i:i+n], needle) {
+			return i
+		}
+	}
+	return -1
+}

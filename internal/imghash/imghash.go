@@ -1,0 +1,179 @@
+// Package imghash implements perceptual image hashing — average hash,
+// difference hash, and DCT-based perceptual hash — with Hamming distance
+// comparison.
+//
+// The paper measures layout obfuscation by comparing the "Image hash" of
+// phishing screenshots against the brands' original pages (§4.2, Figures 8
+// and 9): visually-similar pages hash within a small Hamming distance,
+// while layout-obfuscated pages drift to distances of 20+ out of 64 bits.
+// This package provides the same metric for the reproduction's rasters.
+package imghash
+
+import (
+	"math"
+	"math/bits"
+
+	"squatphi/internal/render"
+)
+
+// Hash is a 64-bit perceptual hash.
+type Hash uint64
+
+// Distance returns the Hamming distance between two hashes (0..64).
+func Distance(a, b Hash) int { return bits.OnesCount64(uint64(a) ^ uint64(b)) }
+
+// hashGrid is the downsampling resolution: 8x8 = 64 bits.
+const hashGrid = 8
+
+// downsample shrinks a raster to a w x h mean-intensity grid.
+func downsample(ra *render.Raster, w, h int) []float64 {
+	out := make([]float64, w*h)
+	if ra.W == 0 || ra.H == 0 {
+		return out
+	}
+	for gy := 0; gy < h; gy++ {
+		y0, y1 := gy*ra.H/h, (gy+1)*ra.H/h
+		if y1 == y0 {
+			y1 = y0 + 1
+		}
+		for gx := 0; gx < w; gx++ {
+			x0, x1 := gx*ra.W/w, (gx+1)*ra.W/w
+			if x1 == x0 {
+				x1 = x0 + 1
+			}
+			sum, n := 0.0, 0
+			for y := y0; y < y1 && y < ra.H; y++ {
+				for x := x0; x < x1 && x < ra.W; x++ {
+					sum += float64(ra.At(x, y))
+					n++
+				}
+			}
+			if n > 0 {
+				out[gy*w+gx] = sum / float64(n)
+			}
+		}
+	}
+	return out
+}
+
+// Average computes the aHash: each of the 8x8 cells is compared to the
+// global mean intensity.
+func Average(ra *render.Raster) Hash {
+	grid := downsample(ra, hashGrid, hashGrid)
+	mean := 0.0
+	for _, v := range grid {
+		mean += v
+	}
+	mean /= float64(len(grid))
+	var h Hash
+	for i, v := range grid {
+		if v < mean { // darker than average = 1 (content present)
+			h |= 1 << uint(i)
+		}
+	}
+	return h
+}
+
+// Difference computes the dHash: each cell is compared to its right
+// neighbour on a 9x8 grid, capturing horizontal gradients.
+func Difference(ra *render.Raster) Hash {
+	grid := downsample(ra, hashGrid+1, hashGrid)
+	var h Hash
+	i := 0
+	for y := 0; y < hashGrid; y++ {
+		for x := 0; x < hashGrid; x++ {
+			if grid[y*(hashGrid+1)+x] < grid[y*(hashGrid+1)+x+1] {
+				h |= 1 << uint(i)
+			}
+			i++
+		}
+	}
+	return h
+}
+
+// pGrid is the pHash working resolution before the DCT.
+const pGrid = 32
+
+// Perceptual computes the pHash: a 32x32 downsample, a 2-D DCT-II, and the
+// sign of the top-left 8x8 low-frequency coefficients (excluding DC)
+// against their median.
+func Perceptual(ra *render.Raster) Hash {
+	grid := downsample(ra, pGrid, pGrid)
+	coef := dct2d(grid, pGrid)
+
+	// Collect the 8x8 low-frequency block, skipping the DC term.
+	var lows []float64
+	for y := 0; y < hashGrid; y++ {
+		for x := 0; x < hashGrid; x++ {
+			if x == 0 && y == 0 {
+				continue
+			}
+			lows = append(lows, coef[y*pGrid+x])
+		}
+	}
+	med := median(lows)
+	var h Hash
+	i := 0
+	for y := 0; y < hashGrid; y++ {
+		for x := 0; x < hashGrid; x++ {
+			if x == 0 && y == 0 {
+				continue
+			}
+			if coef[y*pGrid+x] > med {
+				h |= 1 << uint(i)
+			}
+			i++
+		}
+	}
+	return h
+}
+
+// dct2d computes a 2-D DCT-II of an n x n grid (rows, then columns).
+func dct2d(grid []float64, n int) []float64 {
+	tmp := make([]float64, n*n)
+	out := make([]float64, n*n)
+	// Precompute the cosine basis.
+	cosTab := make([]float64, n*n)
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			cosTab[k*n+i] = math.Cos(math.Pi * float64(k) * (float64(i) + 0.5) / float64(n))
+		}
+	}
+	for y := 0; y < n; y++ {
+		for k := 0; k < n; k++ {
+			sum := 0.0
+			for x := 0; x < n; x++ {
+				sum += grid[y*n+x] * cosTab[k*n+x]
+			}
+			tmp[y*n+k] = sum
+		}
+	}
+	for x := 0; x < n; x++ {
+		for k := 0; k < n; k++ {
+			sum := 0.0
+			for y := 0; y < n; y++ {
+				sum += tmp[y*n+x] * cosTab[k*n+y]
+			}
+			out[k*n+x] = sum
+		}
+	}
+	return out
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	// Insertion sort: n is 63, not worth importing sort for floats here.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}

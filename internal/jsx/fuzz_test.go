@@ -1,0 +1,34 @@
+package jsx
+
+import "testing"
+
+// FuzzAnalyze drives the JS tokenizer and indicator analysis with
+// arbitrary input: no panics, no negative counters, bounded densities.
+func FuzzAnalyze(f *testing.F) {
+	seeds := []string{
+		"",
+		"var x = 1;",
+		`eval(String.fromCharCode(104,105));`,
+		`document.write("<div>");`,
+		`"unterminated`,
+		"/* unterminated",
+		"a = /regex/g; b = x / y;",
+		"`template ${x}`",
+		"\\u0041\\x41",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		rep := Analyze(src)
+		if rep.Tokens < 0 || rep.EvalCalls < 0 || rep.StringFuncCalls < 0 {
+			t.Fatalf("negative counters: %+v", rep)
+		}
+		if rep.SpecialCharDensity < 0 || rep.SpecialCharDensity > 1 {
+			t.Fatalf("density out of range: %+v", rep)
+		}
+		if rep.EscapeDensity < 0 {
+			t.Fatalf("negative escape density: %+v", rep)
+		}
+	})
+}

@@ -1,0 +1,312 @@
+// Package jsx implements a JavaScript tokenizer and a lightweight syntactic
+// analysis used to detect code obfuscation in phishing pages (paper §4.2).
+//
+// The paper parses JavaScript into an AST and extracts well-known
+// obfuscation indicators (borrowed from FrameHanger and earlier studies):
+// string-construction functions (fromCharCode, charCodeAt), dynamic
+// evaluation (eval), and heavy use of special characters / escape
+// sequences. This package tokenizes scripts from scratch and reports those
+// indicators; it aims for robust indicator extraction, not full ECMA-262
+// parsing.
+package jsx
+
+import (
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies JS lexical tokens.
+type TokenKind int
+
+const (
+	// Ident is an identifier or keyword.
+	Ident TokenKind = iota
+	// Number is a numeric literal.
+	Number
+	// Str is a string literal (quotes stripped, escapes kept raw).
+	Str
+	// Punct is an operator or punctuation sequence.
+	Punct
+	// Comment is a // or /* */ comment body.
+	Comment
+	// Regex is a regular-expression literal.
+	Regex
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string
+}
+
+// Tokenize lexes JavaScript source. It never fails; unrecognised bytes are
+// emitted as single-character Punct tokens, since the analyzer only needs
+// reliable identifier/string/comment extraction.
+func Tokenize(src string) []Token {
+	var toks []Token
+	i := 0
+	prevSignificant := func() *Token {
+		for j := len(toks) - 1; j >= 0; j-- {
+			if toks[j].Kind != Comment {
+				return &toks[j]
+			}
+		}
+		return nil
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			end := strings.IndexByte(src[i:], '\n')
+			if end < 0 {
+				end = len(src) - i
+			}
+			toks = append(toks, Token{Comment, src[i+2 : i+end]})
+			i += end
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				toks = append(toks, Token{Comment, src[i+2:]})
+				i = len(src)
+			} else {
+				toks = append(toks, Token{Comment, src[i+2 : i+2+end]})
+				i += end + 4
+			}
+		case c == '"' || c == '\'' || c == '`':
+			lit, n := lexString(src[i:], c)
+			toks = append(toks, Token{Str, lit})
+			i += n
+		case c >= '0' && c <= '9':
+			start := i
+			for i < len(src) && (isNumByte(src[i])) {
+				i++
+			}
+			toks = append(toks, Token{Number, src[start:i]})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < len(src) && isIdentPart(rune(src[i])) {
+				i++
+			}
+			toks = append(toks, Token{Ident, src[start:i]})
+		case c == '/':
+			// Regex if the previous significant token cannot end an
+			// expression; otherwise a division operator.
+			if p := prevSignificant(); p == nil || p.Kind == Punct && p.Text != ")" && p.Text != "]" {
+				lit, n, ok := lexRegex(src[i:])
+				if ok {
+					toks = append(toks, Token{Regex, lit})
+					i += n
+					continue
+				}
+			}
+			toks = append(toks, Token{Punct, "/"})
+			i++
+		default:
+			toks = append(toks, Token{Punct, string(c)})
+			i++
+		}
+	}
+	return toks
+}
+
+func lexString(src string, quote byte) (string, int) {
+	var b strings.Builder
+	i := 1
+	for i < len(src) {
+		if src[i] == '\\' && i+1 < len(src) {
+			b.WriteByte(src[i])
+			b.WriteByte(src[i+1])
+			i += 2
+			continue
+		}
+		if src[i] == quote {
+			return b.String(), i + 1
+		}
+		b.WriteByte(src[i])
+		i++
+	}
+	return b.String(), len(src)
+}
+
+func lexRegex(src string) (string, int, bool) {
+	i := 1
+	inClass := false
+	for i < len(src) {
+		switch src[i] {
+		case '\\':
+			i++
+		case '[':
+			inClass = true
+		case ']':
+			inClass = false
+		case '/':
+			if !inClass {
+				// consume flags
+				j := i + 1
+				for j < len(src) && isIdentPart(rune(src[j])) {
+					j++
+				}
+				return src[1:i], j, true
+			}
+		case '\n':
+			return "", 0, false
+		}
+		i++
+	}
+	return "", 0, false
+}
+
+func isNumByte(c byte) bool {
+	return c >= '0' && c <= '9' || c == '.' || c == 'x' || c == 'X' ||
+		c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F' || c == 'o' || c == 'O'
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool { return isIdentStart(r) || unicode.IsDigit(r) }
+
+// Report summarises the obfuscation indicators found in one script.
+type Report struct {
+	// Tokens is the total token count.
+	Tokens int
+	// EvalCalls counts eval / Function constructor uses.
+	EvalCalls int
+	// StringFuncCalls counts fromCharCode / charCodeAt / unescape / atob /
+	// decodeURIComponent uses.
+	StringFuncCalls int
+	// DocumentWrites counts document.write calls (dynamic content loading).
+	DocumentWrites int
+	// EscapeDensity is the fraction of string-literal bytes that belong to
+	// \x.. / \u.... escape sequences.
+	EscapeDensity float64
+	// LongStringLiterals counts string literals over 256 bytes (packed
+	// payloads).
+	LongStringLiterals int
+	// SpecialCharDensity is the fraction of punctuation tokens among all
+	// tokens, a coarse "looks like packed code" signal.
+	SpecialCharDensity float64
+}
+
+// indicator identifiers checked against Ident tokens.
+var stringFuncs = map[string]bool{
+	"fromCharCode": true, "charCodeAt": true, "unescape": true,
+	"atob": true, "decodeURIComponent": true, "escape": true,
+}
+
+// Analyze tokenizes src and extracts the obfuscation indicators.
+func Analyze(src string) Report {
+	toks := Tokenize(src)
+	var rep Report
+	rep.Tokens = len(toks)
+
+	punct := 0
+	var strBytes, escBytes int
+	for ti, tok := range toks {
+		switch tok.Kind {
+		case Ident:
+			switch {
+			case tok.Text == "eval" || tok.Text == "Function":
+				if followedByCall(toks, ti) {
+					rep.EvalCalls++
+				}
+			case stringFuncs[tok.Text]:
+				rep.StringFuncCalls++
+			case tok.Text == "write" || tok.Text == "writeln":
+				if ti >= 2 && toks[ti-1].Text == "." && toks[ti-2].Text == "document" {
+					rep.DocumentWrites++
+				}
+			}
+		case Str:
+			strBytes += len(tok.Text)
+			escBytes += countEscapeBytes(tok.Text)
+			if len(tok.Text) > 256 {
+				rep.LongStringLiterals++
+			}
+		case Punct:
+			punct++
+		}
+	}
+	if strBytes > 0 {
+		rep.EscapeDensity = float64(escBytes) / float64(strBytes)
+	}
+	if len(toks) > 0 {
+		rep.SpecialCharDensity = float64(punct) / float64(len(toks))
+	}
+	return rep
+}
+
+func followedByCall(toks []Token, i int) bool {
+	for j := i + 1; j < len(toks); j++ {
+		if toks[j].Kind == Comment {
+			continue
+		}
+		return toks[j].Kind == Punct && toks[j].Text == "("
+	}
+	return false
+}
+
+func countEscapeBytes(s string) int {
+	n := 0
+	for i := 0; i+1 < len(s); i++ {
+		if s[i] != '\\' {
+			continue
+		}
+		switch s[i+1] {
+		case 'x':
+			n += 4
+			i += 3
+		case 'u':
+			n += 6
+			i += 5
+		}
+	}
+	return n
+}
+
+// Obfuscated applies the paper's "strong and well-known indicators only"
+// rule: a script is flagged when it dynamically evaluates code, builds
+// strings character-by-character, or is dominated by escape sequences.
+func (r Report) Obfuscated() bool {
+	if r.EvalCalls > 0 && r.StringFuncCalls > 0 {
+		return true
+	}
+	if r.StringFuncCalls >= 3 {
+		return true
+	}
+	if r.EscapeDensity > 0.3 && r.Tokens > 10 {
+		return true
+	}
+	if r.LongStringLiterals > 0 && (r.EvalCalls > 0 || r.DocumentWrites > 0) {
+		return true
+	}
+	return false
+}
+
+// AnalyzeAll merges the reports of several scripts (one page may embed
+// many) and reports whether any is obfuscated.
+func AnalyzeAll(scripts []string) (Report, bool) {
+	var merged Report
+	obfuscated := false
+	totalStr := 0.0
+	for _, s := range scripts {
+		rep := Analyze(s)
+		merged.Tokens += rep.Tokens
+		merged.EvalCalls += rep.EvalCalls
+		merged.StringFuncCalls += rep.StringFuncCalls
+		merged.DocumentWrites += rep.DocumentWrites
+		merged.LongStringLiterals += rep.LongStringLiterals
+		merged.EscapeDensity += rep.EscapeDensity
+		totalStr++
+		if rep.Obfuscated() {
+			obfuscated = true
+		}
+	}
+	if totalStr > 0 {
+		merged.EscapeDensity /= totalStr
+	}
+	return merged, obfuscated
+}

@@ -1,0 +1,196 @@
+package jsx
+
+import (
+	"strings"
+	"testing"
+
+	"squatphi/internal/simrand"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestTokenizeBasics(t *testing.T) {
+	toks := Tokenize(`var x = 42; // answer`)
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{Ident, "var"}, {Ident, "x"}, {Punct, "="}, {Number, "42"},
+		{Punct, ";"}, {Comment, " answer"},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %+v", toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = %+v, want %+v", i, toks[i], w)
+		}
+	}
+}
+
+func TestTokenizeStrings(t *testing.T) {
+	toks := Tokenize(`a("it's", 'he said "hi"', ` + "`tpl`" + `)`)
+	var strs []string
+	for _, tok := range toks {
+		if tok.Kind == Str {
+			strs = append(strs, tok.Text)
+		}
+	}
+	if len(strs) != 3 || strs[0] != "it's" || strs[1] != `he said "hi"` || strs[2] != "tpl" {
+		t.Fatalf("strings = %q", strs)
+	}
+}
+
+func TestTokenizeStringEscapes(t *testing.T) {
+	toks := Tokenize(`x = "a\"b\\"`)
+	if toks[2].Kind != Str || toks[2].Text != `a\"b\\` {
+		t.Fatalf("escaped string = %+v", toks[2])
+	}
+}
+
+func TestTokenizeBlockComment(t *testing.T) {
+	toks := Tokenize(`/* multi
+line */ x`)
+	if toks[0].Kind != Comment || !strings.Contains(toks[0].Text, "multi") {
+		t.Fatalf("comment = %+v", toks[0])
+	}
+	if toks[1].Kind != Ident || toks[1].Text != "x" {
+		t.Fatalf("after comment = %+v", toks[1])
+	}
+}
+
+func TestTokenizeRegexVsDivision(t *testing.T) {
+	toks := Tokenize(`a = b / c;`)
+	for _, tok := range toks {
+		if tok.Kind == Regex {
+			t.Fatalf("division lexed as regex: %+v", toks)
+		}
+	}
+	toks = Tokenize(`a = /fo+o/g;`)
+	found := false
+	for _, tok := range toks {
+		if tok.Kind == Regex && tok.Text == "fo+o" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("regex literal missed: %+v", toks)
+	}
+}
+
+func TestTokenizeUnterminated(t *testing.T) {
+	// Must not panic or loop.
+	for _, src := range []string{`"abc`, "`tpl", "/* never", "// eof", `a = /re`} {
+		_ = Tokenize(src)
+	}
+}
+
+func TestAnalyzeCleanCode(t *testing.T) {
+	rep := Analyze(`
+		function greet(name) {
+			document.getElementById("x").textContent = "hello " + name;
+		}
+		greet("world");
+	`)
+	if rep.Obfuscated() {
+		t.Fatalf("clean code flagged: %+v", rep)
+	}
+	if rep.EvalCalls != 0 || rep.StringFuncCalls != 0 {
+		t.Fatalf("false indicators: %+v", rep)
+	}
+}
+
+func TestAnalyzeEvalFromCharCode(t *testing.T) {
+	rep := Analyze(`var s=""; for(var i=0;i<c.length;i++){s+=String.fromCharCode(c[i]^7);} eval(s);`)
+	if rep.EvalCalls != 1 {
+		t.Fatalf("EvalCalls = %d", rep.EvalCalls)
+	}
+	if rep.StringFuncCalls != 1 {
+		t.Fatalf("StringFuncCalls = %d", rep.StringFuncCalls)
+	}
+	if !rep.Obfuscated() {
+		t.Fatalf("obfuscated sample not flagged: %+v", rep)
+	}
+}
+
+func TestAnalyzeEvalIdentifierOnlyNotCall(t *testing.T) {
+	rep := Analyze(`var evaluation = eval2; var x = "eval";`)
+	if rep.EvalCalls != 0 {
+		t.Fatalf("EvalCalls = %d for non-call uses", rep.EvalCalls)
+	}
+}
+
+func TestAnalyzeEscapeDensity(t *testing.T) {
+	rep := Analyze(`var p = "\x68\x74\x74\x70\x3a\x2f\x2f\x65\x76\x69\x6c"; var a=1; var b=2; var c=3;`)
+	if rep.EscapeDensity < 0.9 {
+		t.Fatalf("EscapeDensity = %f, want ~1", rep.EscapeDensity)
+	}
+	if !rep.Obfuscated() {
+		t.Fatalf("hex-packed string not flagged: %+v", rep)
+	}
+}
+
+func TestAnalyzeDocumentWrite(t *testing.T) {
+	longStr := strings.Repeat("Z", 300)
+	rep := Analyze(`document.write("` + longStr + `");`)
+	if rep.DocumentWrites != 1 {
+		t.Fatalf("DocumentWrites = %d", rep.DocumentWrites)
+	}
+	if rep.LongStringLiterals != 1 {
+		t.Fatalf("LongStringLiterals = %d", rep.LongStringLiterals)
+	}
+	if !rep.Obfuscated() {
+		t.Fatalf("packed document.write not flagged: %+v", rep)
+	}
+}
+
+func TestAnalyzeChurnedStringFuncs(t *testing.T) {
+	rep := Analyze(`a.charCodeAt(0); b.charCodeAt(1); unescape(x);`)
+	if rep.StringFuncCalls != 3 || !rep.Obfuscated() {
+		t.Fatalf("rep = %+v", rep)
+	}
+}
+
+func TestAnalyzeAll(t *testing.T) {
+	scripts := []string{
+		`console.log("benign");`,
+		`eval(String.fromCharCode(104,105));`,
+	}
+	merged, obf := AnalyzeAll(scripts)
+	if !obf {
+		t.Fatal("AnalyzeAll missed the obfuscated script")
+	}
+	if merged.EvalCalls != 1 || merged.StringFuncCalls != 1 {
+		t.Fatalf("merged = %+v", merged)
+	}
+	_, obf = AnalyzeAll([]string{`var x = 1;`})
+	if obf {
+		t.Fatal("AnalyzeAll flagged clean scripts")
+	}
+}
+
+func TestAnalyzeNeverPanics(t *testing.T) {
+	r := simrand.New(55)
+	pieces := []string{`"`, `'`, "`", `\`, "/", "/*", "*/", "//", "eval", "(", ")", "{", "}", "\n", "fromCharCode", "1e9", "0x", "$"}
+	for i := 0; i < 3000; i++ {
+		var b strings.Builder
+		for j := 0; j < r.Intn(24); j++ {
+			b.WriteString(pieces[r.Intn(len(pieces))])
+		}
+		_ = Analyze(b.String())
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	src := `var s=""; for(var i=0;i<c.length;i++){s+=String.fromCharCode(c[i]^7);} eval(s); document.write("<div>x</div>");`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Analyze(src)
+	}
+}

@@ -1,0 +1,82 @@
+package ml
+
+import (
+	"testing"
+
+	"squatphi/internal/simrand"
+)
+
+func TestFeatureImportanceFindsSignal(t *testing.T) {
+	// Feature 2 fully determines the label; features 0, 1, 3, 4 are noise.
+	r := simrand.New(3)
+	n := 300
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		row := make([]float64, 5)
+		for j := range row {
+			row[j] = r.Float64()
+		}
+		label := 0
+		if row[2] > 0.5 {
+			label = 1
+		}
+		X[i], y[i] = row, label
+	}
+	rf := RandomForest{NTrees: 25, Seed: 7}
+	rf.Fit(X, y)
+	imp := rf.FeatureImportance(5)
+	sum := 0.0
+	for _, v := range imp {
+		sum += v
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("importances sum to %f, want 1", sum)
+	}
+	top := TopFeatures(imp, 1)
+	if top[0] != 2 {
+		t.Fatalf("top feature = %d (importances %v), want 2", top[0], imp)
+	}
+	if imp[2] < 0.5 {
+		t.Fatalf("signal feature importance = %f, want dominant", imp[2])
+	}
+}
+
+func TestFeatureImportanceEmptyForest(t *testing.T) {
+	var rf RandomForest
+	imp := rf.FeatureImportance(3)
+	for _, v := range imp {
+		if v != 0 {
+			t.Fatal("untrained forest has non-zero importances")
+		}
+	}
+}
+
+func TestTopFeaturesBounds(t *testing.T) {
+	got := TopFeatures([]float64{0.1, 0.7, 0.2}, 10)
+	if len(got) != 3 || got[0] != 1 {
+		t.Fatalf("TopFeatures = %v", got)
+	}
+}
+
+func TestImportanceConjunction(t *testing.T) {
+	// Label = x0 AND x1 (binary): both features should carry importance,
+	// the rest none.
+	r := simrand.New(5)
+	n := 400
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		row := []float64{float64(r.Intn(2)), float64(r.Intn(2)), r.Float64(), r.Float64()}
+		if row[0] == 1 && row[1] == 1 {
+			y[i] = 1
+		}
+		X[i] = row
+	}
+	rf := RandomForest{NTrees: 25, Seed: 11}
+	rf.Fit(X, y)
+	imp := rf.FeatureImportance(4)
+	if imp[0]+imp[1] < 0.8 {
+		t.Fatalf("conjunction features carry %f, want > 0.8 (%v)", imp[0]+imp[1], imp)
+	}
+}

@@ -1,0 +1,87 @@
+package ocr
+
+import "strings"
+
+// CharErrorRate returns the character error rate of a hypothesis against a
+// reference transcript: the Levenshtein distance divided by the reference
+// length (the standard OCR accuracy metric; the paper accepts Tesseract on
+// the strength of its reported <3% error rate).
+// Comparison is case-insensitive with whitespace runs collapsed.
+func CharErrorRate(reference, hypothesis string) float64 {
+	ref := normalizeTranscript(reference)
+	hyp := normalizeTranscript(hypothesis)
+	if len(ref) == 0 {
+		if len(hyp) == 0 {
+			return 0
+		}
+		return 1
+	}
+	return float64(editDistance(ref, hyp)) / float64(len(ref))
+}
+
+// WordErrorRate is the word-level analogue.
+func WordErrorRate(reference, hypothesis string) float64 {
+	ref := strings.Fields(strings.ToUpper(reference))
+	hyp := strings.Fields(strings.ToUpper(hypothesis))
+	if len(ref) == 0 {
+		if len(hyp) == 0 {
+			return 0
+		}
+		return 1
+	}
+	return float64(wordEditDistance(ref, hyp)) / float64(len(ref))
+}
+
+func normalizeTranscript(s string) string {
+	return strings.Join(strings.Fields(strings.ToUpper(s)), " ")
+}
+
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func wordEditDistance(a, b []string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

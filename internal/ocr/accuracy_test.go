@@ -1,0 +1,100 @@
+package ocr
+
+import (
+	"testing"
+
+	"squatphi/internal/render"
+	"squatphi/internal/simrand"
+)
+
+func TestCharErrorRateBasics(t *testing.T) {
+	cases := []struct {
+		ref, hyp string
+		want     float64
+	}{
+		{"PASSWORD", "PASSWORD", 0},
+		{"PASSWORD", "PASSWORD ", 0}, // whitespace normalised
+		{"PASSWORD", "password", 0},  // case folded
+		{"ABCD", "ABXD", 0.25},
+		{"ABCD", "", 1},
+		{"", "", 0},
+		{"", "X", 1},
+	}
+	for _, c := range cases {
+		if got := CharErrorRate(c.ref, c.hyp); got != c.want {
+			t.Errorf("CER(%q, %q) = %f, want %f", c.ref, c.hyp, got, c.want)
+		}
+	}
+}
+
+func TestWordErrorRate(t *testing.T) {
+	if got := WordErrorRate("log in now", "log on now"); got != 1.0/3 {
+		t.Fatalf("WER = %f", got)
+	}
+	if got := WordErrorRate("a b", "a b"); got != 0 {
+		t.Fatalf("identical WER = %f", got)
+	}
+}
+
+// TestEngineErrorRateVsNoise sweeps capture noise and checks the engine's
+// character error rate stays in a Tesseract-like band: ~0% clean, a few
+// percent at realistic noise, degrading gracefully beyond.
+func TestEngineErrorRateVsNoise(t *testing.T) {
+	lines := []string{
+		"PLEASE ENTER YOUR PASSWORD",
+		"WELCOME TO THE PAYMENT CENTER",
+		"VERIFY YOUR ACCOUNT DETAILS NOW",
+		"SIGN IN WITH EMAIL OR PHONE",
+	}
+	var e Engine
+	rates := map[float64]float64{}
+	for _, noise := range []float64{0, 0.01, 0.03} {
+		totalCER := 0.0
+		for i, text := range lines {
+			ra := render.NewRaster(render.TextWidth(text, 1)+20, render.GlyphH+10)
+			render.DrawText(ra, 4, 4, text, 1)
+			if noise > 0 {
+				ra.AddNoise(simrand.New(uint64(i+1)), noise)
+			}
+			totalCER += CharErrorRate(text, e.Recognize(ra))
+		}
+		rates[noise] = totalCER / float64(len(lines))
+	}
+	if rates[0] != 0 {
+		t.Errorf("clean CER = %f, want 0", rates[0])
+	}
+	if rates[0.01] > 0.05 {
+		t.Errorf("CER at 1%% noise = %f, want <= 0.05 (Tesseract-like)", rates[0.01])
+	}
+	if rates[0.03] > 0.30 {
+		t.Errorf("CER at 3%% noise = %f, want graceful degradation", rates[0.03])
+	}
+	if rates[0.03] < rates[0] {
+		t.Error("error rate not monotone in noise")
+	}
+}
+
+// TestSpellcheckReducesWER shows the paper's pipeline property: the spell
+// checker recovers words the raw engine gets nearly right.
+func TestSpellcheckReducesWER(t *testing.T) {
+	text := "CONFIRM YOUR PASSWORD TO CONTINUE"
+	sc := NewSpellchecker([]string{"confirm", "your", "password", "to", "continue"})
+	var e Engine
+	var rawWER, fixedWER float64
+	const trials = 6
+	for i := 0; i < trials; i++ {
+		ra := render.NewRaster(render.TextWidth(text, 1)+20, render.GlyphH+10)
+		render.DrawText(ra, 4, 4, text, 1)
+		ra.AddNoise(simrand.New(uint64(100+i)), 0.02)
+		raw := e.Recognize(ra)
+		rawWER += WordErrorRate(text, raw)
+		fixed := ""
+		for _, w := range sc.CorrectAll(e.RecognizeWords(ra)) {
+			fixed += w + " "
+		}
+		fixedWER += WordErrorRate(text, fixed)
+	}
+	if fixedWER > rawWER {
+		t.Errorf("spellcheck raised WER: raw %f fixed %f", rawWER/trials, fixedWER/trials)
+	}
+}

@@ -1,0 +1,377 @@
+// Package ocr implements the optical character recognition substrate: it
+// recovers text from rendered page rasters by template-matching the built-in
+// bitmap font, after denoising and removing box borders.
+//
+// The paper uses Tesseract to extract text from page screenshots because
+// evasive phishing pages remove brand keywords from their HTML and display
+// them via images or obfuscated scripts (paper §5.1). The OCR features are
+// the classifier's key novelty. This engine reproduces the property that
+// matters: it reads pixels, not markup, so whatever the page *shows* is
+// recovered regardless of how the HTML was obfuscated. A configurable
+// pixel-noise model upstream (render.Options.NoiseLevel) gives it a
+// realistic non-zero error rate, which the spell-checker then corrects —
+// matching the paper's Tesseract + spell-check pipeline.
+package ocr
+
+import (
+	"strings"
+
+	"squatphi/internal/render"
+)
+
+// Engine recognises text in rasters. The zero value is ready to use.
+type Engine struct {
+	// MinScore is the minimum template agreement (fraction of the 35 glyph
+	// cells) to accept a character. Default 0.72.
+	MinScore float64
+}
+
+// Recognize extracts the text of a raster, top to bottom. Lines are
+// separated by newlines; unrecognisable cells are dropped.
+func (e *Engine) Recognize(ra *render.Raster) string {
+	minScore := e.MinScore
+	if minScore == 0 {
+		minScore = 0.72
+	}
+
+	work := binarize(ra)
+	denoise(work)
+	removeBorders(work)
+
+	var out []string
+	for _, band := range findBands(work) {
+		line := e.readBand(work, band, minScore)
+		if strings.TrimSpace(line) != "" {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// RecognizeWords returns the recognised text split into lower-cased words.
+func (e *Engine) RecognizeWords(ra *render.Raster) []string {
+	return strings.Fields(strings.ToLower(e.Recognize(ra)))
+}
+
+// bitmap is a binarized work image.
+type bitmap struct {
+	w, h int
+	pix  []bool // true = ink
+}
+
+func (b *bitmap) at(x, y int) bool {
+	if x < 0 || y < 0 || x >= b.w || y >= b.h {
+		return false
+	}
+	return b.pix[y*b.w+x]
+}
+
+func (b *bitmap) set(x, y int, v bool) {
+	if x < 0 || y < 0 || x >= b.w || y >= b.h {
+		return
+	}
+	b.pix[y*b.w+x] = v
+}
+
+func binarize(ra *render.Raster) *bitmap {
+	b := &bitmap{w: ra.W, h: ra.H, pix: make([]bool, ra.W*ra.H)}
+	for i, v := range ra.Pix {
+		b.pix[i] = v < 128
+	}
+	return b
+}
+
+// denoise removes weakly-connected ink pixels and fills isolated holes — a
+// cheap approximation of a median filter, enough to undo salt-and-pepper
+// noise. Ink with at most one dark neighbour is treated as noise: glyph
+// strokes are at least two pixels thick in their run direction, so at most
+// a stroke endpoint is shaved, which the Dice matcher tolerates; noise
+// pairs (common at a few percent noise, and destructive to line
+// segmentation) are removed entirely.
+func denoise(b *bitmap) {
+	// Count dark neighbours for every pixel once.
+	counts := make([]uint8, len(b.pix))
+	for y := 0; y < b.h; y++ {
+		for x := 0; x < b.w; x++ {
+			n := uint8(0)
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if (dx != 0 || dy != 0) && b.at(x+dx, y+dy) {
+						n++
+					}
+				}
+			}
+			counts[y*b.w+x] = n
+		}
+	}
+	out := make([]bool, len(b.pix))
+	copy(out, b.pix)
+	for y := 0; y < b.h; y++ {
+		for x := 0; x < b.w; x++ {
+			i := y*b.w + x
+			switch {
+			case b.pix[i] && counts[i] == 0:
+				out[i] = false // lone speck
+			case b.pix[i] && counts[i] == 1:
+				// Remove only if the single neighbour is itself weakly
+				// connected: isolated noise pairs vanish, while stroke
+				// endpoints (whose neighbour sits inside a glyph stroke)
+				// survive.
+				if neighborMaxCount(b, counts, x, y) <= 1 {
+					out[i] = false
+				}
+			case !b.pix[i] && counts[i] >= 7:
+				out[i] = true // pinhole
+			}
+		}
+	}
+	b.pix = out
+}
+
+// neighborMaxCount returns the highest neighbour-count among the dark
+// neighbours of (x, y).
+func neighborMaxCount(b *bitmap, counts []uint8, x, y int) uint8 {
+	max := uint8(0)
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			nx, ny := x+dx, y+dy
+			if nx < 0 || ny < 0 || nx >= b.w || ny >= b.h || !b.at(nx, ny) {
+				continue
+			}
+			if c := counts[ny*b.w+nx]; c > max {
+				max = c
+			}
+		}
+	}
+	return max
+}
+
+// removeBorders erases long straight ink runs (input-box outlines, button
+// borders) that would otherwise merge text bands. Glyph strokes are at most
+// 10px long (5px glyphs at 2x scale), so the thresholds are safe.
+func removeBorders(b *bitmap) {
+	// Both passes measure runs on the original image: erasing horizontal
+	// borders first would shorten the vertical border runs below threshold
+	// (and vice versa), leaving box corners behind.
+	erase := make([]bool, len(b.pix))
+
+	const maxGlyphRun = 12
+	for y := 0; y < b.h; y++ {
+		runStart := -1
+		for x := 0; x <= b.w; x++ {
+			if x < b.w && b.at(x, y) {
+				if runStart < 0 {
+					runStart = x
+				}
+				continue
+			}
+			if runStart >= 0 && x-runStart > maxGlyphRun {
+				for xx := runStart; xx < x; xx++ {
+					erase[y*b.w+xx] = true
+				}
+			}
+			runStart = -1
+		}
+	}
+	// Tallest glyph stroke is GlyphH*2 = 14 at 2x scale.
+	const maxGlyphCol = 14
+	for x := 0; x < b.w; x++ {
+		runStart := -1
+		for y := 0; y <= b.h; y++ {
+			if y < b.h && b.at(x, y) {
+				if runStart < 0 {
+					runStart = y
+				}
+				continue
+			}
+			if runStart >= 0 && y-runStart > maxGlyphCol {
+				for yy := runStart; yy < y; yy++ {
+					erase[yy*b.w+x] = true
+				}
+			}
+			runStart = -1
+		}
+	}
+	for i, e := range erase {
+		if e {
+			b.pix[i] = false
+		}
+	}
+}
+
+// band is a horizontal strip containing one text line.
+type band struct {
+	top, height int
+	scale       int
+}
+
+// findBands locates text lines by the row ink profile: maximal runs of
+// inked rows whose height matches the font at scale 1 or 2.
+func findBands(b *bitmap) []band {
+	rowInk := make([]int, b.h)
+	for y := 0; y < b.h; y++ {
+		for x := 0; x < b.w; x++ {
+			if b.at(x, y) {
+				rowInk[y]++
+			}
+		}
+	}
+	var bands []band
+	y := 0
+	for y < b.h {
+		if rowInk[y] == 0 {
+			y++
+			continue
+		}
+		top := y
+		for y < b.h && rowInk[y] > 0 {
+			y++
+		}
+		h := y - top
+		switch {
+		case h >= 4 && h <= render.GlyphH+2:
+			bands = append(bands, band{top: top, height: h, scale: 1})
+		case h >= render.GlyphH+3 && h <= 2*render.GlyphH+4:
+			bands = append(bands, band{top: top, height: h, scale: 2})
+		case h > 2*render.GlyphH+4:
+			// Merged region (noise bridged two lines): split greedily at
+			// the expected line pitch for scale 1.
+			for t := top; t < y; t += render.LineH {
+				bands = append(bands, band{top: t, height: render.GlyphH, scale: 1})
+			}
+		default:
+			// height 1..3: stray ink; skip
+		}
+	}
+	return bands
+}
+
+// readBand recognises one text line. Glyphs sit on a fixed-pitch grid, but
+// the grid origin is the block's x coordinate, not the first ink column
+// (glyphs like 'I' or '1' have blank leading columns). The reader therefore
+// tries the three possible anchor offsets and keeps the alignment whose
+// total match score over the line is highest.
+func (e *Engine) readBand(b *bitmap, bd band, minScore float64) string {
+	left, right := -1, -1
+	for x := 0; x < b.w; x++ {
+		for y := bd.top; y < bd.top+bd.height; y++ {
+			if b.at(x, y) {
+				if left < 0 {
+					left = x
+				}
+				right = x
+				break
+			}
+		}
+	}
+	if left < 0 {
+		return ""
+	}
+
+	bestLine := ""
+	bestTotal := -1.0
+	for off := 0; off <= 2; off++ {
+		line, total := e.readLineAt(b, bd, left-off*bd.scale, right, minScore)
+		if total > bestTotal {
+			bestTotal, bestLine = total, line
+		}
+	}
+	return strings.TrimSpace(bestLine)
+}
+
+// readLineAt reads one line with the grid anchored at origin, returning the
+// text and the summed match score used for anchor selection.
+func (e *Engine) readLineAt(b *bitmap, bd band, origin, right int, minScore float64) (string, float64) {
+	advance := render.AdvanceX * bd.scale
+	var sb strings.Builder
+	total := 0.0
+	pendingSpace := false
+	for cellX := origin; cellX <= right; cellX += advance {
+		ch, score := e.matchCell(b, cellX, bd.top, bd.scale)
+		switch {
+		case ch == 0:
+			pendingSpace = sb.Len() > 0
+		case score >= minScore:
+			if pendingSpace {
+				sb.WriteByte(' ')
+				pendingSpace = false
+			}
+			sb.WriteRune(ch)
+			total += score
+		default:
+			total -= 0.5 // unknown cell: penalise this anchoring
+			pendingSpace = false
+		}
+	}
+	return sb.String(), total
+}
+
+// matchCell matches the glyph cell whose top-left is (x, y) against the
+// font templates using the Dice overlap of ink pixels, searching a small
+// vertical alignment window. A cell with no ink returns (0, 0): a space.
+func (e *Engine) matchCell(b *bitmap, x, y, scale int) (rune, float64) {
+	bestCh := rune(0)
+	bestScore := -1.0
+	anyInk := false
+	for dy := -1; dy <= 1; dy++ {
+		cell, ink := sampleCell(b, x, y+dy, scale)
+		if ink == 0 {
+			continue
+		}
+		anyInk = true
+		for ch, g := range render.Glyphs() {
+			if ch == ' ' {
+				continue
+			}
+			tp, glyphInk := 0, 0
+			for gy := 0; gy < render.GlyphH; gy++ {
+				for gx := 0; gx < render.GlyphW; gx++ {
+					if g[gy][gx] {
+						glyphInk++
+						if cell[gy][gx] {
+							tp++
+						}
+					}
+				}
+			}
+			// Dice coefficient over ink pixels: robust to the large
+			// background majority that inflates plain pixel agreement.
+			score := 2 * float64(tp) / float64(glyphInk+ink)
+			if score > bestScore {
+				bestScore = score
+				bestCh = ch
+			}
+		}
+	}
+	if !anyInk {
+		return 0, 0
+	}
+	return bestCh, bestScore
+}
+
+// sampleCell downsamples a glyph-sized region to 5x7 by majority vote and
+// returns it with its ink count.
+func sampleCell(b *bitmap, x, y, scale int) ([render.GlyphH][render.GlyphW]bool, int) {
+	var cell [render.GlyphH][render.GlyphW]bool
+	ink := 0
+	for gy := 0; gy < render.GlyphH; gy++ {
+		for gx := 0; gx < render.GlyphW; gx++ {
+			dark := 0
+			for sy := 0; sy < scale; sy++ {
+				for sx := 0; sx < scale; sx++ {
+					if b.at(x+gx*scale+sx, y+gy*scale+sy) {
+						dark++
+					}
+				}
+			}
+			if dark*2 > scale*scale {
+				cell[gy][gx] = true
+				ink++
+			}
+		}
+	}
+	return cell, ink
+}

@@ -1,0 +1,157 @@
+package phishtank
+
+import (
+	"strings"
+	"testing"
+
+	"squatphi/internal/squat"
+	"squatphi/internal/webworld"
+)
+
+func testWorld(t testing.TB) *webworld.World {
+	t.Helper()
+	return webworld.Build(webworld.Config{SquattingDomains: 3000, NonSquattingPhish: 800, Seed: 21})
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	w := testWorld(t)
+	a := Build(w, 5)
+	b := Build(w, 5)
+	if len(a.Reports) != len(b.Reports) {
+		t.Fatal("report counts differ")
+	}
+	for i := range a.Reports {
+		if a.Reports[i] != b.Reports[i] {
+			t.Fatalf("report %d differs", i)
+		}
+	}
+}
+
+func TestFeedCoversNonSquattingPhish(t *testing.T) {
+	w := testWorld(t)
+	f := Build(w, 5)
+	domains := map[string]bool{}
+	for _, rep := range f.Verified() {
+		domains[rep.Domain] = true
+	}
+	for _, d := range w.NonSquattingPhish {
+		if !domains[d] {
+			t.Fatalf("non-squatting phishing host %s missing from feed", d)
+		}
+	}
+}
+
+func TestReportsSortedByDay(t *testing.T) {
+	f := Build(testWorld(t), 5)
+	for i := 1; i < len(f.Reports); i++ {
+		if f.Reports[i].Day < f.Reports[i-1].Day {
+			t.Fatal("reports not sorted by day")
+		}
+	}
+}
+
+func TestMostReportsNotSquatting(t *testing.T) {
+	w := testWorld(t)
+	f := Build(w, 5)
+	m := squat.NewMatcher(w.Brands.SquatBrands())
+	dist := f.SquattingDistribution(m)
+	total := 0
+	for _, c := range dist {
+		total += c
+	}
+	nonSquat := float64(dist[squat.None]) / float64(total)
+	if nonSquat < 0.75 {
+		t.Fatalf("non-squatting fraction = %.2f, want ~0.91 (Fig. 7)", nonSquat)
+	}
+	// Among squatting reports, combo dominates.
+	for _, typ := range []squat.Type{squat.Bits, squat.WrongTLD} {
+		if dist[typ] > dist[squat.Combo] {
+			t.Fatalf("type %v exceeds combo in feed", typ)
+		}
+	}
+}
+
+func TestTopBrandSkew(t *testing.T) {
+	f := Build(testWorld(t), 5)
+	top := f.TopBrands(8)
+	if len(top) < 8 {
+		t.Fatalf("only %d brands in feed", len(top))
+	}
+	topSum := 0
+	for _, b := range top {
+		topSum += b.Count
+	}
+	frac := float64(topSum) / float64(len(f.Verified()))
+	if frac < 0.40 {
+		t.Fatalf("top-8 coverage = %.2f, want majority (Fig. 5: 59%%)", frac)
+	}
+	// Counts must be sorted descending.
+	for i := 1; i < len(top); i++ {
+		if top[i].Count > top[i-1].Count {
+			t.Fatal("TopBrands not sorted")
+		}
+	}
+}
+
+func TestAlexaRankDistribution(t *testing.T) {
+	f := Build(testWorld(t), 5)
+	unranked, total := 0, 0
+	for _, rep := range f.Verified() {
+		total++
+		if rep.AlexaRank == 0 {
+			unranked++
+		}
+	}
+	frac := float64(unranked) / float64(total)
+	if frac < 0.35 || frac > 0.85 {
+		t.Fatalf("beyond-1M fraction = %.2f, want ~0.70 (Fig. 6)", frac)
+	}
+}
+
+func TestURLsWellFormed(t *testing.T) {
+	f := Build(testWorld(t), 5)
+	for _, rep := range f.Reports {
+		if !strings.HasPrefix(rep.URL, "http://"+rep.Domain+"/") {
+			t.Fatalf("malformed URL %q for domain %q", rep.URL, rep.Domain)
+		}
+		if rep.Day < 0 || rep.Day >= CollectionDays {
+			t.Fatalf("day %d out of window", rep.Day)
+		}
+	}
+}
+
+func TestUnverifiedNoisePresent(t *testing.T) {
+	f := Build(testWorld(t), 5)
+	if len(f.Verified()) == len(f.Reports) {
+		t.Fatal("no unverified noise reports")
+	}
+}
+
+func TestStillPhishingAtCrawlFraction(t *testing.T) {
+	// Table 5: only ~43% of reported pages still phish when crawled.
+	w := testWorld(t)
+	f := Build(w, 5)
+	still, total := 0, 0
+	for _, rep := range f.Verified() {
+		site, ok := w.Site(rep.Domain)
+		if !ok {
+			continue
+		}
+		total++
+		if site.IsPhishingAt(0) {
+			still++
+		}
+	}
+	frac := float64(still) / float64(total)
+	if frac < 0.25 || frac > 0.65 {
+		t.Fatalf("still-phishing fraction = %.2f, want ~0.43", frac)
+	}
+}
+
+func BenchmarkBuildFeed(b *testing.B) {
+	w := webworld.Build(webworld.Config{SquattingDomains: 1000, NonSquattingPhish: 300, Seed: 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Build(w, uint64(i))
+	}
+}

@@ -1,0 +1,174 @@
+package punycode
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+)
+
+// RFC 3492 §7.1 sample strings and well-known IDN examples.
+var encodeCases = []struct {
+	unicode, ace string
+}{
+	{"bücher", "bcher-kva"},
+	{"münchen", "mnchen-3ya"},
+	{"fàcebook", "fcebook-8va"}, // paper Table 1 homograph example
+	{"пример", "e1afmkfd"},
+	{"παράδειγμα", "hxajbheg2az3al"},
+	{"例え", "r8jz45g"},
+	{"abc", "abc-"}, // all-basic input keeps trailing delimiter
+}
+
+func TestEncodeKnown(t *testing.T) {
+	for _, c := range encodeCases {
+		got, err := Encode(c.unicode)
+		if err != nil {
+			t.Errorf("Encode(%q) error: %v", c.unicode, err)
+			continue
+		}
+		if got != c.ace {
+			t.Errorf("Encode(%q) = %q, want %q", c.unicode, got, c.ace)
+		}
+	}
+}
+
+func TestDecodeKnown(t *testing.T) {
+	for _, c := range encodeCases {
+		got, err := Decode(c.ace)
+		if err != nil {
+			t.Errorf("Decode(%q) error: %v", c.ace, err)
+			continue
+		}
+		if got != c.unicode {
+			t.Errorf("Decode(%q) = %q, want %q", c.ace, got, c.unicode)
+		}
+	}
+}
+
+func TestDecodeCaseInsensitiveDigits(t *testing.T) {
+	// Extended digits are case-insensitive; basic code points keep their case.
+	got, err := Decode("BCHER-KVA")
+	if err != nil || got != "BüCHER" {
+		t.Fatalf("Decode uppercase = %q, %v", got, err)
+	}
+}
+
+func TestDecodeTrailingDelimiterForms(t *testing.T) {
+	// A trailing delimiter with an empty extended part is the canonical
+	// encoding of an all-basic string (RFC 3492 §3.1).
+	if got, err := Decode("kva-"); err != nil || got != "kva" {
+		t.Fatalf("Decode(\"kva-\") = %q, %v; want \"kva\"", got, err)
+	}
+	if got, err := Decode("-"); err != nil || got != "" {
+		t.Fatalf("Decode(\"-\") = %q, %v; want \"\"", got, err)
+	}
+}
+
+func TestDecodeInvalid(t *testing.T) {
+	for _, s := range []string{"!!!", "abc-€", "a-b-ü", "zz "} {
+		if _, err := Decode(s); err == nil {
+			t.Errorf("Decode(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestDecodeOverflow(t *testing.T) {
+	if _, err := Decode(strings.Repeat("z", 64)); err == nil {
+		t.Error("Decode of overflowing input succeeded")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(func(s string) bool {
+		if !utf8.ValidString(s) {
+			return true // skip invalid UTF-8 inputs
+		}
+		enc, err := Encode(s)
+		if err != nil {
+			return true // overflow on adversarial input is acceptable
+		}
+		dec, err := Decode(enc)
+		return err == nil && dec == s
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToASCII(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"fàcebook.com", "xn--fcebook-8va.com"},
+		{"facebook.com", "facebook.com"},
+		{"bücher.example.de", "xn--bcher-kva.example.de"},
+		{"FÀCEBOOK.COM", "xn--fcebook-8va.com"},
+	}
+	for _, c := range cases {
+		got, err := ToASCII(c.in)
+		if err != nil {
+			t.Errorf("ToASCII(%q) error: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ToASCII(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestToASCIIRejectsOverlongLabel(t *testing.T) {
+	long := strings.Repeat("ü", 60) + ".com"
+	if _, err := ToASCII(long); err == nil {
+		t.Error("ToASCII accepted a label that encodes to >63 octets")
+	}
+}
+
+func TestToUnicode(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"xn--fcebook-8va.com", "fàcebook.com"},
+		{"facebook.com", "facebook.com"},
+		{"XN--FCEBOOK-8VA.com", "fàcebook.com"},
+		{"xn--!!!.com", "xn--!!!.com"}, // invalid ACE passes through
+	}
+	for _, c := range cases {
+		if got := ToUnicode(c.in); got != c.want {
+			t.Errorf("ToUnicode(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestToASCIIToUnicodeRoundTrip(t *testing.T) {
+	domains := []string{"fàcebook.com", "gооgle.com", "пример.испытание", "mixed.bücher.org"}
+	for _, d := range domains {
+		ace, err := ToASCII(d)
+		if err != nil {
+			t.Fatalf("ToASCII(%q): %v", d, err)
+		}
+		if got := ToUnicode(ace); got != strings.ToLower(d) {
+			t.Errorf("round trip %q -> %q -> %q", d, ace, got)
+		}
+	}
+}
+
+func TestIsACE(t *testing.T) {
+	if !IsACE("xn--fcebook-8va.com") {
+		t.Error("IsACE missed an ACE domain")
+	}
+	if IsACE("facebook.com") {
+		t.Error("IsACE false positive on plain ASCII domain")
+	}
+	if !IsACE("mail.XN--BCHER-KVA.de") {
+		t.Error("IsACE missed ACE in middle label with upper case")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = Encode("fàcebook")
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = Decode("fcebook-8va")
+	}
+}

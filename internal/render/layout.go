@@ -1,0 +1,224 @@
+package render
+
+import (
+	"strconv"
+	"strings"
+
+	"squatphi/internal/htmlx"
+	"squatphi/internal/simrand"
+)
+
+// Options controls page rasterisation.
+type Options struct {
+	// Width is the viewport width in pixels (default 480).
+	Width int
+	// MaxHeight bounds the raster height (default 800).
+	MaxHeight int
+	// Assets maps image src paths to the text content painted inside the
+	// image. This models logo images and the "text moved into images"
+	// string-obfuscation evasion: the text exists only in pixels.
+	Assets map[string]string
+	// Perturb applies layout obfuscation with the given generator:
+	// randomised margins, spacing, decoration bars, and block reordering.
+	// Nil renders the canonical layout.
+	Perturb *simrand.RNG
+	// NoiseLevel adds per-pixel noise after layout (0 disables).
+	NoiseLevel float64
+	// NoiseSeed drives the noise pattern when Perturb is nil (captures
+	// must be deterministic per page for reproducible experiments).
+	NoiseSeed uint64
+}
+
+// Screenshot parses src and renders it, the one-call path used by the
+// crawler. See RenderPage for rendering an already-extracted page.
+func Screenshot(src string, opts Options) *Raster {
+	return RenderPage(htmlx.Extract(src), opts)
+}
+
+// block is one vertically-stacked layout unit.
+type block struct {
+	kind string // "title", "heading", "text", "link", "image", "form"
+	text string
+	form *htmlx.Form
+}
+
+// RenderPage rasterises an extracted page: title and headings at 2x scale,
+// body text and links at 1x, images as outlined boxes containing their
+// asset text, forms as input boxes with placeholder text and a filled
+// submit button.
+func RenderPage(p *htmlx.Page, opts Options) *Raster {
+	width := opts.Width
+	if width <= 0 {
+		width = 480
+	}
+	maxH := opts.MaxHeight
+	if maxH <= 0 {
+		maxH = 800
+	}
+	// Pages declare their own layout randomisation through a meta tag —
+	// the reproduction's stand-in for obfuscated CSS. The renderer (the
+	// "browser") honours it without any ground-truth knowledge.
+	if opts.Perturb == nil {
+		if seedStr, ok := p.Meta["layout-seed"]; ok {
+			if seed, err := strconv.ParseUint(seedStr, 10, 64); err == nil && seed != 0 {
+				opts.Perturb = simrand.New(seed).Split("page-layout")
+			}
+		}
+	}
+
+	blocks := collectBlocks(p, opts.Assets)
+
+	margin := 8
+	gap := 6
+	if opts.Perturb != nil {
+		margin = 4 + opts.Perturb.Intn(40)
+		gap = 3 + opts.Perturb.Intn(18)
+		// Layout obfuscation keeps content but reorders non-form blocks.
+		if opts.Perturb.Bool(0.5) {
+			shuffleKeepingForms(blocks, opts.Perturb)
+		}
+	}
+
+	ra := NewRaster(width, maxH)
+	y := margin
+	if opts.Perturb != nil && opts.Perturb.Bool(0.4) {
+		// Decorative header band: pure layout change, no text.
+		h := 8 + opts.Perturb.Intn(24)
+		ra.FillRect(0, y, width, h, 200)
+		y += h + gap
+	}
+	for _, b := range blocks {
+		if y >= maxH-GlyphH {
+			break
+		}
+		x := margin
+		if opts.Perturb != nil {
+			x = margin + opts.Perturb.Intn(30)
+		}
+		switch b.kind {
+		case "title", "heading":
+			y = drawWrapped(ra, x, y, b.text, 2, width-margin)
+		case "text", "link":
+			y = drawWrapped(ra, x, y, b.text, 1, width-margin)
+		case "image":
+			y = drawImage(ra, x, y, b.text, width-2*margin)
+		case "form":
+			y = drawForm(ra, x, y, b.form, width-2*margin)
+		}
+		y += gap
+	}
+
+	if opts.NoiseLevel > 0 {
+		rng := opts.Perturb
+		if rng == nil {
+			rng = simrand.New(opts.NoiseSeed | 1)
+		}
+		ra.AddNoise(rng, opts.NoiseLevel)
+	}
+	return ra
+}
+
+func collectBlocks(p *htmlx.Page, assets map[string]string) []block {
+	var blocks []block
+	if p.Title != "" {
+		blocks = append(blocks, block{kind: "title", text: p.Title})
+	}
+	for _, h := range p.Headings {
+		blocks = append(blocks, block{kind: "heading", text: h})
+	}
+	for _, img := range p.Images {
+		text := assets[img.Src]
+		if text == "" {
+			text = img.Alt
+		}
+		blocks = append(blocks, block{kind: "image", text: text})
+	}
+	for _, t := range p.Paragraphs {
+		blocks = append(blocks, block{kind: "text", text: t})
+	}
+	for _, t := range p.LinkTexts {
+		blocks = append(blocks, block{kind: "link", text: t})
+	}
+	for i := range p.Forms {
+		blocks = append(blocks, block{kind: "form", form: &p.Forms[i]})
+	}
+	return blocks
+}
+
+// shuffleKeepingForms permutes blocks but keeps forms after the first
+// heading-ish block so the page still reads as a login page to a human.
+func shuffleKeepingForms(blocks []block, r *simrand.RNG) {
+	r.Shuffle(len(blocks), func(i, j int) { blocks[i], blocks[j] = blocks[j], blocks[i] })
+}
+
+// drawWrapped renders word-wrapped text and returns the y after the block.
+func drawWrapped(ra *Raster, x, y int, text string, scale, rightEdge int) int {
+	words := strings.Fields(text)
+	cx := x
+	for _, w := range words {
+		wWidth := TextWidth(w, scale)
+		if cx+wWidth > rightEdge && cx > x {
+			cx = x
+			y += LineH * scale
+		}
+		if y >= ra.H {
+			return y
+		}
+		DrawText(ra, cx, y, w, scale)
+		cx += wWidth + AdvanceX*scale
+	}
+	return y + LineH*scale
+}
+
+// drawImage renders an image placeholder: an outlined box with the embedded
+// text painted inside (the only place that text exists for logo images).
+func drawImage(ra *Raster, x, y int, text string, maxW int) int {
+	w := TextWidth(text, 2) + 16
+	if w < 60 {
+		w = 60
+	}
+	if w > maxW {
+		w = maxW
+	}
+	h := GlyphH*2 + 12
+	ra.StrokeRect(x, y, w, h, 100)
+	DrawText(ra, x+8, y+6, text, 2)
+	return y + h
+}
+
+// drawForm renders inputs as outlined boxes with placeholder (or name) text
+// inside and submit buttons as filled boxes with inverted-looking labels.
+func drawForm(ra *Raster, x, y int, f *htmlx.Form, maxW int) int {
+	if f == nil {
+		return y
+	}
+	boxW := maxW * 3 / 4
+	if boxW < 120 {
+		boxW = 120
+	}
+	for _, in := range f.Inputs {
+		if strings.EqualFold(in.Type, "hidden") {
+			continue
+		}
+		label := in.Placeholder
+		if label == "" {
+			label = in.Name
+		}
+		if strings.EqualFold(in.Type, "submit") || in.Value != "" && label == "" {
+			label = in.Value
+		}
+		h := GlyphH + 10
+		if strings.EqualFold(in.Type, "submit") {
+			// Button: border plus label; paper's OCR reads button labels.
+			w := TextWidth(label, 1) + 20
+			ra.StrokeRect(x, y, w, h, Ink)
+			ra.StrokeRect(x+1, y+1, w-2, h-2, Ink)
+			DrawText(ra, x+10, y+5, label, 1)
+		} else {
+			ra.StrokeRect(x, y, boxW, h, 100)
+			DrawText(ra, x+6, y+5, label, 1)
+		}
+		y += h + 6
+	}
+	return y
+}

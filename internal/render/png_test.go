@@ -1,0 +1,44 @@
+package render
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPNGRoundTrip(t *testing.T) {
+	ra := NewRaster(64, 32)
+	DrawText(ra, 2, 2, "PNG TEST", 1)
+	ra.FillRect(2, 20, 40, 6, 100)
+
+	var buf bytes.Buffer
+	if err := ra.WritePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPNG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != ra.W || got.H != ra.H {
+		t.Fatalf("dims %dx%d != %dx%d", got.W, got.H, ra.W, ra.H)
+	}
+	for i := range ra.Pix {
+		if got.Pix[i] != ra.Pix[i] {
+			t.Fatalf("pixel %d: %d != %d", i, got.Pix[i], ra.Pix[i])
+		}
+	}
+}
+
+func TestReadPNGRejectsGarbage(t *testing.T) {
+	if _, err := ReadPNG(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("ReadPNG accepted garbage")
+	}
+}
+
+func TestImageConversion(t *testing.T) {
+	ra := NewRaster(4, 4)
+	ra.Set(1, 2, 77)
+	img := ra.Image()
+	if img.GrayAt(1, 2).Y != 77 {
+		t.Fatal("Image() lost pixel value")
+	}
+}

@@ -1,0 +1,110 @@
+// Package render implements the screenshot substrate: a bitmap font and an
+// HTML-subset layout engine that rasterises pages into grayscale images.
+//
+// The paper drives headless Chrome to screenshot 1.3M pages and extracts
+// classifier features from the pixels via OCR, because attackers hide brand
+// keywords from the HTML while still displaying them to users (paper §4.2,
+// §5.1). This package reproduces that pipeline's essential property: text
+// that a page removes from its HTML and paints into images is genuinely
+// absent from the markup and present only in the raster, so only the OCR
+// path can recover it.
+package render
+
+import "squatphi/internal/simrand"
+
+// Pixel intensity conventions: 0 is black ink, 255 is white background.
+const (
+	Ink        = 0
+	Background = 255
+)
+
+// Raster is an 8-bit grayscale image.
+type Raster struct {
+	W, H int
+	Pix  []uint8 // row-major, len W*H
+}
+
+// NewRaster allocates a white raster.
+func NewRaster(w, h int) *Raster {
+	pix := make([]uint8, w*h)
+	for i := range pix {
+		pix[i] = Background
+	}
+	return &Raster{W: w, H: h, Pix: pix}
+}
+
+// At returns the pixel at (x, y); out-of-bounds reads return Background.
+func (r *Raster) At(x, y int) uint8 {
+	if x < 0 || y < 0 || x >= r.W || y >= r.H {
+		return Background
+	}
+	return r.Pix[y*r.W+x]
+}
+
+// Set writes the pixel at (x, y); out-of-bounds writes are ignored.
+func (r *Raster) Set(x, y int, v uint8) {
+	if x < 0 || y < 0 || x >= r.W || y >= r.H {
+		return
+	}
+	r.Pix[y*r.W+x] = v
+}
+
+// Dark reports whether the pixel at (x, y) is closer to ink than background.
+func (r *Raster) Dark(x, y int) bool { return r.At(x, y) < 128 }
+
+// FillRect paints a solid rectangle.
+func (r *Raster) FillRect(x, y, w, h int, v uint8) {
+	for yy := y; yy < y+h; yy++ {
+		for xx := x; xx < x+w; xx++ {
+			r.Set(xx, yy, v)
+		}
+	}
+}
+
+// StrokeRect paints a 1-pixel rectangle outline.
+func (r *Raster) StrokeRect(x, y, w, h int, v uint8) {
+	for xx := x; xx < x+w; xx++ {
+		r.Set(xx, y, v)
+		r.Set(xx, y+h-1, v)
+	}
+	for yy := y; yy < y+h; yy++ {
+		r.Set(x, yy, v)
+		r.Set(x+w-1, yy, v)
+	}
+}
+
+// Clone returns a deep copy.
+func (r *Raster) Clone() *Raster {
+	out := &Raster{W: r.W, H: r.H, Pix: append([]uint8(nil), r.Pix...)}
+	return out
+}
+
+// AddNoise flips each pixel to a random intensity with probability p,
+// reproducing sensor/compression noise so the OCR engine's error rate is
+// non-zero, like Tesseract's ~3% (paper §5.1).
+func (r *Raster) AddNoise(rng *simrand.RNG, p float64) {
+	for i := range r.Pix {
+		if rng.Float64() < p {
+			if rng.Bool(0.5) {
+				r.Pix[i] = Ink
+			} else {
+				r.Pix[i] = Background
+			}
+		}
+	}
+}
+
+// InkRatio returns the fraction of dark pixels, used by tests and by the
+// layout-obfuscation experiments as a cheap content measure.
+func (r *Raster) InkRatio() float64 {
+	dark := 0
+	for _, v := range r.Pix {
+		if v < 128 {
+			dark++
+		}
+	}
+	if len(r.Pix) == 0 {
+		return 0
+	}
+	return float64(dark) / float64(len(r.Pix))
+}

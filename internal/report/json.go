@@ -1,0 +1,51 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// tableJSON and seriesJSON are the machine-readable forms of the
+// artifacts, so paperbench output can feed plotting tools directly.
+type tableJSON struct {
+	Kind    string     `json:"kind"`
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+type seriesJSON struct {
+	Kind   string    `json:"kind"`
+	Title  string    `json:"title"`
+	XLabel string    `json:"x_label,omitempty"`
+	YLabel string    `json:"y_label,omitempty"`
+	X      []string  `json:"x"`
+	Y      []float64 `json:"y"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(tableJSON{Kind: "table", Title: t.Title, Headers: t.Headers, Rows: rows})
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	x, y := s.X, s.Y
+	if x == nil {
+		x = []string{}
+	}
+	if y == nil {
+		y = []float64{}
+	}
+	return json.Marshal(seriesJSON{Kind: "series", Title: s.Title, XLabel: s.XLabel, YLabel: s.YLabel, X: x, Y: y})
+}
+
+// WriteJSON encodes any artifact (Table or Series) to w as one JSON value.
+func WriteJSON(w io.Writer, artifact any) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(artifact)
+}

@@ -1,0 +1,162 @@
+// Package report provides the table and series formatting shared by the
+// experiment drivers, the cmd/ binaries, and the benchmark harness: every
+// paper table is printed as an aligned ASCII table and every figure as a
+// labelled data series, so paperbench output can be diffed run to run.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned-text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; values are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is a labelled (x, y) data series standing in for a figure.
+type Series struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []string
+	Y      []float64
+}
+
+// NewSeries creates a series.
+func NewSeries(title, xlabel, ylabel string) *Series {
+	return &Series{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// Add appends one point.
+func (s *Series) Add(x string, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Render writes the series with a proportional ASCII bar per point.
+func (s *Series) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", s.Title)
+	if s.XLabel != "" || s.YLabel != "" {
+		fmt.Fprintf(w, "   (%s vs %s)\n", s.YLabel, s.XLabel)
+	}
+	maxY := 0.0
+	maxX := 0
+	for i, y := range s.Y {
+		if y > maxY {
+			maxY = y
+		}
+		if len(s.X[i]) > maxX {
+			maxX = len(s.X[i])
+		}
+	}
+	for i := range s.X {
+		bar := ""
+		if maxY > 0 {
+			n := int(s.Y[i] / maxY * 40)
+			bar = strings.Repeat("#", n)
+		}
+		fmt.Fprintf(w, "%s  %10.3f  %s\n", pad(s.X[i], maxX), s.Y[i], bar)
+	}
+}
+
+// String renders the series to a string.
+func (s *Series) String() string {
+	var sb strings.Builder
+	s.Render(&sb)
+	return sb.String()
+}
+
+// CDF converts sorted per-item values into accumulated-percentage points,
+// the transform behind the paper's Figures 3, 5 and 11.
+func CDF(values []int) []float64 {
+	total := 0
+	for _, v := range values {
+		total += v
+	}
+	out := make([]float64, len(values))
+	run := 0
+	for i, v := range values {
+		run += v
+		if total > 0 {
+			out[i] = float64(run) / float64(total) * 100
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "Brand", "Count", "Rate")
+	tb.AddRow("paypal", 12, 0.5)
+	tb.AddRow("facebook", 3, 0.25)
+	out := tb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[3], "paypal") || !strings.Contains(lines[3], "0.500") {
+		t.Errorf("row rendering: %q", lines[3])
+	}
+	// Columns aligned: "Count" position in header matches "12" column.
+	if strings.Index(lines[1], "Count") > strings.Index(lines[3], "12")+6 {
+		t.Error("columns misaligned")
+	}
+}
+
+func TestTableEmptyRows(t *testing.T) {
+	tb := NewTable("Empty", "A")
+	out := tb.String()
+	if !strings.Contains(out, "A") {
+		t.Error("header missing in empty table")
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := NewSeries("Fig X", "type", "count")
+	s.Add("combo", 100)
+	s.Add("typo", 50)
+	s.Add("bits", 0)
+	out := s.String()
+	if !strings.Contains(out, "Fig X") || !strings.Contains(out, "combo") {
+		t.Errorf("series render: %q", out)
+	}
+	// Bar lengths proportional: combo bar longer than typo's.
+	lines := strings.Split(out, "\n")
+	var comboBar, typoBar int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "combo") {
+			comboBar = strings.Count(l, "#")
+		}
+		if strings.HasPrefix(l, "typo") {
+			typoBar = strings.Count(l, "#")
+		}
+	}
+	if comboBar <= typoBar {
+		t.Errorf("bars not proportional: combo=%d typo=%d", comboBar, typoBar)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	got := CDF([]int{50, 30, 20})
+	want := []float64{50, 80, 100}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("CDF = %v, want %v", got, want)
+		}
+	}
+	if out := CDF(nil); len(out) != 0 {
+		t.Fatal("CDF(nil) not empty")
+	}
+	if out := CDF([]int{0, 0}); out[1] != 0 {
+		t.Fatal("CDF of zeros not zero")
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tb := NewTable("J", "A", "B")
+	tb.AddRow("x", 1)
+	var buf strings.Builder
+	if err := WriteJSON(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"kind":"table"`, `"title":"J"`, `"x"`, `"1"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %s: %s", want, out)
+		}
+	}
+}
+
+func TestSeriesJSON(t *testing.T) {
+	s := NewSeries("S", "x", "y")
+	s.Add("a", 2.5)
+	var buf strings.Builder
+	if err := WriteJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"kind":"series"`, `"a"`, `2.5`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %s: %s", want, out)
+		}
+	}
+}
+
+func TestEmptyJSONArrays(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteJSON(&buf, NewTable("E", "H")); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "null") {
+		t.Errorf("empty table marshals null: %s", buf.String())
+	}
+}

@@ -1,0 +1,236 @@
+package simrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	s1 := root.Split("dns")
+	s2 := root.Split("web")
+	s1again := New(7).Split("dns")
+	if s1.Uint64() != s1again.Uint64() {
+		t.Fatal("Split is not deterministic for the same label")
+	}
+	if s1.Uint64() == s2.Uint64() {
+		t.Fatal("splits with different labels correlate")
+	}
+	// Splitting must not disturb the parent stream.
+	p1 := New(7)
+	p2 := New(7)
+	_ = p2.Split("anything")
+	if p1.Uint64() != p2.Uint64() {
+		t.Fatal("Split mutated the parent stream")
+	}
+}
+
+func TestSplitNDeterminism(t *testing.T) {
+	a := New(9).SplitN(3)
+	b := New(9).SplitN(3)
+	c := New(9).SplitN(4)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("SplitN not deterministic")
+	}
+	if New(9).SplitN(3).Uint64() == c.Uint64() {
+		t.Fatal("SplitN streams for different indices correlate")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		v := New(seed).Float64()
+		return v >= 0 && v < 1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean of uniforms = %f, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %f, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %f, want ~1", variance)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(17)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[r.Zipf(100, 1.0)]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf not skewed: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	// Head mass: top-10 ranks should dominate at s=1.
+	head := 0
+	for _, c := range counts[:10] {
+		head += c
+	}
+	if head < 50000 {
+		t.Fatalf("Zipf head mass %d/100000, want majority in top-10", head)
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 5000; i++ {
+		v := r.Zipf(7, 1.2)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Zipf(7) = %d out of range", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		p := New(seed).Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(23)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed the multiset: sum %d != %d", got, sum)
+	}
+}
+
+func TestLetters(t *testing.T) {
+	s := New(29).Letters(64)
+	if len(s) != 64 {
+		t.Fatalf("Letters(64) length = %d", len(s))
+	}
+	for _, c := range s {
+		if c < 'a' || c > 'z' {
+			t.Fatalf("Letters produced non-letter %q", c)
+		}
+	}
+}
+
+func TestPick(t *testing.T) {
+	r := New(31)
+	xs := []string{"a", "b", "c"}
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		seen[Pick(r, xs)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("Pick over 100 draws saw %d/3 elements", len(seen))
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(37)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) hit rate = %f", frac)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkZipf(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Zipf(702, 1.1)
+	}
+}

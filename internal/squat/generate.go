@@ -1,0 +1,245 @@
+package squat
+
+import (
+	"strings"
+
+	"squatphi/internal/confusables"
+	"squatphi/internal/punycode"
+)
+
+// domainAlphabet lists the characters legal in a DNS label body.
+const domainAlphabet = "abcdefghijklmnopqrstuvwxyz0123456789-"
+
+// alternateTLDs are the TLDs used by the wrongTLD generator and by the
+// typo/bits/homograph generators when varying the suffix, mirroring the
+// cheap and brand-style TLDs the paper observes (.pw, .tk, .top, .audi, ...).
+var alternateTLDs = []string{
+	"net", "org", "info", "biz", "pw", "tk", "ml", "ga", "cf", "top",
+	"bid", "online", "site", "link", "download", "mobi", "audi", "es",
+	"de", "in", "it", "nl", "pl", "io", "cc", "eu", "us", "co",
+}
+
+// comboAffixes are the concatenation words used by the combo generator,
+// drawn from the attack categories in the paper's case studies: login
+// harvesting, support scams, payroll scams, freight scams, giveaways.
+var comboAffixes = []string{
+	"login", "secure", "support", "online", "account", "verify", "signin",
+	"security", "service", "help", "update", "mail", "app", "store",
+	"pay", "payment", "wallet", "cash", "prize", "gift", "bonus", "promo",
+	"freight", "drive", "jobs", "careers", "team", "portal", "mobile",
+	"auth", "id", "my", "go", "get", "new", "official", "live", "web",
+	"us", "uk", "int", "group", "learning", "grants", "selling", "auction",
+	"story", "c",
+}
+
+// Generator mints candidate squatting domains for a brand. It is the
+// repository's equivalent of DNSTwist/URLCrazy, extended per the paper with
+// a complete homograph table, a wrongTLD module, and a combo module.
+type Generator struct {
+	// TLDs used for suffix variation. Defaults to alternateTLDs.
+	TLDs []string
+	// Affixes used for combo squatting. Defaults to comboAffixes.
+	Affixes []string
+	// MaxHomographSubstitutions bounds how many positions are substituted
+	// simultaneously when generating IDN homographs (default 1; the matcher
+	// detects any number via skeleton folding).
+	MaxHomographSubstitutions int
+}
+
+// NewGenerator returns a Generator with the default wordlists.
+func NewGenerator() *Generator {
+	return &Generator{TLDs: alternateTLDs, Affixes: comboAffixes, MaxHomographSubstitutions: 1}
+}
+
+// Generate returns candidates of every squatting type for brand,
+// deduplicated, with deterministic ordering within each type.
+func (g *Generator) Generate(brand Brand) []Candidate {
+	var out []Candidate
+	out = append(out, g.Homographs(brand)...)
+	out = append(out, g.BitFlips(brand)...)
+	out = append(out, g.Typos(brand)...)
+	out = append(out, g.Combos(brand)...)
+	out = append(out, g.WrongTLDs(brand)...)
+	return dedupe(out)
+}
+
+// Homographs generates homograph squatting candidates: ASCII lookalikes
+// (faceb00k, rn for m) and IDN substitutions encoded with punycode
+// (xn--fcebook-8va.com).
+func (g *Generator) Homographs(brand Brand) []Candidate {
+	name := brand.Name
+	seen := map[string]bool{}
+	var out []Candidate
+	add := func(label string) {
+		ascii, err := punycode.ToASCII(label + "." + brand.TLD)
+		if err != nil || seen[ascii] {
+			return
+		}
+		lbl, _ := SplitETLD(ascii)
+		if lbl == name {
+			return
+		}
+		seen[ascii] = true
+		out = append(out, Candidate{Domain: ascii, Type: Homograph, Brand: brand})
+	}
+
+	for i, r := range name {
+		if r == '-' {
+			continue
+		}
+		// Single-rune confusable substitutions (ASCII digits and IDN runes).
+		for _, v := range confusables.Variants(r) {
+			add(name[:i] + string(v) + name[i+len(string(r)):])
+		}
+		// Visual sequence substitutions: m -> rn, w -> vv, ...
+		for _, seq := range confusables.SequenceVariants(r) {
+			add(name[:i] + seq + name[i+len(string(r)):])
+		}
+	}
+	// Double-substitution of the same letter everywhere it appears
+	// (faceb00k substitutes both 'o's); cheap and matches observed attacks.
+	for _, target := range "aeiou1l0" {
+		if !strings.ContainsRune(name, target) {
+			continue
+		}
+		for _, v := range confusables.Variants(target) {
+			if v < 0x80 { // ASCII-only bulk substitution (e.g. o->0)
+				add(strings.ReplaceAll(name, string(target), string(v)))
+			}
+		}
+	}
+	return out
+}
+
+// BitFlips generates bits squatting candidates: domains whose name differs
+// from the brand by a single flipped bit that still yields a legal
+// domain character (Nikiforakis et al., paper §3.1).
+func (g *Generator) BitFlips(brand Brand) []Candidate {
+	name := brand.Name
+	seen := map[string]bool{}
+	var out []Candidate
+	for i := 0; i < len(name); i++ {
+		for bit := uint(0); bit < 8; bit++ {
+			c := name[i] ^ (1 << bit)
+			if !isDomainChar(c) || c == name[i] {
+				continue
+			}
+			label := name[:i] + string(c) + name[i+1:]
+			if label == name || strings.HasPrefix(label, "-") || strings.HasSuffix(label, "-") {
+				continue
+			}
+			d := label + "." + brand.TLD
+			if !seen[d] {
+				seen[d] = true
+				out = append(out, Candidate{Domain: d, Type: Bits, Brand: brand})
+			}
+		}
+	}
+	return out
+}
+
+// Typos generates typo squatting candidates using the four mutations from
+// the paper: insertion, omission, repetition, and vowel swap (reordering
+// two consecutive characters).
+func (g *Generator) Typos(brand Brand) []Candidate {
+	name := brand.Name
+	seen := map[string]bool{}
+	var out []Candidate
+	add := func(label string) {
+		if label == name || label == "" || strings.HasPrefix(label, "-") || strings.HasSuffix(label, "-") {
+			return
+		}
+		d := label + "." + brand.TLD
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, Candidate{Domain: d, Type: Typo, Brand: brand})
+		}
+	}
+	// Insertion: add one character at any position. Hyphen insertion inside
+	// the label (face-book) counts as typo, not combo, since no word is
+	// concatenated (paper Table 10).
+	for i := 0; i <= len(name); i++ {
+		for _, c := range "abcdefghijklmnopqrstuvwxyz0123456789-" {
+			add(name[:i] + string(c) + name[i:])
+		}
+	}
+	// Replacement: substitute one character (googl4 for google). Substitutions
+	// that are confusable or one bit away are reclassified by the matcher's
+	// precedence as homograph or bits respectively.
+	for i := 0; i < len(name); i++ {
+		for _, c := range "abcdefghijklmnopqrstuvwxyz0123456789" {
+			if byte(c) != name[i] {
+				add(name[:i] + string(c) + name[i+1:])
+			}
+		}
+	}
+	// Omission: delete one character.
+	for i := 0; i < len(name); i++ {
+		add(name[:i] + name[i+1:])
+	}
+	// Repetition: duplicate one character.
+	for i := 0; i < len(name); i++ {
+		add(name[:i+1] + string(name[i]) + name[i+1:])
+	}
+	// Vowel swap / transposition: reorder two consecutive characters.
+	for i := 0; i+1 < len(name); i++ {
+		if name[i] == name[i+1] {
+			continue
+		}
+		add(name[:i] + string(name[i+1]) + string(name[i]) + name[i+2:])
+	}
+	return out
+}
+
+// Combos generates combo squatting candidates: the brand name concatenated
+// with an affix via a hyphen, attached at the head or the tail.
+func (g *Generator) Combos(brand Brand) []Candidate {
+	affixes := g.Affixes
+	if affixes == nil {
+		affixes = comboAffixes
+	}
+	var out []Candidate
+	for _, a := range affixes {
+		if a == brand.Name {
+			continue
+		}
+		out = append(out,
+			Candidate{Domain: brand.Name + "-" + a + "." + brand.TLD, Type: Combo, Brand: brand},
+			Candidate{Domain: a + "-" + brand.Name + "." + brand.TLD, Type: Combo, Brand: brand},
+		)
+	}
+	return out
+}
+
+// WrongTLDs generates wrongTLD candidates: the brand name unchanged under a
+// different effective TLD.
+func (g *Generator) WrongTLDs(brand Brand) []Candidate {
+	tlds := g.TLDs
+	if tlds == nil {
+		tlds = alternateTLDs
+	}
+	var out []Candidate
+	for _, tld := range tlds {
+		if tld == brand.TLD {
+			continue
+		}
+		out = append(out, Candidate{Domain: brand.Name + "." + tld, Type: WrongTLD, Brand: brand})
+	}
+	return out
+}
+
+func isDomainChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-'
+}
+
+func dedupe(cs []Candidate) []Candidate {
+	seen := make(map[string]bool, len(cs))
+	out := cs[:0]
+	for _, c := range cs {
+		if !seen[c.Domain] {
+			seen[c.Domain] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package squat
+
+import (
+	"strings"
+
+	"squatphi/internal/confusables"
+	"squatphi/internal/punycode"
+)
+
+// Matcher classifies observed DNS domains against a set of target brands.
+// It is built once per brand set and then shared by any number of
+// goroutines: all internal state is immutable after construction.
+//
+// Classification applies the five squatting rules in precedence order
+// (wrongTLD for exact-name matches, then homograph, bits, typo, combo) so
+// the resulting categories are disjoint, matching the paper's methodology.
+type Matcher struct {
+	brands []Brand
+
+	// byName maps a brand's registrable label to its index in brands.
+	byName map[string]int
+	// bySkeleton maps the confusable skeleton of each brand name to its
+	// index; an observed label whose skeleton hits this map (and whose raw
+	// label differs from the brand) is a homograph.
+	bySkeleton map[string]int
+	// edits maps every generated bits/typo label to (brand index, type).
+	edits map[string]editEntry
+	// ac finds brand names inside hyphenated labels for combo detection.
+	ac *ahoCorasick
+}
+
+type editEntry struct {
+	brand int
+	typ   Type
+}
+
+// NewMatcher indexes the given brands for bulk classification.
+func NewMatcher(brands []Brand) *Matcher {
+	m := &Matcher{
+		brands:     brands,
+		byName:     make(map[string]int, len(brands)),
+		bySkeleton: make(map[string]int, len(brands)),
+		edits:      make(map[string]editEntry),
+	}
+	gen := NewGenerator()
+	names := make([]string, len(brands))
+	for i, b := range brands {
+		names[i] = b.Name
+		m.byName[b.Name] = i
+		m.bySkeleton[confusables.Skeleton(b.Name)] = i
+	}
+	for i, b := range brands {
+		for _, c := range gen.BitFlips(b) {
+			label, _ := SplitETLD(c.Domain)
+			m.addEdit(label, i, Bits)
+		}
+		for _, c := range gen.Typos(b) {
+			label, _ := SplitETLD(c.Domain)
+			m.addEdit(label, i, Typo)
+		}
+	}
+	m.ac = newAhoCorasick(names)
+	return m
+}
+
+// addEdit records a generated label unless it collides with a real brand
+// name (e.g. the omission typo of "apples" would be "apple") or an existing
+// entry of an earlier-precedence type.
+func (m *Matcher) addEdit(label string, brand int, typ Type) {
+	if _, isBrand := m.byName[label]; isBrand {
+		return
+	}
+	if prev, ok := m.edits[label]; ok && prev.typ <= typ {
+		return
+	}
+	m.edits[label] = editEntry{brand: brand, typ: typ}
+}
+
+// Brands returns the indexed brand set.
+func (m *Matcher) Brands() []Brand { return m.brands }
+
+// Match classifies a single observed domain. The bool result reports
+// whether the domain is a squatting domain of any indexed brand. Domains
+// equal to a brand's own domain (or a subdomain of it) return false.
+func (m *Matcher) Match(domain string) (Candidate, bool) {
+	label, tld := SplitETLD(domain)
+	if label == "" {
+		return Candidate{}, false
+	}
+
+	// Exact brand-name match: the brand's own domain or a wrongTLD squat.
+	if bi, ok := m.byName[label]; ok {
+		if m.brands[bi].TLD == tld {
+			return Candidate{}, false // the original site
+		}
+		return m.candidate(domain, WrongTLD, bi), true
+	}
+
+	// Homograph: fold IDN form and confusables to a skeleton and compare.
+	uni := label
+	if punycode.IsACE(label) {
+		uni, _ = SplitETLD(punycode.ToUnicode(domain))
+	}
+	if bi, ok := m.bySkeleton[confusables.Skeleton(uni)]; ok {
+		return m.candidate(domain, Homograph, bi), true
+	}
+
+	// Bits and typo: single-edit labels precomputed per brand.
+	if e, ok := m.edits[label]; ok {
+		return m.candidate(domain, e.typ, e.brand), true
+	}
+
+	// Combo: a hyphenated label containing a brand name.
+	if strings.Contains(label, "-") {
+		found := -1
+		m.ac.match(label, func(pat int32, end int) bool {
+			// Prefer the longest brand occurrence so "facebook-login"
+			// matches facebook, not a hypothetical brand "face".
+			if found == -1 || len(m.brands[pat].Name) > len(m.brands[found].Name) {
+				found = int(pat)
+			}
+			return true
+		})
+		if found >= 0 {
+			return m.candidate(domain, Combo, found), true
+		}
+	}
+	return Candidate{}, false
+}
+
+func (m *Matcher) candidate(domain string, t Type, brand int) Candidate {
+	return Candidate{Domain: strings.ToLower(strings.TrimSuffix(domain, ".")), Type: t, Brand: m.brands[brand]}
+}
+
+// MatchAll classifies a batch of domains, returning only the squatting hits.
+func (m *Matcher) MatchAll(domains []string) []Candidate {
+	var out []Candidate
+	for _, d := range domains {
+		if c, ok := m.Match(d); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,18 @@
+package webworld
+
+import "squatphi/internal/whois"
+
+// WhoisRecord implements whois.Directory over the world's ground truth.
+// Mirroring the paper's data quality, a deterministic ~37% of domains
+// redact the registrar field (738 of 1,175 phishing domains exposed one).
+func (w *World) WhoisRecord(domain string) (whois.Record, bool) {
+	site, ok := w.Site(domain)
+	if !ok {
+		return whois.Record{}, false
+	}
+	rec := whois.Record{Domain: site.Domain, Created: site.RegYear, Registrar: site.Registrar}
+	if hashDomain(site.Domain)%100 < 37 {
+		rec.Registrar = ""
+	}
+	return rec, true
+}

@@ -1,0 +1,405 @@
+package webworld
+
+import (
+	"fmt"
+	"strings"
+
+	"squatphi/internal/confusables"
+	"squatphi/internal/simrand"
+)
+
+// PageContent is the material a domain serves to one crawler profile: the
+// HTML document plus the text content of each referenced image asset
+// (keyed by src path). Image text exists only in pixels after rendering —
+// it is never part of the HTML.
+type PageContent struct {
+	HTML   string
+	Assets map[string]string
+}
+
+// PageFor produces the content a site serves in the given snapshot to the
+// given profile ("web" or "mobile"). The bool result is false when the
+// site serves nothing (dead, or not alive in this snapshot).
+func (w *World) PageFor(site *Site, snapshot int, mobile bool) (PageContent, bool) {
+	if site == nil || site.Kind == Dead {
+		return PageContent{}, false
+	}
+	if snapshot >= 0 && snapshot < Snapshots && !site.Alive[snapshot] {
+		return PageContent{}, false
+	}
+	switch site.Kind {
+	case Benign:
+		if site.Brand.Name != "" && w.Sites[site.Brand.Domain()] == site {
+			return w.originalPage(site), true
+		}
+		return w.genericBenignPage(site), true
+	case Parked:
+		return w.parkedPage(site), true
+	case Phishing:
+		if site.ReplacedAt == snapshot || site.ReplacedFrom >= 0 && snapshot >= site.ReplacedFrom {
+			return w.genericBenignPage(site), true
+		}
+		if site.Cloak == CloakMobileOnly && !mobile || site.Cloak == CloakWebOnly && mobile {
+			// Cloaked away: serve an innocuous filler page.
+			return w.cloakFillerPage(site), true
+		}
+		return w.phishingPage(site, mobile), true
+	default:
+		// Redirect kinds are handled at the HTTP layer; if asked for a
+		// body anyway, serve a stub.
+		return PageContent{HTML: "<html><body>moved</body></html>"}, true
+	}
+}
+
+// displayName returns the brand's display capitalisation.
+func displayName(name string) string {
+	if name == "" {
+		return ""
+	}
+	return strings.ToUpper(name[:1]) + name[1:]
+}
+
+// originalPage is the brand's real login page: brand name everywhere, a
+// canonical layout, a logo image, and a login form.
+func (w *World) originalPage(site *Site) PageContent {
+	name := displayName(site.Brand.Name)
+	html := fmt.Sprintf(`<!doctype html><html><head><title>%s - Log In</title></head><body>
+<img src="/logo.png" alt="%s">
+<h1>Welcome to %s</h1>
+<p>Sign in to your %s account to manage your profile and settings</p>
+<form action="/login" method="post">
+<input type="email" name="email" placeholder="Email or phone">
+<input type="password" name="password" placeholder="Password">
+<input type="submit" value="Log In">
+</form>
+<a href="/help">Forgot password?</a>
+<p>New to %s? Create an account today</p>
+</body></html>`, name, site.Brand.Name, name, name, name)
+	return PageContent{HTML: html, Assets: map[string]string{"/logo.png": name}}
+}
+
+// obfuscateBrand returns a confusable spelling of the brand name whose
+// skeleton still matches — "PayPaI"-style string obfuscation (§4.2).
+func obfuscateBrand(r *simrand.RNG, name string) string {
+	runes := []rune(name)
+	lower := func(c rune) rune {
+		if c >= 'A' && c <= 'Z' {
+			return c - 'A' + 'a'
+		}
+		return c
+	}
+	sub := func(i int) (string, bool) {
+		vars := confusables.Variants(lower(runes[i]))
+		if len(vars) == 0 {
+			return "", false
+		}
+		out := append([]rune(nil), runes...)
+		out[i] = vars[r.Intn(len(vars))]
+		return string(out), true
+	}
+	for attempt := 0; attempt < 10; attempt++ {
+		if s, ok := sub(r.Intn(len(runes))); ok {
+			return s
+		}
+	}
+	for i := range runes { // deterministic fallback
+		if s, ok := sub(i); ok {
+			return s
+		}
+	}
+	return "" // no substitutable characters: hide the brand entirely
+}
+
+// scamCopy returns the headline and body text for a scam flavour.
+func scamCopy(s Scam, brand string) (headline, body, button string) {
+	switch s {
+	case ScamFakeSearch:
+		return "Search the web", "Search billions of pages images and videos", "Search"
+	case ScamTechSupport:
+		return "Security alert: your computer may be infected",
+			"Call our certified support team now at 1-888-555-0199 or sign in so a technician can assist you. A service fee may apply", "Get Help"
+	case ScamPayroll:
+		return "Payroll portal login",
+			"Access your payslips tax statements and direct deposit settings. Enter your employee credentials to continue", "Access Payroll"
+	case ScamFreight:
+		return "Drive and deliver with us",
+			"Connect with shippers and book loads today. Log in with your driver account to see available freight", "Book Loads"
+	case ScamPrize:
+		return "Congratulations! You have been selected",
+			"You are today's lucky visitor. Claim your 1000 dollar gift card by verifying your account now", "Claim Prize"
+	case ScamPayment:
+		return "Secure payment center",
+			"Verify your billing information to avoid service interruption. Enter your card details below", "Verify Now"
+	default:
+		return "Log in to " + brand,
+			"Your account has been limited. Please confirm your password to restore full access", "Log In"
+	}
+}
+
+// loginBodies are alternative phrasings used by credential-harvesting
+// pages. Benign login pages draw from the same pool (benignLoginBodies
+// overlaps heavily): like real websites, phishing and legitimate login
+// pages share most of their vocabulary, so no single keyword separates the
+// classes — the classifier must learn conjunctions (brand impersonation
+// AND credential form).
+var loginBodies = []string{
+	"Your account has been limited. Please confirm your password to restore full access",
+	"We noticed unusual activity on your account. Sign in to review recent sessions",
+	"Your session has expired for security reasons. Enter your credentials to continue",
+	"Action required: confirm your details within 24 hours to keep your account active",
+	"Sign in to your account to continue to the dashboard",
+	"Enter your email and password below to access your account",
+}
+
+// benignLoginBodies shares most phrasings with loginBodies.
+var benignLoginBodies = []string{
+	"Your session has expired for security reasons. Enter your credentials to continue",
+	"Sign in to your account to continue to the dashboard",
+	"Enter your email and password below to access your account",
+	"We noticed unusual activity on your account. Sign in to review recent sessions",
+	"Sign in to your member account to continue to the forum",
+	"Enter your mailbox credentials below. Sessions expire after 30 minutes",
+}
+
+// loginTitles are shared page titles for login pages of both classes.
+var loginTitles = []string{
+	"Log in to your account", "Sign in", "Account login", "Secure login", "Member login",
+}
+
+// obfuscatedJS builds a packed-looking script with the indicators the
+// code-obfuscation detector looks for.
+func obfuscatedJS(r *simrand.RNG) string {
+	var parts []string
+	for i := 0; i < 6+r.Intn(6); i++ {
+		parts = append(parts, fmt.Sprintf("%d", 97+r.Intn(26)))
+	}
+	return fmt.Sprintf(`var _0x%s=[%s];var s="";for(var i=0;i<_0x%s.length;i++){s+=String.fromCharCode(_0x%s[i]);}eval(s);`,
+		r.Letters(4), strings.Join(parts, ","), r.Letters(4), r.Letters(4))
+}
+
+// phishingPage builds the phishing content for a site, applying its
+// evasion attributes. With StringObf the brand appears only inside the
+// logo image (and optionally as a confusable spelling); otherwise the page
+// is a close copy of the original.
+func (w *World) phishingPage(site *Site, mobile bool) PageContent {
+	r := simrand.New(site.LayoutSeed ^ hashDomain(site.Domain)).Split("phish-page")
+	name := displayName(site.Brand.Name)
+
+	// A slice of login-scam kits are generic credential traps: no brand
+	// content at all — the squatting domain itself performs the
+	// impersonation (the user typed faceb00k.pw; the page just asks for
+	// credentials). These pages are feature-identical to benign member
+	// logins, the irreducible ambiguity that keeps classifier accuracy
+	// below 1.0 on real data (paper Table 7: FP 0.03, FN 0.06).
+	if site.Scam == ScamLogin && r.Bool(0.15) {
+		return memberLoginPage(r)
+	}
+
+	brandText := name
+	if site.StringObf {
+		if r.Bool(0.5) {
+			brandText = obfuscateBrand(r, name)
+		} else {
+			brandText = "" // brand only in the logo image
+		}
+	}
+	headlineBrand := brandText
+	if headlineBrand == "" {
+		headlineBrand = "your account"
+	}
+	headline, body, button := scamCopy(site.Scam, headlineBrand)
+	if site.Scam == ScamLogin {
+		body = simrand.Pick(r, loginBodies)
+	}
+
+	var sb strings.Builder
+	title := headline
+	if brandText != "" {
+		title = brandText + " - " + headline
+	}
+	fmt.Fprintf(&sb, `<!doctype html><html><head><title>%s</title>`, title)
+	if site.LayoutSeed != 0 {
+		// The page's own "obfuscated stylesheet": the rendering engine
+		// randomises margins/ordering from this seed (layout obfuscation).
+		fmt.Fprintf(&sb, `<meta name="layout-seed" content="%d">`, site.LayoutSeed)
+	}
+	sb.WriteString(`</head><body>`)
+	fmt.Fprintf(&sb, `<img src="/logo.png" alt="">`)
+	fmt.Fprintf(&sb, `<h1>%s</h1>`, headline)
+	if brandText != "" {
+		fmt.Fprintf(&sb, `<p>%s %s</p>`, brandText, body)
+	} else {
+		fmt.Fprintf(&sb, `<p>%s</p>`, body)
+	}
+	if site.CodeObf {
+		fmt.Fprintf(&sb, `<script>%s</script>`, obfuscatedJS(r))
+	}
+	sb.WriteString(`<form action="/submit" method="post">`)
+	if site.Scam == ScamFakeSearch {
+		sb.WriteString(`<input type="text" name="q" placeholder="Search or type URL">`)
+	} else {
+		userPrompt := simrand.Pick(r, []string{"Email or phone", "Email address", "Username", "Phone email or username"})
+		fmt.Fprintf(&sb, `<input type="email" name="user" placeholder="%s">`, userPrompt)
+		fmt.Fprintf(&sb, `<input type="password" name="pass" placeholder="Password">`)
+		if site.Scam == ScamPayment {
+			sb.WriteString(`<input type="text" name="card" placeholder="Card number">`)
+			sb.WriteString(`<input type="text" name="cvv" placeholder="Security code">`)
+		}
+	}
+	fmt.Fprintf(&sb, `<input type="submit" value="%s">`, button)
+	sb.WriteString(`</form>`)
+	fmt.Fprintf(&sb, `<a href="/terms">Terms of service</a>`)
+	sb.WriteString(`</body></html>`)
+
+	// The logo image always carries the real brand name: the page must
+	// still *look* like the brand to deceive users (the paper's core
+	// insight on why OCR features work).
+	return PageContent{HTML: sb.String(), Assets: map[string]string{"/logo.png": name}}
+}
+
+// parkedPage is a domain-for-sale page with no form.
+func (w *World) parkedPage(site *Site) PageContent {
+	html := fmt.Sprintf(`<!doctype html><html><head><title>%s is for sale</title></head><body>
+<h1>This domain is for sale</h1>
+<p>The domain %s is available for purchase. Contact the owner for pricing and transfer details</p>
+<p>Premium domains sell fast. Make an offer today</p>
+<a href="/offer">Make an offer</a>
+</body></html>`, site.Domain, site.Domain)
+	return PageContent{HTML: html}
+}
+
+// cloakFillerPage is what a cloaked phishing domain serves to the profile
+// it is hiding from.
+func (w *World) cloakFillerPage(site *Site) PageContent {
+	html := `<!doctype html><html><head><title>Welcome</title></head><body>
+<h1>Under construction</h1>
+<p>This page is being updated. Please check back soon</p>
+</body></html>`
+	return PageContent{HTML: html}
+}
+
+// genericBenignPage is a non-brand content page under a squatting domain.
+// A slice of them are "hard negatives" for the classifier: survey forms
+// and brand payment plugins (the paper's observed false-positive causes,
+// §6.1).
+func (w *World) genericBenignPage(site *Site) PageContent {
+	r := simrand.New(hashDomain(site.Domain)).Split("benign-page")
+	switch r.Intn(7) {
+	case 4: // benign members-area login: a password form with no brand
+		// impersonation, phrased like any other login page. Generic
+		// credential-trap phishing kits clone this exact template, so the
+		// two classes genuinely overlap here (the paper's irreducible
+		// classifier error).
+		return memberLoginPage(r)
+	case 5: // benign webmail login
+		html := fmt.Sprintf(`<!doctype html><html><head><title>%s</title></head><body>
+<img src="/mail.png" alt="">
+<h1>%s webmail</h1>
+<p>%s</p>
+<form action="/login" method="post">
+<input type="email" name="address" placeholder="Email address">
+<input type="password" name="secret" placeholder="Password">
+<input type="submit" value="Open Mailbox">
+</form>
+</body></html>`, simrand.Pick(r, loginTitles), site.Domain, simrand.Pick(r, benignLoginBodies))
+		return PageContent{HTML: html, Assets: map[string]string{"/mail.png": "Webmail"}}
+	case 6: // brand fan community with a member login: shows the brand
+		// name AND a password form yet is benign — the irreducible hard
+		// negative behind the paper's ~30% manual-rejection rate.
+		brand := displayName(site.Brand.Name)
+		if brand == "" {
+			brand = "Gaming"
+		}
+		html := fmt.Sprintf(`<!doctype html><html><head><title>%s fan community</title></head><body>
+<h1>The unofficial %s fan forum</h1>
+<p>%s</p>
+<form action="/session" method="post">
+<input type="text" name="nick" placeholder="Nickname">
+<input type="password" name="password" placeholder="Password">
+<input type="submit" value="Sign In">
+</form>
+<p>This community is not affiliated with %s</p>
+</body></html>`, brand, brand, simrand.Pick(r, benignLoginBodies), brand)
+		return PageContent{HTML: html}
+	}
+	switch r.Intn(4) {
+	case 0: // plain content page
+		topic := simrand.Pick(r, []string{"travel tips", "healthy recipes", "local news", "gardening ideas", "car reviews"})
+		html := fmt.Sprintf(`<!doctype html><html><head><title>Daily %s</title></head><body>
+<h1>Your source for %s</h1>
+<p>Read the latest articles curated by our editors every morning</p>
+<a href="/archive">Browse the archive</a>
+</body></html>`, topic, topic)
+		return PageContent{HTML: html}
+	case 1: // survey form: a form but no password (hard negative)
+		html := `<!doctype html><html><head><title>Customer feedback</title></head><body>
+<h1>Tell us what you think</h1>
+<p>Your feedback helps us improve our service</p>
+<form action="/feedback" method="post">
+<input type="text" name="name" placeholder="Your name">
+<input type="text" name="comments" placeholder="Comments">
+<input type="submit" value="Send Feedback">
+</form>
+</body></html>`
+		return PageContent{HTML: html}
+	case 2: // brand payment plugin (hard negative: brand keyword + form)
+		brand := site.Brand.Name
+		if brand == "" {
+			brand = "paypal"
+		}
+		html := fmt.Sprintf(`<!doctype html><html><head><title>Checkout</title></head><body>
+<h1>Complete your order</h1>
+<p>Total: 24 dollars. Choose a payment method below</p>
+<form action="/pay" method="post">
+<input type="text" name="qty" placeholder="Quantity">
+<input type="submit" value="Pay with %s">
+</form>
+<p>Share this store on facebook and twitter</p>
+</body></html>`, displayName(brand))
+		return PageContent{HTML: html}
+	default: // small-business page
+		html := fmt.Sprintf(`<!doctype html><html><head><title>Welcome to %s</title></head><body>
+<h1>Family business since %d</h1>
+<p>We provide quality services to our local community. Call us to schedule an appointment</p>
+</body></html>`, site.Domain, 1980+r.Intn(30))
+		return PageContent{HTML: html}
+	}
+}
+
+// memberLoginPage is the shared members-area login template: served by
+// benign community sites AND cloned by generic credential-trap phishing
+// kits. The two uses are byte-for-byte indistinguishable by construction.
+func memberLoginPage(r *simrand.RNG) PageContent {
+	org := simrand.Pick(r, []string{"book club", "alumni network", "chess league", "garden society", "cycling group"})
+	html := fmt.Sprintf(`<!doctype html><html><head><title>%s</title></head><body>
+<h1>Welcome back to the %s</h1>
+<p>%s</p>
+<form action="/session" method="post">
+<input type="text" name="member" placeholder="Member name">
+<input type="password" name="password" placeholder="Password">
+<input type="submit" value="Sign In">
+</form>
+<a href="/join">Become a member</a>
+</body></html>`, simrand.Pick(r, loginTitles), org, simrand.Pick(r, benignLoginBodies))
+	return PageContent{HTML: html}
+}
+
+// marketListingPage is what marketplaces serve.
+func (w *World) marketListingPage(host string) PageContent {
+	html := fmt.Sprintf(`<!doctype html><html><head><title>Domain marketplace</title></head><body>
+<h1>Buy and sell premium domains</h1>
+<p>Welcome to %s. Thousands of domains listed daily with escrow protection</p>
+<a href="/listings">View listings</a>
+</body></html>`, host)
+	return PageContent{HTML: html}
+}
+
+// hashDomain derives a stable per-domain seed.
+func hashDomain(d string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(d); i++ {
+		h ^= uint64(d[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,148 @@
+package webworld
+
+import (
+	"strings"
+	"testing"
+
+	"squatphi/internal/htmlx"
+	"squatphi/internal/simrand"
+)
+
+// scamSiteOf builds a minimal phishing site of the given scam kind.
+func scamSiteOf(w *World, scam Scam, brandName string) *Site {
+	b, _ := w.Brands.Lookup(brandName)
+	return &Site{
+		Domain: "test-" + brandName + ".example", Kind: Phishing, Brand: b,
+		Scam: scam, Alive: allAlive(), ReplacedAt: -1, ReplacedFrom: -1,
+	}
+}
+
+func TestScamPagesCarryTheirMarkers(t *testing.T) {
+	w := Build(Config{SquattingDomains: 50, NonSquattingPhish: 10, Seed: 3})
+	cases := []struct {
+		scam   Scam
+		brand  string
+		marker string
+	}{
+		{ScamFakeSearch, "google", "Search"},
+		{ScamTechSupport, "microsoft", "1-888"},
+		{ScamPayroll, "adp", "payslips"},
+		{ScamFreight, "uber", "freight"},
+		{ScamPrize, "apple", "gift card"},
+		{ScamPayment, "citi", "card"},
+	}
+	for _, c := range cases {
+		site := scamSiteOf(w, c.scam, c.brand)
+		page, ok := w.PageFor(site, 0, false)
+		if !ok {
+			t.Fatalf("%v page not served", c.scam)
+		}
+		if !strings.Contains(strings.ToLower(page.HTML), strings.ToLower(c.marker)) {
+			t.Errorf("%v page missing marker %q", c.scam, c.marker)
+		}
+	}
+}
+
+func TestFakeSearchHasNoPasswordField(t *testing.T) {
+	w := Build(Config{SquattingDomains: 50, NonSquattingPhish: 10, Seed: 3})
+	site := scamSiteOf(w, ScamFakeSearch, "google")
+	page, _ := w.PageFor(site, 0, false)
+	if htmlx.Extract(page.HTML).HasPasswordInput() {
+		t.Error("fake search engine asks for a password")
+	}
+}
+
+func TestPaymentScamCollectsCard(t *testing.T) {
+	w := Build(Config{SquattingDomains: 50, NonSquattingPhish: 10, Seed: 3})
+	site := scamSiteOf(w, ScamPayment, "citi")
+	page, _ := w.PageFor(site, 0, false)
+	p := htmlx.Extract(page.HTML)
+	kws := strings.Join(p.FormKeywords(), " ")
+	if !strings.Contains(kws, "card") || !p.HasPasswordInput() {
+		t.Errorf("payment scam form incomplete: %v", p.FormKeywords())
+	}
+}
+
+func TestPhishingLogoAlwaysCarriesBrand(t *testing.T) {
+	// Even under string obfuscation the logo asset shows the real brand —
+	// the page must still deceive the user.
+	w := Build(Config{SquattingDomains: 2000, NonSquattingPhish: 200, Seed: 5})
+	checked := 0
+	for _, s := range w.PhishingSites() {
+		if s.Scam != ScamLogin || !s.Alive[0] {
+			continue
+		}
+		mobile := s.Cloak == CloakMobileOnly
+		page, ok := w.PageFor(s, 0, mobile)
+		if !ok {
+			continue
+		}
+		if logo, hasLogo := page.Assets["/logo.png"]; hasLogo {
+			if !strings.EqualFold(logo, s.Brand.Name) {
+				t.Errorf("%s logo = %q, want brand %q", s.Domain, logo, s.Brand.Name)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Skip("no logo-bearing phishing pages in sample")
+	}
+}
+
+func TestMemberLoginTemplateShared(t *testing.T) {
+	// The benign member login and the generic credential trap draw from
+	// the same generator; same seed means identical bytes.
+	a := memberLoginPage(simrand.New(9).Split("x"))
+	b := memberLoginPage(simrand.New(9).Split("x"))
+	if a.HTML != b.HTML {
+		t.Fatal("memberLoginPage not deterministic per seed")
+	}
+	p := htmlx.Extract(a.HTML)
+	if !p.HasPasswordInput() {
+		t.Fatal("member login has no password input")
+	}
+}
+
+func TestObfuscateBrandNeverReturnsOriginal(t *testing.T) {
+	r := simrand.New(31)
+	for _, name := range []string{"Paypal", "Google", "Citi", "Bt", "Adp"} {
+		for i := 0; i < 50; i++ {
+			got := obfuscateBrand(r, name)
+			if strings.EqualFold(got, name) {
+				t.Fatalf("obfuscateBrand(%q) returned the original", name)
+			}
+		}
+	}
+}
+
+func TestGenericBenignVariantsCovered(t *testing.T) {
+	// Across many benign squatting domains all page variants must appear,
+	// including the hard negatives with password forms.
+	w := Build(Config{SquattingDomains: 3000, NonSquattingPhish: 100, Seed: 9})
+	withPassword, plain := 0, 0
+	for _, d := range w.SquattingDomains {
+		s := w.Sites[d]
+		if s.Kind != Benign {
+			continue
+		}
+		page, ok := w.PageFor(s, 0, false)
+		if !ok {
+			continue
+		}
+		if htmlx.Extract(page.HTML).HasPasswordInput() {
+			withPassword++
+		} else {
+			plain++
+		}
+	}
+	if withPassword == 0 {
+		t.Error("no benign login pages generated (hard negatives missing)")
+	}
+	if plain == 0 {
+		t.Error("no plain benign pages generated")
+	}
+	frac := float64(withPassword) / float64(withPassword+plain)
+	if frac < 0.2 || frac > 0.7 {
+		t.Errorf("benign login share = %.2f, want moderate", frac)
+	}
+}

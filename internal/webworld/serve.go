@@ -1,0 +1,160 @@
+package webworld
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// AssetContentType marks image responses whose body is the text painted
+// inside the image (the reproduction's stand-in for binary image bytes:
+// the crawler hands these to the layout engine, which rasterises the text
+// so it exists only in pixels).
+const AssetContentType = "text/x-imagetext"
+
+// Server serves the world over real HTTP on a loopback listener. Every
+// domain of the world is addressed via the Host header; pair it with
+// Transport (or the crawler's dialer) so any URL resolves to the listener.
+type Server struct {
+	World *World
+
+	// snapshot is the current measurement date (atomic; see SetSnapshot).
+	snapshot atomic.Int64
+
+	httpSrv  *http.Server
+	listener net.Listener
+}
+
+// NewServer starts a world server on a free loopback port.
+func NewServer(w *World) (*Server, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("webworld: listen: %w", err)
+	}
+	s := &Server{World: w, listener: ln}
+	s.httpSrv = &http.Server{Handler: s, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.httpSrv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the listener address ("127.0.0.1:port").
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// SetSnapshot moves the world to measurement date snap (0..Snapshots-1),
+// affecting liveness and page churn.
+func (s *Server) SetSnapshot(snap int) { s.snapshot.Store(int64(snap)) }
+
+// Snapshot returns the current measurement date.
+func (s *Server) Snapshot() int { return int(s.snapshot.Load()) }
+
+// ServeHTTP routes by Host header: the synthetic Internet's virtual
+// hosting. Unknown hosts and dead sites return 404/502 respectively.
+func (s *Server) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
+	host := strings.ToLower(req.Host)
+	if h, _, err := net.SplitHostPort(host); err == nil {
+		host = h
+	}
+	site, ok := s.World.Site(host)
+	if !ok {
+		http.NotFound(rw, req)
+		return
+	}
+	snap := s.Snapshot()
+	mobile := isMobileUA(req.UserAgent())
+
+	// Marketplace hosts serve their listing page for any path.
+	for _, m := range s.World.Marketplaces {
+		if host == m {
+			s.writePage(rw, req, s.World.marketListingPage(host))
+			return
+		}
+	}
+
+	switch site.Kind {
+	case Dead:
+		http.Error(rw, "bad gateway", http.StatusBadGateway)
+		return
+	case RedirectOriginal, RedirectMarket, RedirectOther:
+		if !aliveAt(site, snap) {
+			http.Error(rw, "bad gateway", http.StatusBadGateway)
+			return
+		}
+		http.Redirect(rw, req, "http://"+site.RedirectTo+"/", http.StatusFound)
+		return
+	}
+
+	page, live := s.World.PageFor(site, snap, mobile)
+	if !live {
+		http.Error(rw, "bad gateway", http.StatusBadGateway)
+		return
+	}
+	s.writePage(rw, req, page)
+}
+
+// writePage serves the HTML document at "/" and image assets at their
+// src paths.
+func (s *Server) writePage(rw http.ResponseWriter, req *http.Request, page PageContent) {
+	if text, ok := page.Assets[req.URL.Path]; ok {
+		rw.Header().Set("Content-Type", AssetContentType)
+		_, _ = rw.Write([]byte(text))
+		return
+	}
+	if req.URL.Path == "/" || req.URL.Path == "" {
+		rw.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = rw.Write([]byte(page.HTML))
+		return
+	}
+	// Other paths under a live site: minimal filler so link-following
+	// crawlers get a valid response.
+	rw.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = rw.Write([]byte("<html><body><p>ok</p></body></html>"))
+}
+
+func aliveAt(site *Site, snap int) bool {
+	if snap < 0 || snap >= Snapshots {
+		return true
+	}
+	return site.Alive[snap]
+}
+
+func isMobileUA(ua string) bool {
+	ua = strings.ToLower(ua)
+	return strings.Contains(ua, "iphone") || strings.Contains(ua, "mobile") || strings.Contains(ua, "android")
+}
+
+// Transport returns an http.RoundTripper that dials every host to this
+// server, so URLs like http://faceb00k.pw/ work unmodified — the
+// reproduction's stand-in for global DNS + routing.
+func (s *Server) Transport() http.RoundTripper {
+	addr := s.Addr()
+	dialer := &net.Dialer{Timeout: 5 * time.Second}
+	return &http.Transport{
+		DialContext: func(ctx context.Context, network, _ string) (net.Conn, error) {
+			return dialer.DialContext(ctx, network, addr)
+		},
+		MaxIdleConnsPerHost: 64,
+	}
+}
+
+// Client returns an http.Client wired to this server that does NOT follow
+// redirects (the crawler records and follows them itself).
+func (s *Server) Client() *http.Client {
+	return &http.Client{
+		Transport: s.Transport(),
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+		Timeout: 10 * time.Second,
+	}
+}

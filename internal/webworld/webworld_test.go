@@ -1,0 +1,426 @@
+package webworld
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"squatphi/internal/squat"
+)
+
+// smallWorld builds a reduced world shared across tests.
+func smallWorld(t testing.TB) *World {
+	t.Helper()
+	return Build(Config{SquattingDomains: 2500, NonSquattingPhish: 200, Seed: 7})
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := Build(Config{SquattingDomains: 500, NonSquattingPhish: 50, Seed: 3})
+	b := Build(Config{SquattingDomains: 500, NonSquattingPhish: 50, Seed: 3})
+	if len(a.Sites) != len(b.Sites) {
+		t.Fatalf("site counts differ: %d vs %d", len(a.Sites), len(b.Sites))
+	}
+	for d, sa := range a.Sites {
+		sb, ok := b.Sites[d]
+		if !ok || sa.Kind != sb.Kind || sa.StringObf != sb.StringObf || sa.IP != sb.IP {
+			t.Fatalf("site %s differs across identical builds", d)
+		}
+	}
+}
+
+func TestSquattingTypeMix(t *testing.T) {
+	w := smallWorld(t)
+	counts := map[squat.Type]int{}
+	for _, d := range w.SquattingDomains {
+		counts[w.Sites[d].SquatType]++
+	}
+	total := len(w.SquattingDomains)
+	if total < 1500 {
+		t.Fatalf("only %d squatting domains generated", total)
+	}
+	comboFrac := float64(counts[squat.Combo]) / float64(total)
+	if comboFrac < 0.45 || comboFrac > 0.75 {
+		t.Errorf("combo fraction = %f, want ~0.56", comboFrac)
+	}
+	// Combo must dominate every other type (Figure 2).
+	for _, typ := range squat.AllTypes {
+		if typ != squat.Combo && counts[typ] >= counts[squat.Combo] {
+			t.Errorf("type %v count %d >= combo %d", typ, counts[typ], counts[squat.Combo])
+		}
+	}
+}
+
+func TestSquattingDomainsMatchable(t *testing.T) {
+	// Generated squatting domains must be recognised by the squat matcher
+	// (they feed the DNS-scan experiment).
+	w := smallWorld(t)
+	m := squat.NewMatcher(w.Brands.SquatBrands())
+	missed := 0
+	for _, d := range w.SquattingDomains {
+		if _, ok := m.Match(d); !ok {
+			missed++
+		}
+	}
+	if frac := float64(missed) / float64(len(w.SquattingDomains)); frac > 0.02 {
+		t.Errorf("matcher missed %.1f%% of planted squatting domains", frac*100)
+	}
+}
+
+func TestPhishingPrevalenceSmall(t *testing.T) {
+	w := smallWorld(t)
+	phish := len(w.PhishingSites())
+	frac := float64(phish) / float64(len(w.SquattingDomains))
+	if phish == 0 {
+		t.Fatal("no squatting phishing sites generated")
+	}
+	// Paper: ~0.2%; allow generous band for small worlds.
+	if frac > 0.02 {
+		t.Errorf("phishing fraction = %f, want small (~0.002)", frac)
+	}
+}
+
+func TestEvasionRatesCalibrated(t *testing.T) {
+	w := Build(Config{SquattingDomains: 20000, NonSquattingPhish: 2000, Seed: 11})
+	var sq, sqStr, sqCode int
+	for _, s := range w.PhishingSites() {
+		sq++
+		if s.StringObf {
+			sqStr++
+		}
+		if s.CodeObf {
+			sqCode++
+		}
+	}
+	var ns, nsStr int
+	for _, d := range w.NonSquattingPhish {
+		ns++
+		if w.Sites[d].StringObf {
+			nsStr++
+		}
+	}
+	if sq < 20 || ns < 100 {
+		t.Fatalf("too few phishing sites: squat %d nonsquat %d", sq, ns)
+	}
+	sqFrac, nsFrac := float64(sqStr)/float64(sq), float64(nsStr)/float64(ns)
+	if sqFrac < nsFrac {
+		t.Errorf("squatting string obfuscation %.2f not higher than non-squatting %.2f (Table 11)", sqFrac, nsFrac)
+	}
+	if sqFrac < 0.5 || sqFrac > 0.85 {
+		t.Errorf("squatting string obfuscation = %.2f, want ~0.68", sqFrac)
+	}
+}
+
+func TestLivenessChurn(t *testing.T) {
+	w := Build(Config{SquattingDomains: 20000, NonSquattingPhish: 500, Seed: 13})
+	sites := w.PhishingSites()
+	aliveAll := 0
+	for _, s := range sites {
+		all := true
+		for i := 0; i < Snapshots; i++ {
+			if !s.Alive[i] {
+				all = false
+			}
+		}
+		if all {
+			aliveAll++
+		}
+	}
+	frac := float64(aliveAll) / float64(len(sites))
+	if frac < 0.65 || frac > 0.95 {
+		t.Errorf("squatting phishing alive-all-month = %.2f, want ~0.80 (Fig. 17)", frac)
+	}
+	// Non-squatting dies fast.
+	nsAlive := 0
+	for _, d := range w.NonSquattingPhish {
+		if w.Sites[d].Alive[Snapshots-1] {
+			nsAlive++
+		}
+	}
+	if f := float64(nsAlive) / float64(len(w.NonSquattingPhish)); f > 0.45 {
+		t.Errorf("non-squatting phishing still alive at month end = %.2f, want low", f)
+	}
+}
+
+func TestPageForStringObfuscation(t *testing.T) {
+	w := smallWorld(t)
+	checked := 0
+	for _, s := range w.PhishingSites() {
+		if !s.StringObf || s.Cloak == CloakMobileOnly {
+			continue
+		}
+		page, ok := w.PageFor(s, 0, false)
+		if !ok {
+			continue
+		}
+		lower := strings.ToLower(page.HTML)
+		if strings.Contains(lower, strings.ToLower(s.Brand.Name)) {
+			t.Errorf("string-obfuscated page for %s contains brand %q in HTML", s.Domain, s.Brand.Name)
+		}
+		if page.Assets["/logo.png"] == "" {
+			t.Errorf("obfuscated page for %s lost its logo asset", s.Domain)
+		}
+		checked++
+		if checked > 25 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no string-obfuscated phishing pages found to check")
+	}
+}
+
+func TestPageForCloaking(t *testing.T) {
+	w := smallWorld(t)
+	var site *Site
+	for _, s := range w.PhishingSites() {
+		if s.Cloak == CloakMobileOnly && s.Alive[0] {
+			site = s
+			break
+		}
+	}
+	if site == nil {
+		t.Skip("no mobile-only cloaked site in this small world")
+	}
+	mobilePage, ok := w.PageFor(site, 0, true)
+	if !ok {
+		t.Fatal("mobile page missing")
+	}
+	webPage, ok := w.PageFor(site, 0, false)
+	if !ok {
+		t.Fatal("web filler missing")
+	}
+	if !strings.Contains(mobilePage.HTML, "form") {
+		t.Error("mobile page has no form")
+	}
+	if strings.Contains(webPage.HTML, "password") {
+		t.Error("web profile saw the phishing form despite cloaking")
+	}
+}
+
+func TestPhishingPagesHaveForms(t *testing.T) {
+	w := smallWorld(t)
+	for i, s := range w.PhishingSites() {
+		mobile := s.Cloak == CloakMobileOnly
+		page, ok := w.PageFor(s, 0, mobile)
+		if !ok {
+			continue
+		}
+		if !strings.Contains(page.HTML, "<form") {
+			t.Errorf("phishing page %s has no form", s.Domain)
+		}
+		if i > 40 {
+			break
+		}
+	}
+}
+
+func TestDeadSitesServeNothing(t *testing.T) {
+	w := smallWorld(t)
+	for _, d := range w.SquattingDomains {
+		s := w.Sites[d]
+		if s.Kind == Dead {
+			if _, ok := w.PageFor(s, 0, false); ok {
+				t.Fatalf("dead site %s served a page", d)
+			}
+			return
+		}
+	}
+	t.Fatal("no dead squatting domains generated")
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	w := smallWorld(t)
+	srv, err := NewServer(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := srv.Client()
+
+	// 1) Brand original page.
+	resp, err := client.Get("http://paypal.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "Paypal") {
+		t.Fatalf("paypal.com status %d body %.80q", resp.StatusCode, body)
+	}
+
+	// 2) Logo asset fetch.
+	resp, err = client.Get("http://paypal.com/logo.png")
+	if err != nil {
+		t.Fatal(err)
+	}
+	asset, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("Content-Type") != AssetContentType || string(asset) != "Paypal" {
+		t.Fatalf("asset = %q (%s)", asset, resp.Header.Get("Content-Type"))
+	}
+
+	// 3) Redirect site returns 302 with Location.
+	var redirectDomain, target string
+	for _, d := range w.SquattingDomains {
+		if s := w.Sites[d]; s.Kind == RedirectOriginal {
+			redirectDomain, target = d, s.RedirectTo
+			break
+		}
+	}
+	if redirectDomain == "" {
+		t.Fatal("no redirect-original domain generated")
+	}
+	resp, err = client.Get("http://" + redirectDomain + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusFound || !strings.Contains(resp.Header.Get("Location"), target) {
+		t.Fatalf("redirect status %d location %q, want 302 -> %s", resp.StatusCode, resp.Header.Get("Location"), target)
+	}
+
+	// 4) Unknown host 404s.
+	resp, err = client.Get("http://no-such-host.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown host status = %d", resp.StatusCode)
+	}
+}
+
+func TestServerCloakingByUserAgent(t *testing.T) {
+	w := smallWorld(t)
+	srv, err := NewServer(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := srv.Client()
+
+	var site *Site
+	for _, s := range w.PhishingSites() {
+		if s.Cloak == CloakWebOnly && s.Alive[0] && s.ReplacedAt != 0 {
+			site = s
+			break
+		}
+	}
+	if site == nil {
+		t.Skip("no web-only cloaked site in this world")
+	}
+	get := func(ua string) string {
+		req, _ := http.NewRequest("GET", "http://"+site.Domain+"/", nil)
+		req.Header.Set("User-Agent", ua)
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+	webBody := get("Mozilla/5.0 Chrome/65.0")
+	mobileBody := get("Mozilla/5.0 (iPhone; CPU iPhone OS 11_0) Mobile")
+	if !strings.Contains(webBody, "password") {
+		t.Error("web profile did not get the phishing page")
+	}
+	if strings.Contains(mobileBody, "password") {
+		t.Error("mobile profile saw the web-only phishing page")
+	}
+}
+
+func TestServerSnapshotLiveness(t *testing.T) {
+	w := smallWorld(t)
+	srv, err := NewServer(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := srv.Client()
+
+	var site *Site
+	for _, s := range w.PhishingSites() {
+		if s.Alive[0] && !s.Alive[Snapshots-1] {
+			site = s
+			break
+		}
+	}
+	if site == nil {
+		t.Skip("no churning phishing site in this world")
+	}
+	srv.SetSnapshot(0)
+	resp, err := client.Get("http://" + site.Domain + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("snapshot 0 status = %d", resp.StatusCode)
+	}
+	srv.SetSnapshot(Snapshots - 1)
+	resp, err = client.Get("http://" + site.Domain + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Fatal("dead-by-month-end site still serving at final snapshot")
+	}
+}
+
+func TestNonSquattingPhishTopBrandSkew(t *testing.T) {
+	w := Build(Config{SquattingDomains: 500, NonSquattingPhish: 2000, Seed: 17})
+	perBrand := map[string]int{}
+	for _, d := range w.NonSquattingPhish {
+		perBrand[w.Sites[d].Brand.Name]++
+	}
+	type bc struct {
+		n string
+		c int
+	}
+	var list []bc
+	for n, c := range perBrand {
+		list = append(list, bc{n, c})
+	}
+	// Top-8 brands should cover a majority of reports (Fig. 5: 59%).
+	top := 0
+	for i := 0; i < 8 && i < len(list); i++ {
+		maxI := i
+		for j := i + 1; j < len(list); j++ {
+			if list[j].c > list[maxI].c {
+				maxI = j
+			}
+		}
+		list[i], list[maxI] = list[maxI], list[i]
+		top += list[i].c
+	}
+	if frac := float64(top) / float64(len(w.NonSquattingPhish)); frac < 0.4 {
+		t.Errorf("top-8 brand coverage = %.2f, want majority", frac)
+	}
+}
+
+func TestRegistrationYears(t *testing.T) {
+	w := smallWorld(t)
+	recent, total := 0, 0
+	for _, s := range w.PhishingSites() {
+		total++
+		if s.RegYear >= 2014 {
+			recent++
+		}
+	}
+	if total > 0 && float64(recent)/float64(total) < 0.9 {
+		t.Errorf("recent registrations = %d/%d, want dominant (Fig. 16)", recent, total)
+	}
+}
+
+func BenchmarkBuildWorld(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Build(Config{SquattingDomains: 2000, NonSquattingPhish: 100, Seed: uint64(i)})
+	}
+}

@@ -1,0 +1,596 @@
+// Package webworld models the synthetic Internet that replaces the live web
+// in this reproduction: the population of squatting domains and their sites
+// (benign, parked, redirecting, phishing), non-squatting phishing pages,
+// evasion behaviour, cloaking, liveness churn over the measurement month,
+// and an HTTP server that serves it all to the crawler.
+//
+// The population statistics are calibrated to the paper's measurements so
+// the reproduction's tables and figures have the same shape:
+//
+//   - squatting-type mix: combo 56%, typo 25%, bits 7%, wrongTLD 6%,
+//     homograph 5% (Figure 2);
+//   - ~55% of squatting domains live; 87% of live domains serve content,
+//     1.7% redirect to the original brand, 3% to domain marketplaces, 8%
+//     elsewhere (Table 2);
+//   - ~0.2% of squatting domains host phishing (Table 8), cloaked mobile-
+//     only/web-only/both (§6.1), with string obfuscation 68%, code
+//     obfuscation 34%, and strong layout obfuscation (Table 11);
+//   - non-squatting phishing (the PhishTank population) obfuscates less
+//     (Table 11) and dies faster (§6.3).
+package webworld
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"squatphi/internal/brands"
+	"squatphi/internal/dnsx"
+	"squatphi/internal/simrand"
+	"squatphi/internal/squat"
+)
+
+// Kind classifies what a domain serves.
+type Kind int
+
+// Site kinds.
+const (
+	Dead Kind = iota
+	Benign
+	Parked
+	RedirectOriginal
+	RedirectMarket
+	RedirectOther
+	Phishing
+)
+
+var kindNames = [...]string{"dead", "benign", "parked", "redirect-original", "redirect-market", "redirect-other", "phishing"}
+
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return "invalid"
+	}
+	return kindNames[k]
+}
+
+// Cloak describes which crawler profiles see the phishing content.
+type Cloak int
+
+// Cloaking modes with the paper's §6.1 split: of 1175 phishing domains, 590
+// served both, 318 mobile-only, 267 web-only.
+const (
+	CloakNone Cloak = iota // both web and mobile see the page
+	CloakMobileOnly
+	CloakWebOnly
+)
+
+// Scam is the attack flavour of a phishing page (paper §6.2 case studies).
+type Scam int
+
+// Scam kinds.
+const (
+	ScamLogin Scam = iota // credential harvesting (default)
+	ScamFakeSearch
+	ScamTechSupport
+	ScamPayroll
+	ScamFreight
+	ScamPrize
+	ScamPayment
+)
+
+var scamNames = [...]string{"login", "fake-search", "tech-support", "payroll", "freight", "prize", "payment"}
+
+func (s Scam) String() string {
+	if s < 0 || int(s) >= len(scamNames) {
+		return "invalid"
+	}
+	return scamNames[s]
+}
+
+// Snapshots is the number of crawl snapshots over the measurement month
+// (April 01, 08, 22, 29 in the paper).
+const Snapshots = 4
+
+// Site is one domain's ground truth.
+type Site struct {
+	Domain    string
+	Kind      Kind
+	Brand     brands.Brand // impersonated brand (squatting / phishing sites)
+	SquatType squat.Type   // None for non-squatting domains
+	Cloak     Cloak
+	Scam      Scam
+
+	// Evasion attributes for phishing sites.
+	StringObf  bool   // brand text only in images / confusable spellings
+	CodeObf    bool   // obfuscated JavaScript on the page
+	LayoutSeed uint64 // non-zero: perturbed layout (layout obfuscation)
+
+	// RedirectTo is the destination host for redirect kinds.
+	RedirectTo string
+
+	// Alive[s] reports whether the site serves content in snapshot s.
+	Alive [Snapshots]bool
+	// ReplacedAt, if >= 0, is a snapshot where the phishing page is
+	// temporarily replaced with a benign page (the tacebook.ga case).
+	ReplacedAt int
+	// ReplacedFrom, if >= 0, is the snapshot from which the phishing page
+	// is permanently replaced with a benign page — the fate of most
+	// user-reported phishing URLs by the time they are crawled (Table 5).
+	ReplacedFrom int
+
+	IP        [4]byte
+	RegYear   int
+	Registrar string
+}
+
+// IsPhishingAt reports whether the site serves phishing content in
+// snapshot s (alive and not temporarily or permanently replaced).
+func (s *Site) IsPhishingAt(snap int) bool {
+	if s.Kind != Phishing || snap < 0 || snap >= Snapshots || !s.Alive[snap] {
+		return false
+	}
+	if s.ReplacedAt == snap {
+		return false
+	}
+	return s.ReplacedFrom < 0 || snap < s.ReplacedFrom
+}
+
+// Config controls world generation.
+type Config struct {
+	// Brands is the monitored universe; nil selects brands.DefaultConfig().
+	Brands *brands.Universe
+	// SquattingDomains is the approximate squatting population size
+	// (paper: 657,663; default 8,000 for laptop-scale runs).
+	SquattingDomains int
+	// NonSquattingPhish is the size of the PhishTank-style population
+	// (paper: 6,755 URLs; default 600).
+	NonSquattingPhish int
+	// Seed drives all generation.
+	Seed uint64
+}
+
+// DefaultConfig returns a laptop-scale world.
+func DefaultConfig() Config {
+	return Config{SquattingDomains: 8000, NonSquattingPhish: 600, Seed: 1175}
+}
+
+// World is the generated synthetic Internet.
+type World struct {
+	Cfg    Config
+	Brands *brands.Universe
+
+	// Sites maps domain -> ground truth, covering brand originals,
+	// squatting domains, non-squatting phishing hosts, marketplaces, and
+	// miscellaneous redirect targets.
+	Sites map[string]*Site
+
+	// SquattingDomains lists the squatting population in generation order.
+	SquattingDomains []string
+	// NonSquattingPhish lists the PhishTank-style population.
+	NonSquattingPhish []string
+	// Marketplaces lists the domain-marketplace hosts.
+	Marketplaces []string
+}
+
+// squat-type mix calibrated to Figure 2 (combo 371354/657663 etc.).
+var typeMix = []struct {
+	t squat.Type
+	p float64
+}{
+	{squat.Combo, 0.565},
+	{squat.Typo, 0.253},
+	{squat.Bits, 0.073},
+	{squat.WrongTLD, 0.060},
+	{squat.Homograph, 0.049},
+}
+
+// comboWords extends the generator's affix list so the combo population is
+// effectively unbounded, like real registrations.
+var comboWords = []string{
+	"deals", "shop", "center", "zone", "plus", "direct", "express", "hub",
+	"world", "point", "now", "today", "best", "top", "free", "win",
+	"club", "network", "digital", "cloud", "data", "care", "life",
+	"market", "trade", "invest", "capital", "funds", "credit", "loans",
+}
+
+// Build generates the world deterministically from cfg.
+func Build(cfg Config) *World {
+	if cfg.Brands == nil {
+		cfg.Brands = brands.Select(brands.DefaultConfig())
+	}
+	if cfg.SquattingDomains <= 0 {
+		cfg.SquattingDomains = DefaultConfig().SquattingDomains
+	}
+	if cfg.NonSquattingPhish <= 0 {
+		cfg.NonSquattingPhish = DefaultConfig().NonSquattingPhish
+	}
+	w := &World{Cfg: cfg, Brands: cfg.Brands, Sites: map[string]*Site{}}
+	root := simrand.New(cfg.Seed).Split("webworld")
+
+	w.buildMarketplaces(root.Split("markets"))
+	w.buildOriginals(root.Split("originals"))
+	w.buildSquatting(root.Split("squatting"))
+	w.buildNonSquattingPhish(root.Split("nonsquat"))
+	return w
+}
+
+func (w *World) buildMarketplaces(r *simrand.RNG) {
+	// Paper §3.2: a manually-compiled list of 22 known marketplaces.
+	for i := 0; i < 22; i++ {
+		d := fmt.Sprintf("market%s.com", r.Letters(4))
+		if i == 0 {
+			d = "marketmonitor.com" // named in the paper
+		}
+		w.Marketplaces = append(w.Marketplaces, d)
+		w.Sites[d] = &Site{Domain: d, Kind: Benign, IP: dnsx.RandomIP(r),
+			RegYear: 2005 + r.Intn(8), Registrar: pickRegistrar(r), Alive: allAlive()}
+	}
+}
+
+func (w *World) buildOriginals(r *simrand.RNG) {
+	for _, b := range w.Brands.Brands {
+		d := b.Domain()
+		w.Sites[d] = &Site{Domain: d, Kind: Benign, Brand: b, IP: dnsx.RandomIP(r),
+			RegYear: 1995 + r.Intn(15), Registrar: pickRegistrar(r), Alive: allAlive()}
+	}
+}
+
+// protectiveBrands redirect squatting traffic back to themselves at high
+// rates (paper Table 3); marketHeavyBrands are squatted for resale
+// (Table 4).
+var protectiveBrands = map[string]bool{
+	"shutterfly": true, "alliancebank": true, "rabobank": true,
+	"priceline": true, "carfax": true,
+}
+
+var marketHeavyBrands = map[string]bool{
+	"zocdoc": true, "comerica": true, "verizon": true, "amazon": true, "paypal": true,
+}
+
+// phishAttractive brands host disproportionately many squatting phishing
+// pages (Figure 13: google far first, then ford/facebook/bitcoin/...).
+var phishAttractive = map[string]float64{
+	"google": 22, "ford": 2.5, "facebook": 2.4, "bitcoin": 2.3, "archive": 2.2,
+	"amazon": 2.1, "europa": 2.0, "cisco": 1.9, "discover": 1.8, "apple": 1.8,
+	"uber": 1.6, "citi": 1.6, "youtube": 1.5, "paypal": 1.5, "ebay": 1.3,
+	"microsoft": 1.2, "twitter": 1.2, "dropbox": 1.1, "github": 1.1, "adp": 1.1,
+	"santander": 1.0,
+}
+
+func (w *World) buildSquatting(r *simrand.RNG) {
+	universe := w.Brands.Brands
+	gen := squat.NewGenerator()
+
+	// Squat attractiveness is its own skew, decoupled from Alexa rank
+	// (paper: "the top brands here are not necessarily the most popular
+	// websites"). A mild Zipf over a shuffled order gives the long tail;
+	// the paper's top-5 (vice 5.98%, porn 2.76%, bt 2.46%, apple 2.05%,
+	// ford 1.85% — Figure 4) are pinned above it.
+	attract := make([]float64, len(universe))
+	order := r.Perm(len(universe))
+	for i, bi := range order {
+		attract[bi] = math.Pow(float64(i+2), -0.6)
+	}
+	// Pinned attract weights: the paper's Figure 4 top-5 plus the Table 9
+	// example brands, scaled so vice's weight corresponds to its 5.98%
+	// share of the squatting population.
+	pinned := map[string]float64{
+		"vice": 2.40, "porn": 1.12, "bt": 1.00, "apple": 0.84, "ford": 0.76,
+		"google": 0.42, "uber": 0.37, "citi": 0.31, "facebook": 0.23,
+		"youtube": 0.19, "ebay": 0.19, "microsoft": 0.19, "adp": 0.20,
+		"amazon": 0.21, "paypal": 0.14, "bitcoin": 0.085, "twitter": 0.085,
+		"santander": 0.035, "dropbox": 0.032, "github": 0.031,
+	}
+	for i, b := range universe {
+		if w, ok := pinned[b.Name]; ok {
+			attract[i] = w
+		}
+	}
+	total := 0.0
+	for _, a := range attract {
+		total += a
+	}
+
+	// Per-brand quotas.
+	quota := make([]int, len(universe))
+	for i := range universe {
+		quota[i] = int(float64(w.Cfg.SquattingDomains) * attract[i] / total)
+	}
+
+	for bi, b := range universe {
+		br := r.SplitN(uint64(bi))
+		w.mintBrandSquats(br, gen, b, quota[bi])
+	}
+}
+
+// mintBrandSquats creates n squatting domains for one brand.
+func (w *World) mintBrandSquats(r *simrand.RNG, gen *squat.Generator, b brands.Brand, n int) {
+	// Pre-generate bounded candidate pools per type.
+	pools := map[squat.Type][]squat.Candidate{
+		squat.Typo:      gen.Typos(b.Brand),
+		squat.Bits:      gen.BitFlips(b.Brand),
+		squat.WrongTLD:  gen.WrongTLDs(b.Brand),
+		squat.Homograph: gen.Homographs(b.Brand),
+	}
+	// Shuffle pools in a fixed type order: map iteration order would make
+	// the PRNG consumption — and hence the whole world — nondeterministic.
+	for _, t := range []squat.Type{squat.Typo, squat.Bits, squat.WrongTLD, squat.Homograph} {
+		pool := pools[t]
+		r.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	}
+	used := map[squat.Type]int{}
+
+	for i := 0; i < n; i++ {
+		// Sample a squatting type from the calibrated mix.
+		x := r.Float64()
+		t := squat.Combo
+		acc := 0.0
+		for _, m := range typeMix {
+			acc += m.p
+			if x < acc {
+				t = m.t
+				break
+			}
+		}
+		var domain string
+		if t == squat.Combo {
+			domain = w.mintCombo(r, b)
+		} else {
+			pool := pools[t]
+			if used[t] >= len(pool) {
+				domain = w.mintCombo(r, b) // pool exhausted: spill to combo
+				t = squat.Combo
+			} else {
+				domain = pool[used[t]].Domain
+				used[t]++
+			}
+		}
+		if domain == "" || w.Sites[domain] != nil {
+			continue
+		}
+		site := w.mintSquatSite(r, b, domain, t)
+		w.Sites[domain] = site
+		w.SquattingDomains = append(w.SquattingDomains, domain)
+	}
+}
+
+func (w *World) mintCombo(r *simrand.RNG, b brands.Brand) string {
+	for attempt := 0; attempt < 8; attempt++ {
+		word := simrand.Pick(r, comboWords)
+		if r.Bool(0.3) {
+			word = simrand.Pick(r, comboWords) + word
+		}
+		tld := simrand.Pick(r, []string{"com", "com", "net", "org", "de", "online", "eu", "in", "co"})
+		var d string
+		if r.Bool(0.5) {
+			d = b.Name + "-" + word + "." + tld
+		} else {
+			d = word + "-" + b.Name + "." + tld
+		}
+		if w.Sites[d] == nil {
+			return d
+		}
+	}
+	return ""
+}
+
+// mintSquatSite assigns the domain's fate per the calibrated Table 2/8 mix.
+func (w *World) mintSquatSite(r *simrand.RNG, b brands.Brand, domain string, t squat.Type) *Site {
+	site := &Site{Domain: domain, Brand: b, SquatType: t, IP: dnsx.RandomIP(r),
+		RegYear: regYear(r), Registrar: pickRegistrar(r)}
+
+	if r.Bool(0.45) {
+		site.Kind = Dead
+		return site
+	}
+	site.Alive = allAlive()
+
+	pOriginal, pMarket, pOther := 0.017, 0.030, 0.080
+	if protectiveBrands[b.Name] {
+		pOriginal = 0.30
+	}
+	if marketHeavyBrands[b.Name] {
+		pMarket = 0.35
+	}
+	pPhish := 0.0036 // ~0.2% of all squatting = ~0.36% of the live 55%
+	if boost, ok := phishAttractive[b.Name]; ok {
+		pPhish *= boost
+	}
+
+	x := r.Float64()
+	switch {
+	case x < pPhish:
+		w.makePhishing(r, site, true)
+	case x < pPhish+pOriginal:
+		site.Kind = RedirectOriginal
+		site.RedirectTo = b.Domain()
+	case x < pPhish+pOriginal+pMarket:
+		site.Kind = RedirectMarket
+		site.RedirectTo = simrand.Pick(r, w.Marketplaces)
+	case x < pPhish+pOriginal+pMarket+pOther:
+		site.Kind = RedirectOther
+		site.RedirectTo = simrand.Pick(r, w.Marketplaces[1:]) // reuse hosts; kind matters, not target
+		other := "misc" + r.Letters(5) + ".net"
+		if w.Sites[other] == nil {
+			w.Sites[other] = &Site{Domain: other, Kind: Benign, IP: dnsx.RandomIP(r),
+				RegYear: regYear(r), Registrar: pickRegistrar(r), Alive: allAlive()}
+		}
+		site.RedirectTo = other
+	case r.Bool(0.55):
+		site.Kind = Parked
+	default:
+		site.Kind = Benign
+	}
+	return site
+}
+
+// makePhishing fills in phishing attributes. squatting selects the
+// squatting (heavier evasion) or non-squatting (lighter) profile, per
+// Table 11.
+func (w *World) makePhishing(r *simrand.RNG, site *Site, squatting bool) {
+	site.Kind = Phishing
+	site.ReplacedAt = -1
+	site.ReplacedFrom = -1
+
+	// Cloaking split from §6.1: 590 both / 318 mobile-only / 267 web-only.
+	x := r.Float64()
+	switch {
+	case x < 0.50:
+		site.Cloak = CloakNone
+	case x < 0.77:
+		site.Cloak = CloakMobileOnly
+	default:
+		site.Cloak = CloakWebOnly
+	}
+
+	if squatting {
+		site.StringObf = r.Bool(0.68)
+		site.CodeObf = r.Bool(0.345)
+		if r.Bool(0.85) { // layout obfuscation is near-universal (28 +/- 12)
+			site.LayoutSeed = r.Uint64() | 1
+		}
+	} else {
+		site.StringObf = r.Bool(0.359)
+		site.CodeObf = r.Bool(0.375)
+		if r.Bool(0.60) {
+			site.LayoutSeed = r.Uint64() | 1
+		}
+	}
+
+	site.Scam = pickScam(r, site.Brand)
+
+	// Liveness over the month (Fig. 17): ~80% alive in all snapshots.
+	switch {
+	case r.Bool(0.80):
+		site.Alive = allAlive()
+		if r.Bool(0.02) {
+			site.ReplacedAt = 2 // benign page mid-month, back later
+		}
+	case r.Bool(0.5):
+		site.Alive = [Snapshots]bool{true, true, true, false}
+	default:
+		site.Alive = [Snapshots]bool{true, true, false, false}
+	}
+	// Recent registrations (Fig. 16).
+	site.RegYear = 2014 + r.Intn(5)
+}
+
+// pickScam selects the scam flavour using the brand's domain.
+func pickScam(r *simrand.RNG, b brands.Brand) Scam {
+	switch b.Name {
+	case "google", "bing":
+		if r.Bool(0.5) {
+			return ScamFakeSearch
+		}
+	case "uber":
+		if r.Bool(0.6) {
+			return ScamFreight
+		}
+	case "adp":
+		return ScamPayroll
+	case "microsoft":
+		if r.Bool(0.5) {
+			return ScamTechSupport
+		}
+	case "apple", "amazon":
+		if r.Bool(0.4) {
+			return ScamPrize
+		}
+	}
+	if b.Category == "finance" && r.Bool(0.5) {
+		return ScamPayment
+	}
+	return ScamLogin
+}
+
+func (w *World) buildNonSquattingPhish(r *simrand.RNG) {
+	// Hosting mix from §4.1: web-hosting services dominate
+	// (000webhostapp, sites.google, drive.google analogues).
+	hosts := []string{"000webhostapp.com", "sites-hosting.com", "drive-share.com", "freepages.net", "webnode.io"}
+	targets := w.Brands.PhishTargetBrands()
+	// Top-8 brands cover ~59% of reports (Fig. 5): Zipf over target list.
+	for i := 0; i < w.Cfg.NonSquattingPhish; i++ {
+		b := targets[r.Zipf(len(targets), 1.25)]
+		var domain string
+		if r.Bool(0.25) { // hosting-service share (paper §4.1: ~1/6 on 000webhostapp alone)
+			domain = b.Name + r.Letters(4) + "." + simrand.Pick(r, hosts)
+		} else {
+			domain = r.Letters(8) + "." + simrand.Pick(r, []string{"com", "net", "org", "info"})
+		}
+		if w.Sites[domain] != nil {
+			continue
+		}
+		site := &Site{Domain: domain, Brand: b, SquatType: squat.None,
+			IP: dnsx.RandomIP(r), RegYear: regYear(r), Registrar: pickRegistrar(r)}
+		w.makePhishing(r, site, false)
+		// User-reported phishing has a very short life (Table 5: only
+		// 43.2% still phishing when crawled; §6.3: hosted pages last <10
+		// days). 57%: taken down before the first crawl — half replaced
+		// with a benign page, half dead. The remainder mostly dies within
+		// the month.
+		switch {
+		case r.Bool(0.285):
+			site.ReplacedFrom = 0
+		case r.Bool(0.399): // 0.285 of the remaining 0.715
+			site.Alive = [Snapshots]bool{}
+		case r.Bool(0.75):
+			site.Alive = [Snapshots]bool{true, false, false, false}
+		}
+		w.Sites[domain] = site
+		w.NonSquattingPhish = append(w.NonSquattingPhish, domain)
+	}
+}
+
+// registrars with godaddy most common (Fig. 16 discussion).
+var registrars = []string{
+	"godaddy.com", "godaddy.com", "godaddy.com", "namecheap.com",
+	"enom.com", "tucows.com", "publicdomainregistry.com", "namesilo.com",
+	"gandi.net", "ovh.com", "alibaba-inc.com", "regru.ru",
+}
+
+func pickRegistrar(r *simrand.RNG) string { return simrand.Pick(r, registrars) }
+
+func regYear(r *simrand.RNG) int {
+	// Mass concentrated in the recent 4 years, long tail back to 2005.
+	if r.Bool(0.7) {
+		return 2014 + r.Intn(5)
+	}
+	return 2005 + r.Intn(10)
+}
+
+func allAlive() [Snapshots]bool {
+	var a [Snapshots]bool
+	for i := range a {
+		a[i] = true
+	}
+	return a
+}
+
+// Site returns the ground truth for a domain.
+func (w *World) Site(domain string) (*Site, bool) {
+	s, ok := w.Sites[strings.ToLower(strings.TrimSuffix(domain, "."))]
+	return s, ok
+}
+
+// DNSDomains returns every domain that resolves (all sites including dead
+// ones — DNS records outlive web servers), sorted for determinism.
+func (w *World) DNSDomains() []string {
+	out := make([]string, 0, len(w.Sites))
+	for d := range w.Sites {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PhishingSites returns all squatting phishing sites.
+func (w *World) PhishingSites() []*Site {
+	var out []*Site
+	for _, d := range w.SquattingDomains {
+		if s := w.Sites[d]; s.Kind == Phishing {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+// Package whois implements the domain-registration-intelligence substrate:
+// an RFC 3912-style WHOIS server serving the synthetic world's registration
+// records over TCP, a client, and the record text format.
+//
+// The paper pulls whois records for the 1,175 verified phishing domains to
+// study registration times and registrars (Figure 16: most registered in
+// the recent four years; godaddy.com the most common of 121 registrars, but
+// only 738 domains expose registrar data). The reproduction serves the same
+// fields — including the partial-data behaviour — over the real protocol:
+// the client connects, writes the query line, and reads the record until
+// EOF.
+package whois
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Record is one domain registration entry.
+type Record struct {
+	Domain    string
+	Created   int    // registration year
+	Registrar string // empty when the registry redacts it
+}
+
+// ErrNoMatch is returned when the server has no record for a domain.
+var ErrNoMatch = errors.New("whois: no match")
+
+// Format renders a record in classic whois key-value style.
+func Format(r Record) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Domain Name: %s\n", strings.ToUpper(r.Domain))
+	fmt.Fprintf(&b, "Creation Date: %d-01-01T00:00:00Z\n", r.Created)
+	if r.Registrar != "" {
+		fmt.Fprintf(&b, "Registrar: %s\n", r.Registrar)
+	}
+	b.WriteString(">>> Last update of whois database <<<\n")
+	return b.String()
+}
+
+// Parse extracts a record from whois response text.
+func Parse(text string) (Record, error) {
+	var r Record
+	found := false
+	for _, line := range strings.Split(text, "\n") {
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		val = strings.TrimSpace(val)
+		switch strings.ToLower(strings.TrimSpace(key)) {
+		case "domain name":
+			r.Domain = strings.ToLower(val)
+			found = true
+		case "creation date":
+			if len(val) >= 4 {
+				if y, err := strconv.Atoi(val[:4]); err == nil {
+					r.Created = y
+				}
+			}
+		case "registrar":
+			r.Registrar = val
+		}
+	}
+	if !found {
+		return Record{}, ErrNoMatch
+	}
+	return r, nil
+}
+
+// Directory answers whois queries; the webworld adapter implements it.
+type Directory interface {
+	// WhoisRecord returns the record for a domain, or false if unknown.
+	WhoisRecord(domain string) (Record, bool)
+}
+
+// Server is a whois server over TCP (RFC 3912: one query line per
+// connection, response terminated by close).
+type Server struct {
+	dir Directory
+	ln  net.Listener
+}
+
+// NewServer starts a whois server on a free loopback port.
+func NewServer(dir Directory) (*Server, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("whois: listen: %w", err)
+	}
+	s := &Server{dir: dir, ln: ln}
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the server's address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.ln.Close() }
+
+func (s *Server) serve() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil && line == "" {
+		return
+	}
+	domain := strings.ToLower(strings.TrimSpace(line))
+	rec, ok := s.dir.WhoisRecord(domain)
+	if !ok {
+		fmt.Fprintf(conn, "No match for %q.\n", domain)
+		return
+	}
+	_, _ = conn.Write([]byte(Format(rec)))
+}
+
+// Lookup queries a whois server for one domain.
+func Lookup(addr, domain string) (Record, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return Record{}, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := fmt.Fprintf(conn, "%s\r\n", domain); err != nil {
+		return Record{}, err
+	}
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	text := sb.String()
+	if strings.HasPrefix(text, "No match") {
+		return Record{}, ErrNoMatch
+	}
+	return Parse(text)
+}

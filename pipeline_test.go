@@ -1,0 +1,88 @@
+package squatphi
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"squatphi/internal/core"
+	"squatphi/internal/features"
+	"squatphi/internal/ocr"
+	"squatphi/internal/render"
+	"squatphi/internal/squat"
+	"squatphi/internal/webworld"
+)
+
+// TestPipelineSmoke runs the whole system end to end on a tiny world:
+// build → DNS scan → ground truth → train → detect. It asserts only the
+// coarse contracts; the calibrated shape checks live in internal/core and
+// internal/experiments.
+func TestPipelineSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline is slow")
+	}
+	p, err := core.New(core.Config{
+		World:           webworld.Config{SquattingDomains: 800, NonSquattingPhish: 150, Seed: 5},
+		DNSNoiseRecords: 2000,
+		ForestTrees:     10,
+		Seed:            6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx := context.Background()
+
+	cands := p.ScanDNS()
+	if len(cands) == 0 {
+		t.Fatal("DNS scan found nothing")
+	}
+	gt, err := p.BuildGroundTruth(ctx, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, neg := gt.Counts()
+	if pos == 0 || neg == 0 {
+		t.Fatalf("degenerate ground truth: %d/%d", pos, neg)
+	}
+	clf := p.TrainClassifier(gt, features.AllFeatures())
+	if clf.Eval.AUC < 0.7 {
+		t.Fatalf("AUC = %.3f on tiny world, want > 0.7", clf.Eval.AUC)
+	}
+	det, err := p.DetectInWild(ctx, clf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every flag must reference a scanned candidate.
+	candidateSet := map[string]bool{}
+	for _, c := range cands {
+		candidateSet[c.Domain] = true
+	}
+	for _, f := range append(det.FlaggedWeb, det.FlaggedMobile...) {
+		if !candidateSet[f.Domain] {
+			t.Fatalf("flagged %s is not a scanned candidate", f.Domain)
+		}
+	}
+}
+
+// TestPublicAPIWalkthrough mirrors examples/quickstart as a test, keeping
+// the README's advertised flows compiling and correct.
+func TestPublicAPIWalkthrough(t *testing.T) {
+	gen := squat.NewGenerator()
+	cands := gen.Generate(squat.NewBrand("paypal.com"))
+	if len(cands) < 100 {
+		t.Fatalf("only %d candidates", len(cands))
+	}
+	m := squat.NewMatcher([]squat.Brand{squat.NewBrand("paypal.com")})
+	if c, ok := m.Match("paypal-cash.com"); !ok || c.Type != squat.Combo {
+		t.Fatalf("Match = %+v, %v", c, ok)
+	}
+
+	// OCR recovers a brand that exists only in image pixels.
+	html := `<html><body><img src="/l.png"><form><input type=password placeholder="Password"></form></body></html>`
+	shot := render.Screenshot(html, render.Options{Assets: map[string]string{"/l.png": "PayPal"}})
+	var e ocr.Engine
+	if text := strings.ToLower(e.Recognize(shot)); !strings.Contains(text, "paypal") {
+		t.Fatalf("OCR text %q missing brand", text)
+	}
+}
