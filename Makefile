@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet fmt fuzz paperbench pipeline clean
+.PHONY: all build test test-short race bench vet fmt fuzz paperbench pipeline clean
 
 all: build vet test
 
@@ -21,6 +21,12 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race detector + vet across the whole tree (CI gate for the concurrent
+# paths: obs registry/spans, crawler pool, DNS server/prober).
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -16,9 +16,20 @@ import (
 
 	"squatphi/internal/core"
 	"squatphi/internal/experiments"
+	"squatphi/internal/obs"
 	"squatphi/internal/report"
 	"squatphi/internal/webworld"
 )
+
+// metricsArtifact is the JSON line carrying the pipeline's observability
+// snapshot: per-stage wall times plus every registry metric, so BENCH
+// outputs record where the run spent its time.
+type metricsArtifact struct {
+	Kind           string             `json:"kind"`
+	Title          string             `json:"title"`
+	StageTimingsMS map[string]float64 `json:"stage_timings_ms"`
+	Metrics        obs.Snapshot       `json:"metrics"`
+}
 
 func main() {
 	log.SetFlags(0)
@@ -80,6 +91,20 @@ func main() {
 			}
 		}
 		log.Printf("%s done in %s", d.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if jsonFile != nil {
+		art := metricsArtifact{
+			Kind:           "metrics",
+			Title:          "pipeline observability snapshot",
+			StageTimingsMS: map[string]float64{},
+			Metrics:        env.P.Obs.Snapshot(),
+		}
+		for name, d := range env.P.StageTimings() {
+			art.StageTimingsMS[name] = float64(d) / float64(time.Millisecond)
+		}
+		if err := report.WriteJSON(jsonFile, art); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if failures > 0 {
 		log.Fatalf("%d experiments failed", failures)

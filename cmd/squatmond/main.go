@@ -2,11 +2,16 @@
 // mode of paper §7: it watches the DNS for newly registered domains, flags
 // the squatting ones, crawls and classifies them, and appends alerts to a
 // JSONL report. Against the synthetic world, "new registrations" arrive by
-// evolving the DNS snapshot between rounds.
+// landing in an authoritative zone each round; the monitor confirms them by
+// active probing (the ActiveDNS methodology) before matching.
+//
+// Every stage reports to the shared metrics registry, each round records a
+// nested trace (round -> probe/match/crawl/classify), and -debug-addr
+// serves /metrics, /spans and pprof live.
 //
 // Usage:
 //
-//	squatmond [-rounds 3] [-interval 0s] [-report alerts.jsonl]
+//	squatmond [-rounds 3] [-interval 0s] [-report alerts.jsonl] [-debug-addr :6060]
 package main
 
 import (
@@ -16,12 +21,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"time"
 
 	"squatphi/internal/core"
 	"squatphi/internal/crawler"
 	"squatphi/internal/dnsx"
 	"squatphi/internal/features"
+	"squatphi/internal/obs"
 	"squatphi/internal/simrand"
 	"squatphi/internal/squat"
 	"squatphi/internal/webworld"
@@ -43,20 +50,34 @@ func main() {
 	rounds := flag.Int("rounds", 3, "monitoring rounds to run")
 	interval := flag.Duration("interval", 0, "pause between rounds")
 	reportPath := flag.String("report", "", "append alerts as JSONL to this file (default stdout)")
-	newPerRound := flag.Int("new", 400, "new registrations arriving per round")
+	newPerRound := flag.Int("new", 400, "world registrations arriving per round (plus 50% random-noise names)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /spans and pprof on this address (e.g. :6060)")
+	metricsPath := flag.String("metrics", "", "write the final metrics snapshot to this file (default <report>.metrics.json when -report is set)")
 	flag.Parse()
 
+	reg := obs.NewRegistry()
 	p, err := core.New(core.Config{
 		World:           webworld.Config{SquattingDomains: 3000, NonSquattingPhish: 300, Seed: 7},
 		DNSNoiseRecords: 8000,
 		ForestTrees:     25,
 		Seed:            99,
+		Metrics:         reg,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer p.Close()
-	ctx := context.Background()
+	ctx := obs.WithRecorder(context.Background(), p.Trace)
+
+	if *debugAddr != "" {
+		dbg, err := obs.Serve(*debugAddr, reg, p.Trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		reg.PublishExpvar("squatphi")
+		log.Printf("debug endpoint on http://%s (/metrics, /spans, /debug/pprof)", dbg.Addr())
+	}
 
 	out := os.Stdout
 	if *reportPath != "" {
@@ -78,51 +99,83 @@ func main() {
 	log.Printf("classifier ready: CV AUC=%.3f FP=%.3f FN=%.3f",
 		clf.Eval.AUC, clf.Eval.Confusion.FPR(), clf.Eval.Confusion.FNR())
 
-	// The monitor's view of the DNS starts from the current snapshot; each
-	// round a batch of "new registrations" (a shard of world domains it
-	// has not seen yet plus fresh noise) lands.
-	seen := dnsx.NewStore()
+	// The monitor watches an authoritative zone; each round a batch of
+	// "new registrations" (a shard of world domains it has not seen yet
+	// plus fresh noise) lands there, and the monitor confirms them by
+	// active probing against the zone's DNS server before matching.
+	zone := dnsx.NewStore()
+	srv, err := dnsx.NewServerObs(zone, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	prober := &dnsx.Prober{Addr: srv.Addr(), Metrics: reg}
+
 	worldDomains := p.World.DNSDomains()
 	rng := simrand.New(1)
 	cursor := 0
-	c := &crawler.Crawler{Client: p.Server.Client(), Workers: 16}
+	c := &crawler.Crawler{Client: p.Server.Client(), Workers: 16, Metrics: reg}
 
-	totalAlerts := 0
+	mRounds := reg.Counter("squatmond.rounds")
+	mNew := reg.Counter("squatmond.new_registrations")
+	mCandidates := reg.Counter("squatmond.candidates")
+	mAlerts := reg.Counter("squatmond.alerts")
+	hRound := reg.Histogram("squatmond.round_ms", obs.MillisBuckets)
+
 	for round := 1; round <= *rounds; round++ {
-		next := dnsx.NewStore()
-		seen.Range(func(rec dnsx.Record) bool {
-			next.Add(rec.Domain, rec.IP)
-			return true
-		})
+		roundCtx, span := obs.StartSpan(ctx, "round")
+		span.SetAttr("round", strconv.Itoa(round))
+		start := time.Now()
+
+		var batch []string
 		for i := 0; i < *newPerRound && cursor < len(worldDomains); i++ {
-			next.Add(worldDomains[cursor], dnsx.RandomIP(rng))
+			d := worldDomains[cursor]
 			cursor++
+			if _, exists := zone.Lookup(d); exists {
+				continue
+			}
+			zone.Add(d, dnsx.RandomIP(rng))
+			batch = append(batch, d)
 		}
 		for i := 0; i < *newPerRound/2; i++ {
-			next.Add(rng.Letters(10)+".com", dnsx.RandomIP(rng))
-		}
-
-		delta := dnsx.Diff(seen, next)
-		seen = next
-		var candidates []squat.Candidate
-		for _, d := range delta.Added {
-			if cand, ok := p.Matcher.Match(d); ok {
-				candidates = append(candidates, cand)
+			d := rng.Letters(10) + ".com"
+			if _, exists := zone.Lookup(d); exists {
+				continue
 			}
+			zone.Add(d, dnsx.RandomIP(rng))
+			batch = append(batch, d)
 		}
-		log.Printf("round %d: %d new registrations, %d squatting candidates",
-			round, len(delta.Added), len(candidates))
+		mNew.Add(int64(len(batch)))
 
-		var domains []string
-		byDomain := map[string]squat.Candidate{}
-		for _, cand := range candidates {
-			domains = append(domains, cand.Domain)
-			byDomain[cand.Domain] = cand
-		}
-		results, err := c.Crawl(ctx, domains)
+		probeCtx, probeSpan := obs.StartSpan(roundCtx, "probe")
+		records, err := prober.Probe(probeCtx, batch)
+		probeSpan.SetAttr("resolved", strconv.Itoa(len(records)))
+		probeSpan.EndWith(err)
 		if err != nil {
 			log.Fatal(err)
 		}
+
+		_, matchSpan := obs.StartSpan(roundCtx, "match")
+		var domains []string
+		byDomain := map[string]squat.Candidate{}
+		for _, rec := range records {
+			if cand, ok := p.Matcher.Match(rec.Domain); ok {
+				domains = append(domains, cand.Domain)
+				byDomain[cand.Domain] = cand
+			}
+		}
+		matchSpan.SetAttr("candidates", strconv.Itoa(len(domains)))
+		matchSpan.End()
+		mCandidates.Add(int64(len(domains)))
+
+		// The crawler opens its own child span under the round.
+		results, err := c.Crawl(roundCtx, domains)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		_, classifySpan := obs.StartSpan(roundCtx, "classify")
+		roundAlerts := 0
 		for _, res := range results {
 			for _, profile := range []struct {
 				cap    crawler.Capture
@@ -143,12 +196,51 @@ func main() {
 				}); err != nil {
 					log.Fatal(err)
 				}
-				totalAlerts++
+				roundAlerts++
 			}
 		}
+		classifySpan.SetAttr("alerts", strconv.Itoa(roundAlerts))
+		classifySpan.End()
+		mAlerts.Add(int64(roundAlerts))
+		mRounds.Inc()
+		hRound.ObserveSince(start)
+		span.SetAttr("alerts", strconv.Itoa(roundAlerts))
+		span.End()
+
+		rtt := reg.Histogram("dnsx.probe.rtt_ms", nil).Snapshot()
+		log.Printf("round %d: %d new registrations, %d candidates, %d alerts (wall %s, probe RTT p50 %.2fms, alerts total %d)",
+			round, len(batch), len(domains), roundAlerts,
+			time.Since(start).Round(time.Millisecond), rtt.Quantile(0.5), mAlerts.Value())
+
 		if *interval > 0 && round < *rounds {
 			time.Sleep(*interval)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "squatmond: %d alerts over %d rounds\n", totalAlerts, *rounds)
+
+	snap := reg.Snapshot()
+	fmt.Fprintf(os.Stderr, "squatmond: %d alerts over %d rounds (%d DNS queries served, %d candidates, %d pages fetched, %d fetch failures)\n",
+		snap.Counters["squatmond.alerts"], *rounds,
+		snap.Counters["dnsx.server.queries"], snap.Counters["squatmond.candidates"],
+		snap.Counters["crawler.pages"], snap.Counters["crawler.fetch.failures"])
+
+	// Flush the final snapshot next to the JSONL report.
+	flushPath := *metricsPath
+	if flushPath == "" && *reportPath != "" {
+		flushPath = *reportPath + ".metrics.json"
+	}
+	if flushPath != "" {
+		f, err := os.Create(flushPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		me := json.NewEncoder(f)
+		me.SetIndent("", "  ")
+		if err := me.Encode(snap); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("metrics snapshot written to %s", flushPath)
+	}
 }

@@ -14,10 +14,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"time"
 
 	"squatphi/internal/core"
 	"squatphi/internal/features"
+	"squatphi/internal/obs"
 	"squatphi/internal/report"
 	"squatphi/internal/squat"
 	"squatphi/internal/webworld"
@@ -31,6 +33,7 @@ func main() {
 	seed := flag.Uint64("seed", 1175, "world seed")
 	trees := flag.Int("trees", 40, "random forest size")
 	noise := flag.Int("dnsnoise", 30000, "background DNS records")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /spans and pprof on this address (e.g. :6060)")
 	flag.Parse()
 
 	cfg := core.Config{
@@ -46,6 +49,16 @@ func main() {
 	}
 	defer p.Close()
 	ctx := context.Background()
+
+	if *debugAddr != "" {
+		dbg, err := obs.Serve(*debugAddr, p.Obs, p.Trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		p.Obs.PublishExpvar("squatphi")
+		log.Printf("debug endpoint on http://%s (/metrics, /spans, /debug/pprof)", dbg.Addr())
+	}
 
 	log.Printf("world: %d squatting domains, %d brands", len(p.World.SquattingDomains), len(p.World.Brands.Brands))
 
@@ -110,4 +123,15 @@ func main() {
 	union := det.ConfirmedUnion()
 	fmt.Printf("\n%d confirmed squatting phishing domains (%.2f%% of %d squatting domains) in %s\n",
 		len(union), float64(len(union))/float64(len(cands))*100, len(cands), time.Since(start).Round(time.Second))
+
+	timings := p.StageTimings()
+	stages := make([]string, 0, len(timings))
+	for name := range timings {
+		stages = append(stages, name)
+	}
+	sort.Slice(stages, func(i, j int) bool { return timings[stages[i]] > timings[stages[j]] })
+	log.Printf("stage timings (last run of each):")
+	for _, name := range stages {
+		log.Printf("  %-14s %s", name, timings[name].Round(time.Millisecond))
+	}
 }

@@ -57,6 +57,17 @@ func (d *Detection) ConfirmedUnion() map[string]bool {
 // of both profiles and verifies the flagged ones against the oracle
 // (paper §6.1: classify, then manually confirm).
 func (p *Pipeline) DetectInWild(ctx context.Context, clf *Classifier, snapshot int) (*Detection, error) {
+	ctx, done := p.stageSpan(ctx, "detect")
+	det, err := p.detectInWild(ctx, clf, snapshot)
+	if det != nil {
+		p.Obs.Counter("core.detect.flagged").Add(int64(len(det.FlaggedWeb) + len(det.FlaggedMobile)))
+		p.Obs.Counter("core.detect.confirmed").Add(int64(len(det.ConfirmedUnion())))
+	}
+	done(err)
+	return det, err
+}
+
+func (p *Pipeline) detectInWild(ctx context.Context, clf *Classifier, snapshot int) (*Detection, error) {
 	results, err := p.Crawl(ctx, snapshot)
 	if err != nil {
 		return nil, fmt.Errorf("core: crawl for detection: %w", err)
@@ -106,6 +117,8 @@ func ClassifyCapture(clf *Classifier, cap crawler.Capture) float64 {
 // snapshot and re-classifies them, returning per-snapshot live-phishing
 // counts per profile (Figure 17).
 func (p *Pipeline) MonitorLiveness(ctx context.Context, clf *Classifier, confirmed []string) (web, mobile []int, err error) {
+	ctx, done := p.stageSpan(ctx, "liveness")
+	defer func() { done(err) }()
 	web = make([]int, webworld.Snapshots)
 	mobile = make([]int, webworld.Snapshots)
 	for snap := 0; snap < webworld.Snapshots; snap++ {

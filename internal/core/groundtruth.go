@@ -43,6 +43,18 @@ func (g *GroundTruth) Counts() (pos, neg int) {
 // of squatting domains and labels them with the verification oracle.
 // maxBenignSquat bounds the extra negatives (paper: 1,565).
 func (p *Pipeline) BuildGroundTruth(ctx context.Context, maxBenignSquat int) (*GroundTruth, error) {
+	ctx, done := p.stageSpan(ctx, "ground_truth")
+	gt, err := p.buildGroundTruth(ctx, maxBenignSquat)
+	if gt != nil {
+		pos, neg := gt.Counts()
+		p.Obs.Gauge("core.ground_truth.positives").Set(float64(pos))
+		p.Obs.Gauge("core.ground_truth.negatives").Set(float64(neg))
+	}
+	done(err)
+	return gt, err
+}
+
+func (p *Pipeline) buildGroundTruth(ctx context.Context, maxBenignSquat int) (*GroundTruth, error) {
 	gt := &GroundTruth{}
 
 	// 1) Feed-reported domains, crawled immediately (snapshot 0).
@@ -126,6 +138,8 @@ type Classifier struct {
 // cross-validates, and fits the final random forest on all samples
 // (paper §5.2/§5.3).
 func (p *Pipeline) TrainClassifier(gt *GroundTruth, opts features.Options) *Classifier {
+	_, done := p.stageSpan(context.Background(), "train")
+	defer done(nil)
 	corpus := make([]features.Sample, len(gt.Samples))
 	for i, s := range gt.Samples {
 		corpus[i] = s.Sample

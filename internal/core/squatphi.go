@@ -15,10 +15,13 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
+	"time"
 
 	"squatphi/internal/blacklist"
 	"squatphi/internal/crawler"
 	"squatphi/internal/dnsx"
+	"squatphi/internal/obs"
 	"squatphi/internal/phishtank"
 	"squatphi/internal/render"
 	"squatphi/internal/squat"
@@ -38,6 +41,11 @@ type Config struct {
 	CrawlWorkers int
 	// Seed drives feed generation and training randomness.
 	Seed uint64
+	// Metrics, when set, is the registry every pipeline component reports
+	// to; nil means the pipeline creates its own (always available via
+	// Pipeline.Obs). Sharing one registry lets a command aggregate DNS,
+	// matcher, crawler, and stage metrics behind one debug endpoint.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig is the laptop-scale configuration.
@@ -60,6 +68,12 @@ type Pipeline struct {
 	Matcher    *squat.Matcher
 	Blacklists *blacklist.Service
 
+	// Obs is the metrics registry all pipeline components report to and
+	// Trace the ring-buffer recorder of recent stage-span trees; both are
+	// always non-nil and ready to serve via obs.Serve.
+	Obs   *obs.Registry
+	Trace *obs.Recorder
+
 	crawlerByProfile *crawler.Crawler
 
 	// Caches.
@@ -67,6 +81,9 @@ type Pipeline struct {
 	candidates    []squat.Candidate
 	crawls        map[int][]crawler.Result
 	originalShots map[string]*render.Raster
+
+	stageMu  sync.Mutex
+	stageDur map[string]time.Duration
 }
 
 // New builds the world, starts its HTTP server, and prepares the pipeline.
@@ -83,6 +100,10 @@ func New(cfg Config) (*Pipeline, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: start world server: %w", err)
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	p := &Pipeline{
 		Cfg:        cfg,
 		World:      world,
@@ -90,24 +111,63 @@ func New(cfg Config) (*Pipeline, error) {
 		Feed:       phishtank.Build(world, cfg.Seed),
 		Matcher:    squat.NewMatcher(world.Brands.SquatBrands()),
 		Blacklists: blacklist.NewService(),
+		Obs:        reg,
+		Trace:      obs.NewRecorder(32),
 		crawls:     map[int][]crawler.Result{},
+		stageDur:   map[string]time.Duration{},
 	}
-	p.crawlerByProfile = &crawler.Crawler{Client: server.Client(), Workers: cfg.CrawlWorkers}
+	p.Matcher.InstrumentMetrics(reg)
+	p.crawlerByProfile = &crawler.Crawler{Client: server.Client(), Workers: cfg.CrawlWorkers, Metrics: reg}
 	return p, nil
 }
 
 // Close shuts down the world server.
 func (p *Pipeline) Close() error { return p.Server.Close() }
 
+// stageSpan opens a span for a named pipeline stage, recording into the
+// pipeline's tracer (as a child when ctx already carries a stage span) and
+// into the "core.stage.<name>_ms" histogram. The returned func must be
+// called when the stage ends, with the stage's error if any.
+func (p *Pipeline) stageSpan(ctx context.Context, name string) (context.Context, func(error)) {
+	ctx = obs.WithRecorder(ctx, p.Trace)
+	ctx, span := obs.StartSpan(ctx, name)
+	start := time.Now()
+	return ctx, func(err error) {
+		d := time.Since(start)
+		p.Obs.Histogram("core.stage."+name+"_ms", obs.MillisBuckets).
+			Observe(float64(d) / float64(time.Millisecond))
+		p.stageMu.Lock()
+		p.stageDur[name] = d
+		p.stageMu.Unlock()
+		span.EndWith(err)
+	}
+}
+
+// StageTimings returns the most recent wall time of each executed stage,
+// the per-stage accounting surfaced in result artifacts (cmd/paperbench
+// emits it into its JSON output).
+func (p *Pipeline) StageTimings() map[string]time.Duration {
+	p.stageMu.Lock()
+	defer p.stageMu.Unlock()
+	out := make(map[string]time.Duration, len(p.stageDur))
+	for k, v := range p.stageDur {
+		out[k] = v
+	}
+	return out
+}
+
 // DNSSnapshot lazily builds the ActiveDNS-style snapshot: every resolving
 // domain of the world planted among background noise.
 func (p *Pipeline) DNSSnapshot() *dnsx.Store {
 	if p.snapshot == nil {
+		_, done := p.stageSpan(context.Background(), "dns_snapshot")
 		p.snapshot = dnsx.GenerateSnapshot(dnsx.SnapshotSpec{
 			Planted:      p.World.DNSDomains(),
 			NoiseRecords: p.Cfg.DNSNoiseRecords,
 			Seed:         p.Cfg.Seed,
 		})
+		p.Obs.Gauge("core.dns_snapshot.records").Set(float64(p.snapshot.Len()))
+		done(nil)
 	}
 	return p.snapshot
 }
@@ -116,8 +176,10 @@ func (p *Pipeline) DNSSnapshot() *dnsx.Store {
 // the candidate squatting domains (paper §3.1; Figure 2).
 func (p *Pipeline) ScanDNS() []squat.Candidate {
 	if p.candidates == nil {
+		snapshot := p.DNSSnapshot() // built under its own stage span
+		_, done := p.stageSpan(context.Background(), "scan_dns")
 		var out []squat.Candidate
-		p.DNSSnapshot().Range(func(rec dnsx.Record) bool {
+		snapshot.Range(func(rec dnsx.Record) bool {
 			if c, ok := p.Matcher.Match(rec.Domain); ok {
 				out = append(out, c)
 			}
@@ -125,6 +187,8 @@ func (p *Pipeline) ScanDNS() []squat.Candidate {
 		})
 		sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
 		p.candidates = out
+		p.Obs.Gauge("core.scan_dns.candidates").Set(float64(len(out)))
+		done(nil)
 	}
 	return p.candidates
 }
@@ -145,8 +209,11 @@ func (p *Pipeline) Crawl(ctx context.Context, snapshot int) ([]crawler.Result, e
 	if cached, ok := p.crawls[snapshot]; ok {
 		return cached, nil
 	}
+	domains := p.CandidateDomains()
+	ctx, done := p.stageSpan(ctx, "crawl")
 	p.Server.SetSnapshot(snapshot)
-	results, err := p.crawlerByProfile.Crawl(ctx, p.CandidateDomains())
+	results, err := p.crawlerByProfile.Crawl(ctx, domains)
+	done(err)
 	if err != nil {
 		return nil, err
 	}
@@ -157,6 +224,9 @@ func (p *Pipeline) Crawl(ctx context.Context, snapshot int) ([]crawler.Result, e
 // CrawlDomains crawls an arbitrary domain list at a snapshot (used for the
 // feed's ground-truth collection and liveness re-checks).
 func (p *Pipeline) CrawlDomains(ctx context.Context, snapshot int, domains []string) ([]crawler.Result, error) {
+	ctx, done := p.stageSpan(ctx, "crawl_domains")
 	p.Server.SetSnapshot(snapshot)
-	return p.crawlerByProfile.Crawl(ctx, domains)
+	results, err := p.crawlerByProfile.Crawl(ctx, domains)
+	done(err)
+	return results, err
 }

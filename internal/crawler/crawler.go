@@ -13,13 +13,17 @@ package crawler
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"squatphi/internal/htmlx"
+	"squatphi/internal/obs"
 	"squatphi/internal/render"
 )
 
@@ -77,6 +81,92 @@ type Crawler struct {
 	NoiseLevel float64
 	// MaxBodyBytes bounds response reads (default 1 MiB).
 	MaxBodyBytes int64
+	// Retries is the number of re-attempts after a transport error on a
+	// page fetch (default 1; negative disables). HTTP error statuses are
+	// not retried — the server answered.
+	Retries int
+	// Metrics, when set, receives crawl accounting: pages fetched, live
+	// pages, retries, timeouts, failures, redirects followed, fetch
+	// latency, and worker-pool depth. Per-host failure/retry maps are
+	// exposed as registry values and via HostFailures/HostRetries.
+	Metrics *obs.Registry
+
+	statsOnce sync.Once
+	stats     *crawlStats
+}
+
+// crawlStats is the crawler's mutable accounting, created lazily so the
+// zero-value Crawler literal keeps working.
+type crawlStats struct {
+	pages, live, failures, retries, timeouts, redirects, assetErrs *obs.Counter
+	fetchMS                                                        *obs.Histogram
+	inflight, pending                                              *obs.Gauge
+
+	mu           sync.Mutex
+	hostFailures map[string]int64
+	hostRetries  map[string]int64
+}
+
+func (c *Crawler) statsInit() *crawlStats {
+	c.statsOnce.Do(func() {
+		reg := c.Metrics // nil-safe: handles stay live but unregistered
+		c.stats = &crawlStats{
+			pages:        reg.Counter("crawler.pages"),
+			live:         reg.Counter("crawler.live"),
+			failures:     reg.Counter("crawler.fetch.failures"),
+			retries:      reg.Counter("crawler.fetch.retries"),
+			timeouts:     reg.Counter("crawler.fetch.timeouts"),
+			redirects:    reg.Counter("crawler.redirects"),
+			assetErrs:    reg.Counter("crawler.asset_errors"),
+			fetchMS:      reg.Histogram("crawler.fetch_ms", obs.MillisBuckets),
+			inflight:     reg.Gauge("crawler.inflight"),
+			pending:      reg.Gauge("crawler.pending"),
+			hostFailures: map[string]int64{},
+			hostRetries:  map[string]int64{},
+		}
+		reg.RegisterFunc("crawler.host_failures", func() any { return c.HostFailures() })
+		reg.RegisterFunc("crawler.host_retries", func() any { return c.HostRetries() })
+	})
+	return c.stats
+}
+
+func (s *crawlStats) recordHostFailure(host string) {
+	s.failures.Inc()
+	s.mu.Lock()
+	s.hostFailures[host]++
+	s.mu.Unlock()
+}
+
+func (s *crawlStats) recordHostRetry(host string) {
+	s.retries.Inc()
+	s.mu.Lock()
+	s.hostRetries[host]++
+	s.mu.Unlock()
+}
+
+// HostFailures returns a copy of the per-host page-fetch failure counts
+// (transport errors after retries, or HTTP >= 400 on the initial page).
+func (c *Crawler) HostFailures() map[string]int64 {
+	s := c.statsInit()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.hostFailures))
+	for k, v := range s.hostFailures {
+		out[k] = v
+	}
+	return out
+}
+
+// HostRetries returns a copy of the per-host retry counts.
+func (c *Crawler) HostRetries() map[string]int64 {
+	s := c.statsInit()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.hostRetries))
+	for k, v := range s.hostRetries {
+		out[k] = v
+	}
+	return out
 }
 
 func (c *Crawler) workers() int {
@@ -110,32 +200,57 @@ func (c *Crawler) bodyLimit() int64 {
 	return c.MaxBodyBytes
 }
 
+func (c *Crawler) retries() int {
+	if c.Retries < 0 {
+		return 0
+	}
+	if c.Retries == 0 {
+		return 1
+	}
+	return c.Retries
+}
+
 // Crawl visits every domain with both profiles using the worker pool.
 // Results are returned in input order.
 func (c *Crawler) Crawl(ctx context.Context, domains []string) ([]Result, error) {
+	st := c.statsInit()
+	ctx, span := obs.StartSpan(ctx, "crawler.crawl")
+	span.SetAttr("domains", fmt.Sprint(len(domains)))
+	start := time.Now()
+	defer func() {
+		span.SetAttr("elapsed", time.Since(start).Round(time.Millisecond).String())
+		span.End()
+	}()
+
 	results := make([]Result, len(domains))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
+	st.pending.Set(float64(len(domains)))
 	for w := 0; w < c.workers(); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				st.inflight.Add(1)
 				d := domains[i]
 				results[i] = Result{
 					Domain: d,
 					Web:    c.CaptureProfile(ctx, d, false),
 					Mobile: c.CaptureProfile(ctx, d, true),
 				}
+				st.inflight.Add(-1)
 			}
 		}()
 	}
 	for i := range domains {
 		select {
 		case jobs <- i:
+			st.pending.Add(-1)
 		case <-ctx.Done():
 			close(jobs)
 			wg.Wait()
+			st.pending.Set(0)
+			span.Fail(ctx.Err())
 			return results, ctx.Err()
 		}
 	}
@@ -147,6 +262,8 @@ func (c *Crawler) Crawl(ctx context.Context, domains []string) ([]Result, error)
 // CaptureProfile fetches one domain with one profile, following redirects
 // and rendering the screenshot.
 func (c *Crawler) CaptureProfile(ctx context.Context, domain string, mobile bool) Capture {
+	st := c.statsInit()
+	st.pages.Inc()
 	cap := Capture{Domain: domain, RedirectChain: []string{domain}}
 	ua := WebUA
 	if mobile {
@@ -155,15 +272,18 @@ func (c *Crawler) CaptureProfile(ctx context.Context, domain string, mobile bool
 
 	url := "http://" + domain + "/"
 	for hop := 0; ; hop++ {
-		body, status, location, err := c.fetch(ctx, url, ua)
+		body, status, location, err := c.fetchPage(ctx, url, ua, st)
 		cap.StatusCode = status
 		if err != nil || status >= 400 {
+			// One failure per page fetch, however many retries it took.
+			st.recordHostFailure(hostOf(url))
 			return cap
 		}
 		if status >= 300 && location != "" {
 			if hop >= c.maxRedirects() {
 				return cap
 			}
+			st.redirects.Inc()
 			url = absoluteURL(url, location)
 			host := hostOf(url)
 			cap.RedirectChain = append(cap.RedirectChain, host)
@@ -174,6 +294,7 @@ func (c *Crawler) CaptureProfile(ctx context.Context, domain string, mobile bool
 		cap.FinalHost = hostOf(url)
 		break
 	}
+	st.live.Inc()
 
 	// Fetch referenced image assets from the final host (the crawler's
 	// second round of requests, like a browser loading subresources).
@@ -184,6 +305,7 @@ func (c *Crawler) CaptureProfile(ctx context.Context, domain string, mobile bool
 		}
 		body, status, _, err := c.fetch(ctx, "http://"+cap.FinalHost+img.Src, ua)
 		if err != nil || status != 200 {
+			st.assetErrs.Inc()
 			continue
 		}
 		if cap.Assets == nil {
@@ -209,6 +331,38 @@ func (c *Crawler) CaptureProfile(ctx context.Context, domain string, mobile bool
 		cap.Shot = render.RenderPage(page, opts)
 	}
 	return cap
+}
+
+// fetchPage fetches one page URL with retry-on-transport-error semantics:
+// an HTTP response of any status is definitive, but a connection or timeout
+// error is re-attempted up to Retries times, with per-host retry/timeout
+// accounting and a latency observation per attempt.
+func (c *Crawler) fetchPage(ctx context.Context, url, ua string, st *crawlStats) (body string, status int, location string, err error) {
+	host := hostOf(url)
+	for attempt := 0; ; attempt++ {
+		start := time.Now()
+		body, status, location, err = c.fetch(ctx, url, ua)
+		st.fetchMS.ObserveSince(start)
+		if err == nil {
+			return body, status, location, nil
+		}
+		if isTimeout(err) {
+			st.timeouts.Inc()
+		}
+		if attempt >= c.retries() || ctx.Err() != nil {
+			return body, status, location, err
+		}
+		st.recordHostRetry(host)
+	}
+}
+
+// isTimeout reports whether err is a deadline-style failure.
+func isTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // fetch performs one GET, returning body, status and redirect location.

@@ -2,9 +2,12 @@ package crawler
 
 import (
 	"context"
+	"io"
+	"net/http"
 	"strings"
 	"testing"
 
+	"squatphi/internal/obs"
 	"squatphi/internal/ocr"
 	"squatphi/internal/webworld"
 )
@@ -210,6 +213,133 @@ func TestHostOfAndAbsoluteURL(t *testing.T) {
 func TestDayOfSnapshot(t *testing.T) {
 	if DayOfSnapshot(0) != 0 || DayOfSnapshot(3) != 28 || DayOfSnapshot(9) != 0 {
 		t.Fatal("DayOfSnapshot mapping wrong")
+	}
+}
+
+// errRT is a RoundTripper that always fails with the given error.
+type errRT struct{ err error }
+
+func (e errRT) RoundTrip(*http.Request) (*http.Response, error) { return nil, e.err }
+
+// statusRT is a RoundTripper that always answers with the given status.
+type statusRT struct{ code int }
+
+func (s statusRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	return &http.Response{
+		StatusCode: s.code,
+		Body:       io.NopCloser(strings.NewReader("")),
+		Header:     http.Header{},
+		Request:    req,
+	}, nil
+}
+
+// fakeTimeout satisfies net.Error with Timeout() == true.
+type fakeTimeout struct{}
+
+func (fakeTimeout) Error() string   { return "fake timeout" }
+func (fakeTimeout) Timeout() bool   { return true }
+func (fakeTimeout) Temporary() bool { return true }
+
+// TestFailingFetchCountsFailureOnce is the regression test for failure
+// accounting: one failing page fetch must increment the failure counter
+// exactly once, however many transport retries it took.
+func TestFailingFetchCountsFailureOnce(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := &Crawler{
+		Client:     &http.Client{Transport: errRT{err: fakeTimeout{}}},
+		Metrics:    reg,
+		SkipRender: true,
+	}
+	cap := c.CaptureProfile(context.Background(), "down.test", false)
+	if cap.Live {
+		t.Fatalf("capture of erroring transport reported live: %+v", cap)
+	}
+	if got := reg.Counter("crawler.fetch.failures").Value(); got != 1 {
+		t.Errorf("failure counter = %d, want exactly 1", got)
+	}
+	// Default policy is one retry, so two attempts and two timeouts.
+	if got := reg.Counter("crawler.fetch.retries").Value(); got != 1 {
+		t.Errorf("retry counter = %d, want 1", got)
+	}
+	if got := reg.Counter("crawler.fetch.timeouts").Value(); got != 2 {
+		t.Errorf("timeout counter = %d, want 2", got)
+	}
+	if got := c.HostFailures()["down.test"]; got != 1 {
+		t.Errorf("host failure count = %d, want 1 (map: %v)", got, c.HostFailures())
+	}
+	if got := c.HostRetries()["down.test"]; got != 1 {
+		t.Errorf("host retry count = %d, want 1 (map: %v)", got, c.HostRetries())
+	}
+}
+
+// TestErrorStatusNotRetried: an HTTP error status is a definitive answer —
+// one failure, no retries.
+func TestErrorStatusNotRetried(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := &Crawler{
+		Client:     &http.Client{Transport: statusRT{code: 503}},
+		Metrics:    reg,
+		SkipRender: true,
+	}
+	cap := c.CaptureProfile(context.Background(), "busy.test", false)
+	if cap.Live || cap.StatusCode != 503 {
+		t.Fatalf("capture = %+v, want dead with status 503", cap)
+	}
+	if got := reg.Counter("crawler.fetch.failures").Value(); got != 1 {
+		t.Errorf("failure counter = %d, want 1", got)
+	}
+	if got := reg.Counter("crawler.fetch.retries").Value(); got != 0 {
+		t.Errorf("retry counter = %d, want 0 (server answered)", got)
+	}
+}
+
+// TestRetriesDisabled: Retries < 0 turns retrying off entirely.
+func TestRetriesDisabled(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := &Crawler{
+		Client:     &http.Client{Transport: errRT{err: fakeTimeout{}}},
+		Metrics:    reg,
+		Retries:    -1,
+		SkipRender: true,
+	}
+	_ = c.CaptureProfile(context.Background(), "down.test", false)
+	if got := reg.Counter("crawler.fetch.retries").Value(); got != 0 {
+		t.Errorf("retry counter = %d, want 0", got)
+	}
+	if got := reg.Counter("crawler.fetch.failures").Value(); got != 1 {
+		t.Errorf("failure counter = %d, want 1", got)
+	}
+}
+
+// TestCrawlMetrics checks the aggregate counters over a real crawl.
+func TestCrawlMetrics(t *testing.T) {
+	w, srv, _ := testEnv(t)
+	reg := obs.NewRegistry()
+	c := &Crawler{Client: srv.Client(), Workers: 8, Metrics: reg, SkipRender: true}
+	domains := w.SquattingDomains
+	if len(domains) > 100 {
+		domains = domains[:100]
+	}
+	if _, err := c.Crawl(context.Background(), domains); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	// Two profiles per domain.
+	if got := snap.Counters["crawler.pages"]; got != int64(2*len(domains)) {
+		t.Errorf("pages = %d, want %d", got, 2*len(domains))
+	}
+	if snap.Counters["crawler.live"] == 0 {
+		t.Error("no live pages counted")
+	}
+	if snap.Histograms["crawler.fetch_ms"].Count == 0 {
+		t.Error("no fetch latencies observed")
+	}
+	if snap.Gauges["crawler.inflight"] != 0 || snap.Gauges["crawler.pending"] != 0 {
+		t.Errorf("pool gauges not drained: inflight=%v pending=%v",
+			snap.Gauges["crawler.inflight"], snap.Gauges["crawler.pending"])
+	}
+	if _, ok := snap.Values["crawler.host_failures"]; !ok {
+		t.Error("per-host failure map not exposed in snapshot")
 	}
 }
 

@@ -1,0 +1,85 @@
+package dnsx
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"squatphi/internal/obs"
+)
+
+// TestServerProbeMetrics checks the DNS-side instrumentation end to end:
+// server query/NXDOMAIN counters and prober sent/resolved/RTT accounting
+// through one probe round against a shared registry.
+func TestServerProbeMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	store := NewStore()
+	store.Add("paypal-cash.com", [4]byte{8, 8, 8, 8})
+	srv, err := NewServerObs(store, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	p := &Prober{Addr: srv.Addr(), Timeout: time.Second, Parallelism: 2, Metrics: reg}
+	recs, err := p.Probe(context.Background(), []string{"paypal-cash.com", "missing.example"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("resolved %d, want 1", len(recs))
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["dnsx.server.queries"]; got != 2 {
+		t.Errorf("server queries = %d, want 2", got)
+	}
+	if got := snap.Counters["dnsx.server.nxdomain"]; got != 1 {
+		t.Errorf("server nxdomain = %d, want 1", got)
+	}
+	if got := snap.Counters["dnsx.probe.sent"]; got != 2 {
+		t.Errorf("probe sent = %d, want 2", got)
+	}
+	if got := snap.Counters["dnsx.probe.resolved"]; got != 1 {
+		t.Errorf("probe resolved = %d, want 1", got)
+	}
+	if got := snap.Counters["dnsx.probe.unresolved"]; got != 1 {
+		t.Errorf("probe unresolved = %d, want 1", got)
+	}
+	if got := snap.Histograms["dnsx.probe.rtt_ms"].Count; got != 2 {
+		t.Errorf("probe RTT observations = %d, want 2", got)
+	}
+	if got := snap.Histograms["dnsx.server.handle_us"].Count; got != 2 {
+		t.Errorf("server handle observations = %d, want 2", got)
+	}
+}
+
+// TestServerMalformedCounter sends garbage datagrams and waits for the
+// malformed-packet counter to tick.
+func TestServerMalformedCounter(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := NewServerObs(NewStore(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("udp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{0x01, 0x02, 0x03}); err != nil {
+		t.Fatal(err)
+	}
+
+	c := reg.Counter("dnsx.server.malformed")
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("malformed counter never incremented")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

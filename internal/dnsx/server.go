@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"squatphi/internal/obs"
 )
 
 // Server is an authoritative DNS server over UDP answering A queries from a
@@ -21,16 +23,36 @@ type Server struct {
 
 	// Queries counts answered queries (for tests and throughput benches).
 	queries int64
+
+	// Metric handles, resolved once at construction (nil-registry safe).
+	mQueries   *obs.Counter
+	mMalformed *obs.Counter
+	mNXDomain  *obs.Counter
+	mHandleUS  *obs.Histogram
 }
 
-// NewServer starts an authoritative server on a free localhost UDP port.
-// Callers must Close it.
+// NewServer starts an authoritative server on a free localhost UDP port
+// without metrics. Callers must Close it.
 func NewServer(store *Store) (*Server, error) {
+	return NewServerObs(store, nil)
+}
+
+// NewServerObs starts an authoritative server reporting to the given
+// metrics registry (which may be nil): queries served, malformed packets,
+// NXDOMAIN responses, and per-query handling time.
+func NewServerObs(store *Store, reg *obs.Registry) (*Server, error) {
 	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("dnsx: listen: %w", err)
 	}
-	s := &Server{store: store, conn: conn}
+	s := &Server{
+		store:      store,
+		conn:       conn,
+		mQueries:   reg.Counter("dnsx.server.queries"),
+		mMalformed: reg.Counter("dnsx.server.malformed"),
+		mNXDomain:  reg.Counter("dnsx.server.nxdomain"),
+		mHandleUS:  reg.Histogram("dnsx.server.handle_us", obs.MicrosBuckets),
+	}
 	go s.serve()
 	return s, nil
 }
@@ -75,8 +97,11 @@ func (s *Server) serve() {
 
 // handle produces the wire response for one query datagram.
 func (s *Server) handle(req []byte) []byte {
+	start := time.Now()
+	defer func() { s.mHandleUS.Observe(float64(time.Since(start)) / float64(time.Microsecond)) }()
 	q, err := Unpack(req)
 	if err != nil || q.Header.QR || len(q.Questions) == 0 {
+		s.mMalformed.Inc()
 		return nil
 	}
 	resp := &Message{
@@ -99,11 +124,13 @@ func (s *Server) handle(req []byte) []byte {
 		}
 		if len(resp.Answers) == 0 {
 			resp.Header.RCode = RCodeNXDomain
+			s.mNXDomain.Inc()
 		}
 	}
 	s.mu.Lock()
 	s.queries++
 	s.mu.Unlock()
+	s.mQueries.Inc()
 	out, err := resp.Pack()
 	if err != nil {
 		return nil
@@ -123,6 +150,27 @@ type Prober struct {
 	Retries int
 	// Parallelism is the number of concurrent workers. Default 8.
 	Parallelism int
+	// Metrics, when set, receives probe accounting: queries sent, retries,
+	// timeouts, resolved/unresolved splits, and an RTT histogram.
+	Metrics *obs.Registry
+}
+
+// probeMetrics bundles the handles resolved once per Probe call.
+type probeMetrics struct {
+	sent, retries, timeouts, resolved, unresolved *obs.Counter
+	rttMS                                         *obs.Histogram
+}
+
+func (p *Prober) metrics() *probeMetrics {
+	reg := p.Metrics // nil registry yields live, unregistered handles
+	return &probeMetrics{
+		sent:       reg.Counter("dnsx.probe.sent"),
+		retries:    reg.Counter("dnsx.probe.retries"),
+		timeouts:   reg.Counter("dnsx.probe.timeouts"),
+		resolved:   reg.Counter("dnsx.probe.resolved"),
+		unresolved: reg.Counter("dnsx.probe.unresolved"),
+		rttMS:      reg.Histogram("dnsx.probe.rtt_ms", obs.MillisBuckets),
+	}
 }
 
 // Probe resolves the given domains and returns the records that resolved.
@@ -144,6 +192,7 @@ func (p *Prober) Probe(ctx context.Context, domains []string) ([]Record, error) 
 		workers = len(domains)
 	}
 
+	met := p.metrics()
 	jobs := make(chan string)
 	results := make(chan Record, len(domains))
 	var wg sync.WaitGroup
@@ -166,8 +215,11 @@ func (p *Prober) Probe(ctx context.Context, domains []string) ([]Record, error) 
 					return
 				}
 				seq += 257 // distinct IDs per worker stream
-				if ip, ok := p.query(conn, seq, domain, timeout, retries); ok {
+				if ip, ok := p.query(conn, seq, domain, timeout, retries, met); ok {
+					met.resolved.Inc()
 					results <- Record{Domain: domain, IP: ip}
+				} else {
+					met.unresolved.Inc()
 				}
 			}
 		}(uint16(w))
@@ -196,21 +248,28 @@ func (p *Prober) Probe(ctx context.Context, domains []string) ([]Record, error) 
 	return out, firstErr
 }
 
-func (p *Prober) query(conn net.Conn, id uint16, domain string, timeout time.Duration, retries int) ([4]byte, bool) {
+func (p *Prober) query(conn net.Conn, id uint16, domain string, timeout time.Duration, retries int, met *probeMetrics) ([4]byte, bool) {
 	req, err := NewQuery(id, domain, TypeA).Pack()
 	if err != nil {
 		return [4]byte{}, false
 	}
 	buf := make([]byte, 4096)
 	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			met.retries.Inc()
+		}
+		met.sent.Inc()
+		start := time.Now()
 		if _, err := conn.Write(req); err != nil {
 			return [4]byte{}, false
 		}
 		_ = conn.SetReadDeadline(time.Now().Add(timeout))
 		n, err := conn.Read(buf)
 		if err != nil {
+			met.timeouts.Inc()
 			continue // timeout: retry
 		}
+		met.rttMS.ObserveSince(start)
 		resp, err := Unpack(buf[:n])
 		if err != nil || resp.Header.ID != id || !resp.Header.QR {
 			continue

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// NewMux builds the debug handler tree:
+//
+//	/          index of routes
+//	/metrics   JSON snapshot of the registry
+//	/spans     recent pipeline traces (?n=K limits, newest first)
+//	/debug/pprof/...  the standard Go profiler endpoints
+//	/debug/vars       expvar (includes registries published via PublishExpvar)
+//
+// Either argument may be nil; the corresponding route serves empty data.
+func NewMux(reg *Registry, rec *Recorder) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "squatphi debug endpoint\n\n"+
+			"/metrics      metrics registry snapshot (JSON)\n"+
+			"/spans        recent pipeline traces (JSON, ?n=K)\n"+
+			"/debug/pprof  Go profiler\n"+
+			"/debug/vars   expvar\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		var traces []SpanSnapshot
+		if rec != nil {
+			traces = rec.Traces()
+		}
+		if nStr := r.URL.Query().Get("n"); nStr != "" {
+			if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(traces) {
+				traces = traces[:n]
+			}
+		}
+		if traces == nil {
+			traces = []SpanSnapshot{}
+		}
+		writeJSON(w, traces)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// DebugServer is a running debug endpoint.
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve starts the debug endpoint on addr (e.g. ":6060" or
+// "127.0.0.1:0"). Callers must Close it.
+func Serve(addr string, reg *Registry, rec *Recorder) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(reg, rec)}
+	go func() { _ = srv.Serve(ln) }()
+	return &DebugServer{srv: srv, ln: ln}, nil
+}
+
+// Addr returns the bound address.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestDebugEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dnsx.server.queries").Add(5)
+	reg.Histogram("probe.rtt_ms", nil).Observe(1.5)
+	rec := NewRecorder(4)
+	ctx := WithRecorder(context.Background(), rec)
+	runCtx, root := StartSpan(ctx, "round")
+	_, child := StartSpan(runCtx, "crawl")
+	child.End()
+	root.End()
+
+	srv := httptest.NewServer(NewMux(reg, rec))
+	defer srv.Close()
+
+	t.Run("metrics", func(t *testing.T) {
+		var snap Snapshot
+		getJSON(t, srv.URL+"/metrics", &snap)
+		if snap.Counters["dnsx.server.queries"] != 5 {
+			t.Errorf("counters = %v", snap.Counters)
+		}
+		if snap.Histograms["probe.rtt_ms"].Count != 1 {
+			t.Errorf("histograms = %v", snap.Histograms)
+		}
+	})
+
+	t.Run("spans", func(t *testing.T) {
+		var traces []SpanSnapshot
+		getJSON(t, srv.URL+"/spans", &traces)
+		if len(traces) != 1 || traces[0].Name != "round" {
+			t.Fatalf("traces = %+v", traces)
+		}
+		if len(traces[0].Children) != 1 || traces[0].Children[0].Name != "crawl" {
+			t.Errorf("children = %+v", traces[0].Children)
+		}
+	})
+
+	t.Run("spans-limit", func(t *testing.T) {
+		var traces []SpanSnapshot
+		getJSON(t, srv.URL+"/spans?n=0", &traces)
+		if len(traces) != 0 {
+			t.Errorf("n=0 returned %d traces", len(traces))
+		}
+	})
+
+	t.Run("index", func(t *testing.T) {
+		body := get(t, srv.URL+"/")
+		if !strings.Contains(body, "/metrics") || !strings.Contains(body, "/spans") {
+			t.Errorf("index missing routes: %q", body)
+		}
+	})
+
+	t.Run("pprof", func(t *testing.T) {
+		body := get(t, srv.URL+"/debug/pprof/cmdline")
+		if body == "" {
+			t.Error("pprof cmdline empty")
+		}
+	})
+
+	t.Run("notfound", func(t *testing.T) {
+		resp, err := http.Get(srv.URL + "/nope")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("status = %d, want 404", resp.StatusCode)
+		}
+	})
+}
+
+func TestNilMux(t *testing.T) {
+	srv := httptest.NewServer(NewMux(nil, nil))
+	defer srv.Close()
+	var snap Snapshot
+	getJSON(t, srv.URL+"/metrics", &snap)
+	var traces []SpanSnapshot
+	getJSON(t, srv.URL+"/spans", &traces)
+	if len(traces) != 0 {
+		t.Errorf("nil recorder served traces: %+v", traces)
+	}
+}
+
+func TestServe(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x").Inc()
+	d, err := Serve("127.0.0.1:0", reg, NewRecorder(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	var snap Snapshot
+	getJSON(t, "http://"+d.Addr()+"/metrics", &snap)
+	if snap.Counters["x"] != 1 {
+		t.Errorf("served counters = %v", snap.Counters)
+	}
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	if err := json.Unmarshal([]byte(get(t, url)), v); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v", url, err)
+	}
+}

@@ -2,8 +2,10 @@ package squat
 
 import (
 	"strings"
+	"time"
 
 	"squatphi/internal/confusables"
+	"squatphi/internal/obs"
 	"squatphi/internal/punycode"
 )
 
@@ -27,6 +29,35 @@ type Matcher struct {
 	edits map[string]editEntry
 	// ac finds brand names inside hyphenated labels for combo detection.
 	ac *ahoCorasick
+
+	// met is nil until InstrumentMetrics; all handles are atomic so Match
+	// stays shareable across goroutines.
+	met *matcherMetrics
+}
+
+// matcherMetrics holds the matcher's registry handles: domains scanned,
+// candidates per squatting type, and the per-classification scan time
+// (which includes the Aho-Corasick combo pass).
+type matcherMetrics struct {
+	scanned *obs.Counter
+	hits    *obs.Counter
+	byType  map[Type]*obs.Counter
+	scanUS  *obs.Histogram
+}
+
+// InstrumentMetrics points the matcher's counters at reg. Call it after
+// NewMatcher and before sharing the matcher across goroutines.
+func (m *Matcher) InstrumentMetrics(reg *obs.Registry) {
+	met := &matcherMetrics{
+		scanned: reg.Counter("squat.match.scanned"),
+		hits:    reg.Counter("squat.match.candidates"),
+		byType:  make(map[Type]*obs.Counter, len(AllTypes)),
+		scanUS:  reg.Histogram("squat.match.scan_us", obs.MicrosBuckets),
+	}
+	for _, t := range AllTypes {
+		met.byType[t] = reg.Counter("squat.match.candidates." + t.String())
+	}
+	m.met = met
 }
 
 type editEntry struct {
@@ -83,6 +114,22 @@ func (m *Matcher) Brands() []Brand { return m.brands }
 // whether the domain is a squatting domain of any indexed brand. Domains
 // equal to a brand's own domain (or a subdomain of it) return false.
 func (m *Matcher) Match(domain string) (Candidate, bool) {
+	if m.met == nil {
+		return m.classify(domain)
+	}
+	start := time.Now()
+	c, ok := m.classify(domain)
+	m.met.scanUS.Observe(float64(time.Since(start)) / float64(time.Microsecond))
+	m.met.scanned.Inc()
+	if ok {
+		m.met.hits.Inc()
+		m.met.byType[c.Type].Inc()
+	}
+	return c, ok
+}
+
+// classify applies the five squatting rules in precedence order.
+func (m *Matcher) classify(domain string) (Candidate, bool) {
 	label, tld := SplitETLD(domain)
 	if label == "" {
 		return Candidate{}, false

@@ -1,0 +1,59 @@
+package squat
+
+import (
+	"testing"
+
+	"squatphi/internal/obs"
+)
+
+// TestMatcherMetrics verifies the per-type candidate counters and scan
+// accounting of an instrumented matcher.
+func TestMatcherMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMatcher(testBrands)
+	m.InstrumentMetrics(reg)
+
+	cases := []struct {
+		domain string
+		hit    bool
+	}{
+		{"facebook.net", true},       // wrongTLD
+		{"faceboook.com", true},      // typo (repetition)
+		{"facebook-login.com", true}, // combo
+		{"totally-unrelated.org", false},
+		{"facebook.com", false}, // the original site is not a candidate
+	}
+	for _, c := range cases {
+		if _, ok := m.Match(c.domain); ok != c.hit {
+			t.Fatalf("Match(%q) = %v, want %v", c.domain, ok, c.hit)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["squat.match.scanned"]; got != int64(len(cases)) {
+		t.Errorf("scanned = %d, want %d", got, len(cases))
+	}
+	if got := snap.Counters["squat.match.candidates"]; got != 3 {
+		t.Errorf("candidates = %d, want 3", got)
+	}
+	for name, want := range map[string]int64{
+		"squat.match.candidates.wrongTLD": 1,
+		"squat.match.candidates.typo":     1,
+		"squat.match.candidates.combo":    1,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := snap.Histograms["squat.match.scan_us"].Count; got != int64(len(cases)) {
+		t.Errorf("scan time observations = %d, want %d", got, len(cases))
+	}
+}
+
+// TestMatcherUninstrumented ensures the metrics path is optional.
+func TestMatcherUninstrumented(t *testing.T) {
+	m := NewMatcher(testBrands)
+	if _, ok := m.Match("facebook.net"); !ok {
+		t.Fatal("uninstrumented matcher stopped matching")
+	}
+}
