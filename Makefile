@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench vet fmt fuzz paperbench pipeline clean
+.PHONY: all build test test-short race bench bench-all vet fmt fuzz paperbench pipeline clean
 
 all: build vet test
 
@@ -23,12 +23,23 @@ test-short:
 	$(GO) test -short ./...
 
 # Race detector + vet across the whole tree (CI gate for the concurrent
-# paths: obs registry/spans, crawler pool, DNS server/prober).
+# paths: obs registry/spans, crawler pool, DNS server/prober, sharded
+# store, scan/score pools). The race detector is 5-20x slower than native;
+# the heavyweight packages (core, experiments) need more than the default
+# 10m per-package budget on small machines.
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 45m ./...
 
+# Root benchmarks (paper artifacts + the parallel scan/score/fit spine),
+# then the scan sweep artifact: ns/op and records/sec at 1, NumCPU/2 and
+# NumCPU workers with a serial-equivalence check, written to BENCH_scan.json.
 bench:
+	$(GO) test -bench=. -benchmem .
+	$(GO) run ./cmd/scanbench -out BENCH_scan.json
+
+# Benchmarks across every package (slow).
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Short fuzz campaigns on the parser-facing packages.
@@ -47,4 +58,4 @@ pipeline:
 	$(GO) run ./cmd/squatphi -domains 4000 -phish 400
 
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt BENCH_scan.json

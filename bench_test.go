@@ -11,6 +11,7 @@ package squatphi
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -310,4 +311,97 @@ func BenchmarkMatcherThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(domains)), "records/op")
+}
+
+// --- parallel-spine benchmarks (scan, scoring, forest training) ---
+
+// scanWorkerCounts is the sweep ISSUE'd for BENCH_scan: serial, half the
+// cores, all cores (deduplicated on small machines).
+func scanWorkerCounts() []int {
+	ncpu := runtime.GOMAXPROCS(0)
+	counts := []int{1}
+	if half := ncpu / 2; half > 1 {
+		counts = append(counts, half)
+	}
+	if ncpu > 1 {
+		counts = append(counts, ncpu)
+	}
+	return counts
+}
+
+// BenchmarkScanDNS measures the sharded candidate scan across worker
+// counts; the parallel path must return a byte-identical candidate slice,
+// so records/sec is the only thing that varies.
+func BenchmarkScanDNS(b *testing.B) {
+	e := env(b)
+	snapshot := e.P.DNSSnapshot()
+	records := float64(snapshot.Len())
+	for _, workers := range scanWorkerCounts() {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.ScanStore(snapshot, e.P.Matcher, workers, nil)
+			}
+			b.ReportMetric(records*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+		})
+	}
+}
+
+// BenchmarkDetect measures in-the-wild detection (crawl reuse + parallel
+// classifier scoring of every capture) at serial and full-width scoring.
+func BenchmarkDetect(b *testing.B) {
+	e := env(b)
+	clf, err := e.Classifier()
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("score-workers-%d", workers), func(b *testing.B) {
+			prev := e.P.Cfg.ScoreWorkers
+			e.P.Cfg.ScoreWorkers = workers
+			defer func() { e.P.Cfg.ScoreWorkers = prev }()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.P.DetectInWild(e.Ctx, clf, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkForestFit measures random-forest training at serial and
+// full-width tree parallelism (identical ensembles either way).
+func BenchmarkForestFit(b *testing.B) {
+	rng := simrand.New(41)
+	const n, dim = 300, 40
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		if rng.Bool(0.5) {
+			y[i] = 1
+			row[0] += 2
+		}
+		X[i] = row
+	}
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rf := &ml.RandomForest{NTrees: 40, Seed: 11, Workers: workers}
+				rf.Fit(X, y)
+			}
+		})
+	}
 }

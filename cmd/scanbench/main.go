@@ -1,0 +1,133 @@
+// Command scanbench measures the sharded DNS scan at increasing worker
+// counts and writes the BENCH_scan.json artifact: ns/op and records/sec at
+// 1, NumCPU/2 and NumCPU workers, plus the parallel-vs-serial speedup and
+// an equivalence check (the parallel candidate slice must be identical to
+// the serial one). `make bench` runs it after the root benchmarks so the
+// repo's perf trajectory is captured next to the paper artifacts.
+//
+// Usage:
+//
+//	scanbench [-records 200000] [-seed 1035] [-out BENCH_scan.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"squatphi/internal/core"
+	"squatphi/internal/dnsx"
+	"squatphi/internal/squat"
+)
+
+// benchBrands is the fixed brand set the synthetic haystack is seeded
+// around; a handful of high-value brands matches the paper's skew.
+var benchBrands = []string{"paypal.com", "facebook.com", "google.com", "citibank.com", "amazon.com"}
+
+// entry is one measured worker count.
+type entry struct {
+	Workers       int     `json:"workers"`
+	NsPerOp       int64   `json:"ns_per_op"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	Speedup       float64 `json:"speedup_vs_serial"`
+}
+
+// artifact is the BENCH_scan.json schema.
+type artifact struct {
+	Kind       string  `json:"kind"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Shards     int     `json:"shards"`
+	Records    int     `json:"records"`
+	Candidates int     `json:"candidates"`
+	Identical  bool    `json:"parallel_identical_to_serial"`
+	Entries    []entry `json:"entries"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scanbench: ")
+	records := flag.Int("records", 200000, "background DNS records in the synthetic haystack")
+	seed := flag.Uint64("seed", 1035, "snapshot seed")
+	out := flag.String("out", "BENCH_scan.json", "write the JSON artifact to this file")
+	flag.Parse()
+
+	var brands []squat.Brand
+	for _, b := range benchBrands {
+		brands = append(brands, squat.NewBrand(b))
+	}
+	gen := squat.NewGenerator()
+	var planted []string
+	for _, b := range brands {
+		for i, c := range gen.Generate(b) {
+			if i%5 == 0 { // a fifth of candidates are "registered"
+				planted = append(planted, c.Domain)
+			}
+		}
+	}
+	log.Printf("generating snapshot: %d noise records + %d planted squats...", *records, len(planted))
+	store := dnsx.GenerateSnapshot(dnsx.SnapshotSpec{Planted: planted, NoiseRecords: *records, Seed: *seed})
+	matcher := squat.NewMatcher(brands)
+
+	ncpu := runtime.GOMAXPROCS(0)
+	workerCounts := []int{1}
+	if half := ncpu / 2; half > 1 {
+		workerCounts = append(workerCounts, half)
+	}
+	if ncpu > 1 {
+		workerCounts = append(workerCounts, ncpu)
+	}
+
+	serial := core.ScanStore(store, matcher, 1, nil)
+	parallel := core.ScanStore(store, matcher, workerCounts[len(workerCounts)-1], nil)
+	art := artifact{
+		Kind:       "bench_scan",
+		GOMAXPROCS: ncpu,
+		Shards:     store.NumShards(),
+		Records:    store.Len(),
+		Candidates: len(serial),
+		Identical:  reflect.DeepEqual(serial, parallel),
+	}
+	if !art.Identical {
+		log.Fatalf("parallel scan diverged from serial: %d vs %d candidates", len(parallel), len(serial))
+	}
+
+	var serialNs int64
+	for _, w := range workerCounts {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.ScanStore(store, matcher, w, nil)
+			}
+		})
+		e := entry{
+			Workers:       w,
+			NsPerOp:       res.NsPerOp(),
+			RecordsPerSec: float64(store.Len()) / (float64(res.NsPerOp()) / 1e9),
+		}
+		if w == 1 {
+			serialNs = e.NsPerOp
+		}
+		if serialNs > 0 {
+			e.Speedup = float64(serialNs) / float64(e.NsPerOp)
+		}
+		art.Entries = append(art.Entries, e)
+		log.Printf("workers=%-3d %12d ns/op %12.0f records/sec  %.2fx", w, e.NsPerOp, e.RecordsPerSec, e.Speedup)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%d candidates over %d records; artifact written to %s", art.Candidates, art.Records, *out)
+}

@@ -51,6 +51,8 @@ func main() {
 	interval := flag.Duration("interval", 0, "pause between rounds")
 	reportPath := flag.String("report", "", "append alerts as JSONL to this file (default stdout)")
 	newPerRound := flag.Int("new", 400, "world registrations arriving per round (plus 50% random-noise names)")
+	scanWorkers := flag.Int("scan-workers", 0, "DNS scan/generation parallelism (0 = all cores, 1 = serial)")
+	scoreWorkers := flag.Int("score-workers", 0, "classifier scoring parallelism (0 = all cores, 1 = serial)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /spans and pprof on this address (e.g. :6060)")
 	metricsPath := flag.String("metrics", "", "write the final metrics snapshot to this file (default <report>.metrics.json when -report is set)")
 	flag.Parse()
@@ -60,6 +62,8 @@ func main() {
 		World:           webworld.Config{SquattingDomains: 3000, NonSquattingPhish: 300, Seed: 7},
 		DNSNoiseRecords: 8000,
 		ForestTrees:     25,
+		ScanWorkers:     *scanWorkers,
+		ScoreWorkers:    *scoreWorkers,
 		Seed:            99,
 		Metrics:         reg,
 	})

@@ -33,6 +33,8 @@ func main() {
 	seed := flag.Uint64("seed", 1175, "world seed")
 	trees := flag.Int("trees", 40, "random forest size")
 	noise := flag.Int("dnsnoise", 30000, "background DNS records")
+	scanWorkers := flag.Int("scan-workers", 0, "DNS scan/generation parallelism (0 = all cores, 1 = serial)")
+	scoreWorkers := flag.Int("score-workers", 0, "classifier scoring parallelism (0 = all cores, 1 = serial)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /spans and pprof on this address (e.g. :6060)")
 	flag.Parse()
 
@@ -40,6 +42,8 @@ func main() {
 		World:           webworld.Config{SquattingDomains: *domains, NonSquattingPhish: *phish, Seed: *seed},
 		DNSNoiseRecords: *noise,
 		ForestTrees:     *trees,
+		ScanWorkers:     *scanWorkers,
+		ScoreWorkers:    *scoreWorkers,
 		Seed:            *seed ^ 0x53517561, // decouple pipeline seed from world seed
 	}
 	start := time.Now()
@@ -63,7 +67,8 @@ func main() {
 	log.Printf("world: %d squatting domains, %d brands", len(p.World.SquattingDomains), len(p.World.Brands.Brands))
 
 	cands := p.ScanDNS()
-	log.Printf("DNS scan: %d records -> %d squatting candidates", p.DNSSnapshot().Len(), len(cands))
+	log.Printf("DNS scan: %d records -> %d squatting candidates (%.0f records/sec)",
+		p.DNSSnapshot().Len(), len(cands), p.Obs.Snapshot().Gauges["core.scan_dns.records_per_sec"])
 	counts := map[squat.Type]int{}
 	for _, c := range cands {
 		counts[c.Type]++

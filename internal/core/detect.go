@@ -72,17 +72,26 @@ func (p *Pipeline) detectInWild(ctx context.Context, clf *Classifier, snapshot i
 	if err != nil {
 		return nil, fmt.Errorf("core: crawl for detection: %w", err)
 	}
+	// Score every live page on the bounded pool (feature extraction plus
+	// forest inference is the compute bottleneck), then assemble the flag
+	// lists serially in crawl order so the output is identical to the
+	// serial path. A negative score marks a page that was skipped.
+	scores := make([][2]float64, len(results))
+	p.scoreParallel(len(results), func(i int) {
+		for pi, cap := range [2]crawler.Capture{results[i].Web, results[i].Mobile} {
+			scores[i][pi] = -1
+			if cap.Live && !cap.Redirected() {
+				scores[i][pi] = ClassifyCapture(clf, cap)
+			}
+		}
+	})
 	det := &Detection{}
-	for _, r := range results {
-		for _, mobile := range []bool{false, true} {
-			cap := r.Web
-			if mobile {
-				cap = r.Mobile
+	for i, r := range results {
+		for pi, mobile := range []bool{false, true} {
+			score := scores[i][pi]
+			if score < 0 {
+				continue // dead or redirected: someone else's content
 			}
-			if !cap.Live || cap.Redirected() {
-				continue // redirected pages are someone else's content
-			}
-			score := clf.Model.PredictProba(clf.Extractor.Vector(features.Sample{HTML: cap.HTML, Shot: cap.Shot}))
 			if score < 0.5 {
 				continue
 			}
@@ -126,11 +135,19 @@ func (p *Pipeline) MonitorLiveness(ctx context.Context, clf *Classifier, confirm
 		if err != nil {
 			return nil, nil, err
 		}
-		for _, r := range results {
-			if r.Web.Live && !r.Web.Redirected() && ClassifyCapture(clf, r.Web) >= 0.5 {
+		// Re-classification of each crawled page is independent; run it on
+		// the scoring pool and tally the per-index verdicts afterwards.
+		live := make([][2]bool, len(results))
+		p.scoreParallel(len(results), func(i int) {
+			r := results[i]
+			live[i][0] = r.Web.Live && !r.Web.Redirected() && ClassifyCapture(clf, r.Web) >= 0.5
+			live[i][1] = r.Mobile.Live && !r.Mobile.Redirected() && ClassifyCapture(clf, r.Mobile) >= 0.5
+		})
+		for _, l := range live {
+			if l[0] {
 				web[snap]++
 			}
-			if r.Mobile.Live && !r.Mobile.Redirected() && ClassifyCapture(clf, r.Mobile) >= 0.5 {
+			if l[1] {
 				mobile[snap]++
 			}
 		}

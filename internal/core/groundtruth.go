@@ -134,6 +134,31 @@ type Classifier struct {
 	Eval ml.Evaluation
 }
 
+// extractVectors embeds every ground-truth sample on the scoring pool
+// (feature extraction renders OCR over each screenshot, the training-side
+// compute bottleneck) and returns the design matrix and label vector.
+// Per-index slots keep the output identical to a serial extraction.
+func (p *Pipeline) extractVectors(ex *features.Extractor, samples []LabeledSample) (X [][]float64, y []int) {
+	X = make([][]float64, len(samples))
+	y = make([]int, len(samples))
+	p.scoreParallel(len(samples), func(i int) {
+		X[i] = ex.Vector(samples[i].Sample)
+		if samples[i].Phishing {
+			y[i] = 1
+		}
+	})
+	return X, y
+}
+
+// forestFactory builds the production random forest, trained across the
+// scoring pool's worker budget (tree training is deterministic for a fixed
+// seed at any parallelism).
+func (p *Pipeline) forestFactory() func() ml.Classifier {
+	return func() ml.Classifier {
+		return &ml.RandomForest{NTrees: p.Cfg.ForestTrees, Seed: p.Cfg.Seed, Workers: p.scoreWorkers()}
+	}
+}
+
 // TrainClassifier builds the feature extractor on the ground-truth corpus,
 // cross-validates, and fits the final random forest on all samples
 // (paper §5.2/§5.3).
@@ -146,17 +171,8 @@ func (p *Pipeline) TrainClassifier(gt *GroundTruth, opts features.Options) *Clas
 	}
 	ex := features.NewExtractor(opts, corpus, p.World.Brands.Names(), 3)
 
-	X := make([][]float64, len(gt.Samples))
-	y := make([]int, len(gt.Samples))
-	for i, s := range gt.Samples {
-		X[i] = ex.Vector(s.Sample)
-		if s.Phishing {
-			y[i] = 1
-		}
-	}
-	factory := func() ml.Classifier {
-		return &ml.RandomForest{NTrees: p.Cfg.ForestTrees, Seed: p.Cfg.Seed}
-	}
+	X, y := p.extractVectors(ex, gt.Samples)
+	factory := p.forestFactory()
 	eval := ml.CrossValidate(factory, X, y, 10, p.Cfg.Seed)
 	final := factory()
 	final.Fit(X, y)
@@ -171,19 +187,10 @@ func (p *Pipeline) EvaluateModels(gt *GroundTruth, opts features.Options) map[st
 		corpus[i] = s.Sample
 	}
 	ex := features.NewExtractor(opts, corpus, p.World.Brands.Names(), 3)
-	X := make([][]float64, len(gt.Samples))
-	y := make([]int, len(gt.Samples))
-	for i, s := range gt.Samples {
-		X[i] = ex.Vector(s.Sample)
-		if s.Phishing {
-			y[i] = 1
-		}
-	}
+	X, y := p.extractVectors(ex, gt.Samples)
 	out := map[string]ml.Evaluation{}
 	out["NaiveBayes"] = ml.CrossValidate(func() ml.Classifier { return &ml.NaiveBayes{} }, X, y, 10, p.Cfg.Seed)
 	out["KNN"] = ml.CrossValidate(func() ml.Classifier { return &ml.KNN{K: 5} }, X, y, 10, p.Cfg.Seed)
-	out["RandomForest"] = ml.CrossValidate(func() ml.Classifier {
-		return &ml.RandomForest{NTrees: p.Cfg.ForestTrees, Seed: p.Cfg.Seed}
-	}, X, y, 10, p.Cfg.Seed)
+	out["RandomForest"] = ml.CrossValidate(p.forestFactory(), X, y, 10, p.Cfg.Seed)
 	return out
 }

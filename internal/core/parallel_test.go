@@ -1,0 +1,149 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"squatphi/internal/dnsx"
+	"squatphi/internal/features"
+	"squatphi/internal/squat"
+	"squatphi/internal/webworld"
+)
+
+// scanFixture builds a snapshot seeded with real squatting registrations of
+// a few brands plus background noise, and a matcher for those brands —
+// without the cost of a full pipeline.
+func scanFixture(t testing.TB, noise int) (*dnsx.Store, *squat.Matcher) {
+	t.Helper()
+	brands := []squat.Brand{
+		squat.NewBrand("paypal.com"),
+		squat.NewBrand("facebook.com"),
+		squat.NewBrand("google.com"),
+	}
+	gen := squat.NewGenerator()
+	var planted []string
+	for _, b := range brands {
+		for i, c := range gen.Generate(b) {
+			if i%4 == 0 { // a quarter of candidates are "registered"
+				planted = append(planted, c.Domain)
+			}
+		}
+	}
+	store := dnsx.GenerateSnapshot(dnsx.SnapshotSpec{Planted: planted, NoiseRecords: noise, Seed: 1035})
+	return store, squat.NewMatcher(brands)
+}
+
+// TestScanStoreParallelEquivalence is the tentpole's correctness contract:
+// the parallel scan returns the exact candidate slice of the serial scan at
+// every worker count.
+func TestScanStoreParallelEquivalence(t *testing.T) {
+	store, m := scanFixture(t, 5000)
+	serial := ScanStore(store, m, 1, nil)
+	if len(serial) == 0 {
+		t.Fatal("serial scan found no candidates")
+	}
+	for _, workers := range []int{2, 4, 8, 64} {
+		parallel := ScanStore(store, m, workers, nil)
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("workers=%d: parallel scan differs from serial (%d vs %d candidates)",
+				workers, len(parallel), len(serial))
+		}
+	}
+}
+
+// TestScanDNSMatchesSerialReference checks the pipeline-level wiring: a
+// pipeline configured with many scan workers produces the same candidates
+// as one forced onto the serial path, in the same world.
+func TestScanDNSMatchesSerialReference(t *testing.T) {
+	cfg := Config{
+		World:           webworld.Config{SquattingDomains: 600, NonSquattingPhish: 100, Seed: 21},
+		DNSNoiseRecords: 2500,
+		ForestTrees:     10,
+		Seed:            5,
+	}
+	serialCfg, parallelCfg := cfg, cfg
+	serialCfg.ScanWorkers = 1
+	parallelCfg.ScanWorkers = 8
+
+	build := func(c Config) []squat.Candidate {
+		p, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		return p.ScanDNS()
+	}
+	serial := build(serialCfg)
+	parallel := build(parallelCfg)
+	if len(serial) == 0 {
+		t.Fatal("serial pipeline scan found no candidates")
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("ScanDNS differs across worker counts: %d vs %d candidates", len(serial), len(parallel))
+	}
+}
+
+// TestScorePoolCoversAllIndices checks the bounded scoring pool invokes fn
+// exactly once per index at any width (run under -race this is also the
+// pool's thread-safety proof, together with the detection path tests).
+func TestScorePoolCoversAllIndices(t *testing.T) {
+	p := testPipeline(t)
+	for _, workers := range []int{1, 3, 16} {
+		p.Cfg.ScoreWorkers = workers
+		const n = 500
+		hits := make([]int, n)
+		p.scoreParallel(n, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d scored %d times", workers, i, h)
+			}
+		}
+	}
+	if got := p.Obs.Gauge("core.score.inflight").Value(); got != 0 {
+		t.Fatalf("inflight gauge = %v after pools drained, want 0", got)
+	}
+}
+
+// TestDetectionParallelDeterministic runs the classify-and-verify stage in
+// two identical worlds, one scoring serially and one on a wide pool, and
+// requires identical flag lists — the equivalence contract for the scoring
+// side of the spine.
+func TestDetectionParallelDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two full pipelines")
+	}
+	cfg := Config{
+		World:           webworld.Config{SquattingDomains: 700, NonSquattingPhish: 120, Seed: 42},
+		DNSNoiseRecords: 1500,
+		ForestTrees:     10,
+		Seed:            9,
+	}
+	run := func(scoreWorkers int) *Detection {
+		c := cfg
+		c.ScoreWorkers = scoreWorkers
+		p, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		ctx := context.Background()
+		gt, err := p.BuildGroundTruth(ctx, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clf := p.TrainClassifier(gt, features.AllFeatures())
+		det, err := p.DetectInWild(ctx, clf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return det
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("detection differs across scoring widths: serial %d+%d flags, parallel %d+%d",
+			len(serial.FlaggedWeb), len(serial.FlaggedMobile),
+			len(parallel.FlaggedWeb), len(parallel.FlaggedMobile))
+	}
+}

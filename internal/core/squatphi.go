@@ -14,8 +14,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"squatphi/internal/blacklist"
@@ -39,6 +41,15 @@ type Config struct {
 	ForestTrees int
 	// CrawlWorkers is the crawler pool width (default 16).
 	CrawlWorkers int
+	// ScanWorkers is the DNS scan and snapshot-generation parallelism:
+	// store shards are scanned by this many goroutines. <= 0 means
+	// GOMAXPROCS; 1 forces the serial reference path. The scan result is
+	// identical for every value.
+	ScanWorkers int
+	// ScoreWorkers bounds the classifier-scoring pool used by detection,
+	// liveness monitoring, and feature extraction (<= 0 means GOMAXPROCS;
+	// 1 forces serial scoring). Results are identical for every value.
+	ScoreWorkers int
 	// Seed drives feed generation and training randomness.
 	Seed uint64
 	// Metrics, when set, is the registry every pipeline component reports
@@ -156,6 +167,22 @@ func (p *Pipeline) StageTimings() map[string]time.Duration {
 	return out
 }
 
+// scanWorkers resolves the configured DNS-scan parallelism.
+func (p *Pipeline) scanWorkers() int {
+	if p.Cfg.ScanWorkers > 0 {
+		return p.Cfg.ScanWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// scoreWorkers resolves the configured scoring-pool width.
+func (p *Pipeline) scoreWorkers() int {
+	if p.Cfg.ScoreWorkers > 0 {
+		return p.Cfg.ScoreWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // DNSSnapshot lazily builds the ActiveDNS-style snapshot: every resolving
 // domain of the world planted among background noise.
 func (p *Pipeline) DNSSnapshot() *dnsx.Store {
@@ -165,6 +192,7 @@ func (p *Pipeline) DNSSnapshot() *dnsx.Store {
 			Planted:      p.World.DNSDomains(),
 			NoiseRecords: p.Cfg.DNSNoiseRecords,
 			Seed:         p.Cfg.Seed,
+			Workers:      p.scanWorkers(),
 		})
 		p.Obs.Gauge("core.dns_snapshot.records").Set(float64(p.snapshot.Len()))
 		done(nil)
@@ -172,20 +200,75 @@ func (p *Pipeline) DNSSnapshot() *dnsx.Store {
 	return p.snapshot
 }
 
-// ScanDNS runs the squatting matcher over the whole snapshot and returns
-// the candidate squatting domains (paper §3.1; Figure 2).
-func (p *Pipeline) ScanDNS() []squat.Candidate {
-	if p.candidates == nil {
-		snapshot := p.DNSSnapshot() // built under its own stage span
-		_, done := p.stageSpan(context.Background(), "scan_dns")
-		var out []squat.Candidate
-		snapshot.Range(func(rec dnsx.Record) bool {
-			if c, ok := p.Matcher.Match(rec.Domain); ok {
+// ScanStore runs the matcher over every record of store and returns the
+// squatting candidates sorted by domain. workers > 1 scans store shards on
+// a worker pool with per-worker candidate buffers; the merged, sorted
+// result is identical to the serial (workers <= 1) path because candidate
+// domains are unique within a store. reg (nil-tolerant) receives the scan
+// throughput gauge core.scan_dns.records_per_sec and, on the parallel
+// path, the per-shard scan-time histogram core.scan_dns.shard_ms.
+func ScanStore(store *dnsx.Store, m *squat.Matcher, workers int, reg *obs.Registry) []squat.Candidate {
+	start := time.Now()
+	var out []squat.Candidate
+	if workers <= 1 {
+		store.Range(func(rec dnsx.Record) bool {
+			if c, ok := m.Match(rec.Domain); ok {
 				out = append(out, c)
 			}
 			return true
 		})
-		sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	} else {
+		shardMS := reg.Histogram("core.scan_dns.shard_ms", obs.MillisBuckets)
+		nShards := store.NumShards()
+		if workers > nShards {
+			workers = nShards
+		}
+		buffers := make([][]squat.Candidate, workers)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var buf []squat.Candidate
+				for {
+					shard := int(next.Add(1)) - 1
+					if shard >= nShards {
+						break
+					}
+					shardStart := time.Now()
+					store.RangeShard(shard, func(rec dnsx.Record) bool {
+						if c, ok := m.Match(rec.Domain); ok {
+							buf = append(buf, c)
+						}
+						return true
+					})
+					shardMS.ObserveSince(shardStart)
+				}
+				buffers[w] = buf
+			}(w)
+		}
+		wg.Wait()
+		for _, buf := range buffers {
+			out = append(out, buf...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		reg.Gauge("core.scan_dns.records_per_sec").Set(float64(store.Len()) / secs)
+	}
+	return out
+}
+
+// ScanDNS runs the squatting matcher over the whole snapshot and returns
+// the candidate squatting domains (paper §3.1; Figure 2). The scan is
+// distributed over Config.ScanWorkers goroutines; its result is identical
+// to the single-goroutine reference scan.
+func (p *Pipeline) ScanDNS() []squat.Candidate {
+	if p.candidates == nil {
+		snapshot := p.DNSSnapshot() // built under its own stage span
+		_, done := p.stageSpan(context.Background(), "scan_dns")
+		out := ScanStore(snapshot, p.Matcher, p.scanWorkers(), p.Obs)
 		p.candidates = out
 		p.Obs.Gauge("core.scan_dns.candidates").Set(float64(len(out)))
 		done(nil)

@@ -1,6 +1,10 @@
 package dnsx
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"squatphi/internal/simrand"
 )
 
@@ -15,7 +19,16 @@ type SnapshotSpec struct {
 	NoiseRecords int
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers is the generation parallelism (<= 0 means GOMAXPROCS). The
+	// generated snapshot is identical for every Workers value: noise is
+	// drawn from genStripes fixed sub-streams regardless of pool width.
+	Workers int
 }
+
+// genStripes is the number of independent noise sub-streams. It is a fixed
+// constant — not the worker count — so that a spec's output never depends
+// on the machine or pool width that generated it.
+const genStripes = 64
 
 // noiseTLDs weights the TLD mix of background registrations.
 var noiseTLDs = []string{
@@ -34,20 +47,64 @@ var noiseWords = []string{
 }
 
 // GenerateSnapshot builds a Store per spec. Generation is deterministic for
-// a given spec. IPs are drawn uniformly from non-reserved space.
+// a given spec (including across Workers values and shard layouts): every
+// record carries a spec-defined sequence number, so insertion order and
+// collision resolution match the serial semantics exactly. IPs are drawn
+// uniformly from non-reserved space.
 func GenerateSnapshot(spec SnapshotSpec) *Store {
-	r := simrand.New(spec.Seed).Split("dns-snapshot")
+	base := simrand.New(spec.Seed).Split("dns-snapshot")
 	s := NewStore()
-	for _, d := range spec.Planted {
-		s.Add(d, RandomIP(r))
+
+	// Planted domains occupy sequence numbers [0, len(Planted)): they come
+	// first in insertion order, exactly as the serial generator inserted
+	// them. The planted set is small relative to the noise, so it is added
+	// on the calling goroutine from its own sub-stream.
+	plantedRNG := base.Split("planted")
+	for i, d := range spec.Planted {
+		s.addAt(uint64(i), normalize(d), RandomIP(plantedRNG))
 	}
-	for i := 0; i < spec.NoiseRecords; i++ {
-		s.Add(noiseDomain(r), RandomIP(r))
+
+	// Noise records are striped into genStripes fixed sub-streams; workers
+	// claim whole stripes. Record i keeps global sequence number
+	// len(Planted)+i whichever worker generates it.
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > genStripes {
+		workers = genStripes
+	}
+	noiseRNG := base.Split("noise")
+	plantedCount := len(spec.Planted)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				g := int(next.Add(1)) - 1
+				if g >= genStripes {
+					return
+				}
+				r := noiseRNG.SplitN(uint64(g))
+				start := g * spec.NoiseRecords / genStripes
+				end := (g + 1) * spec.NoiseRecords / genStripes
+				for i := start; i < end; i++ {
+					s.addAt(uint64(plantedCount+i), noiseDomain(r), RandomIP(r))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Subsequent public Adds continue after the generated range.
+	s.seq.Store(uint64(plantedCount + spec.NoiseRecords))
 	return s
 }
 
-// noiseDomain mints one background domain name.
+// noiseDomain mints one background domain name (already normalised:
+// lowercase, no trailing dot).
 func noiseDomain(r *simrand.RNG) string {
 	tld := simrand.Pick(r, noiseTLDs)
 	switch r.Intn(4) {

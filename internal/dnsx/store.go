@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Record is one entry of an ActiveDNS-style snapshot: a domain name paired
@@ -23,78 +25,274 @@ func (r Record) IPString() string {
 	return fmt.Sprintf("%d.%d.%d.%d", r.IP[0], r.IP[1], r.IP[2], r.IP[3])
 }
 
-// Store is an in-memory authoritative record set: the synthetic equivalent
-// of the DNS snapshot the paper obtained from the ActiveDNS project.
-// It is safe for concurrent readers once populated; Add must not race with
-// lookups unless the caller serialises them.
-type Store struct {
-	mu      sync.RWMutex
-	records map[string][4]byte
-	order   []string // insertion order for deterministic iteration
+// DefaultShards is the shard count of NewStore. It is fixed (rather than
+// derived from GOMAXPROCS) so a snapshot's iteration behaviour never
+// depends on the machine that built it; raise it via NewShardedStore for
+// stores that must absorb very wide concurrent write loads.
+const DefaultShards = 32
+
+// entry is one stored record plus the bookkeeping that keeps sharded
+// iteration deterministic: firstSeq fixes the record's position in global
+// insertion order, lastSeq arbitrates overwrites (the highest sequence
+// number's IP wins, reproducing serial last-write-wins semantics no matter
+// in which order concurrent writers actually reach the shard).
+type entry struct {
+	domain   string
+	ip       [4]byte
+	firstSeq uint64
+	lastSeq  uint64
 }
 
-// NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{records: make(map[string][4]byte)}
+// storeShard is one lock domain of the store.
+type storeShard struct {
+	mu      sync.RWMutex
+	records map[string]*entry
+	order   []*entry // insertion entries; sorted by firstSeq when sorted
+	sorted  bool
+}
+
+// ensureSorted restores the order-by-firstSeq invariant after out-of-order
+// sequence numbers landed in the shard (concurrent generation).
+func (sh *storeShard) ensureSorted() {
+	sh.mu.RLock()
+	ok := sh.sorted
+	sh.mu.RUnlock()
+	if ok {
+		return
+	}
+	sh.mu.Lock()
+	if !sh.sorted {
+		sort.Slice(sh.order, func(i, j int) bool { return sh.order[i].firstSeq < sh.order[j].firstSeq })
+		sh.sorted = true
+	}
+	sh.mu.Unlock()
+}
+
+// Store is an in-memory authoritative record set: the synthetic equivalent
+// of the DNS snapshot the paper obtained from the ActiveDNS project.
+//
+// The store is sharded by an FNV-1a hash of the domain, with a per-shard
+// mutex, so concurrent Add/Lookup traffic from many goroutines scales with
+// cores instead of serialising on one lock. Iteration order is still the
+// global insertion order (tracked by per-record sequence numbers), and it
+// is identical whatever the shard count or write interleaving, so results
+// computed over a store are reproducible.
+type Store struct {
+	shards []storeShard
+	seq    atomic.Uint64 // next insertion sequence number
+	length atomic.Int64
+}
+
+// NewStore returns an empty store with DefaultShards shards.
+func NewStore() *Store { return NewShardedStore(DefaultShards) }
+
+// NewShardedStore returns an empty store with n shards (n <= 0 falls back
+// to DefaultShards). The shard count affects only contention, never the
+// store's observable contents or iteration order.
+func NewShardedStore(n int) *Store {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	s := &Store{shards: make([]storeShard, n)}
+	for i := range s.shards {
+		s.shards[i].records = make(map[string]*entry)
+		s.shards[i].sorted = true
+	}
+	return s
+}
+
+// shardOf hashes a normalised domain to its shard index (FNV-1a).
+func (s *Store) shardOf(domain string) *storeShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(domain); i++ {
+		h ^= uint64(domain[i])
+		h *= 1099511628211
+	}
+	return &s.shards[h%uint64(len(s.shards))]
 }
 
 // Add inserts or overwrites a record. Domains are normalised to lower case
-// without a trailing dot.
+// without a trailing dot. Add is safe for concurrent use with Lookup and
+// other Adds.
 func (s *Store) Add(domain string, ip [4]byte) {
-	d := normalize(domain)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, exists := s.records[d]; !exists {
-		s.order = append(s.order, d)
+	s.addAt(s.seq.Add(1)-1, normalize(domain), ip)
+}
+
+// addAt inserts an already-normalised domain under an explicit sequence
+// number. Concurrent callers with distinct sequence numbers converge on
+// the same store state regardless of arrival order: a record's position is
+// its smallest sequence number, its IP the one written with the largest.
+func (s *Store) addAt(seq uint64, domain string, ip [4]byte) {
+	sh := s.shardOf(domain)
+	sh.mu.Lock()
+	if e := sh.records[domain]; e != nil {
+		if seq < e.firstSeq {
+			e.firstSeq = seq
+			sh.sorted = false
+		}
+		if seq >= e.lastSeq {
+			e.lastSeq = seq
+			e.ip = ip
+		}
+		sh.mu.Unlock()
+		return
 	}
-	s.records[d] = ip
+	e := &entry{domain: domain, ip: ip, firstSeq: seq, lastSeq: seq}
+	sh.records[domain] = e
+	if sh.sorted && len(sh.order) > 0 && sh.order[len(sh.order)-1].firstSeq > seq {
+		sh.sorted = false
+	}
+	sh.order = append(sh.order, e)
+	sh.mu.Unlock()
+	s.length.Add(1)
 }
 
 // Lookup returns the address for a domain.
 func (s *Store) Lookup(domain string) ([4]byte, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ip, ok := s.records[normalize(domain)]
-	return ip, ok
+	d := normalize(domain)
+	sh := s.shardOf(d)
+	sh.mu.RLock()
+	e := sh.records[d]
+	if e == nil {
+		sh.mu.RUnlock()
+		return [4]byte{}, false
+	}
+	ip := e.ip
+	sh.mu.RUnlock()
+	return ip, true
 }
 
 // Len returns the number of records.
-func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.records)
-}
+func (s *Store) Len() int { return int(s.length.Load()) }
+
+// NumShards returns the shard count, the natural unit of work for callers
+// that distribute a scan themselves via RangeShard.
+func (s *Store) NumShards() int { return len(s.shards) }
 
 // Range calls fn for every record in insertion order, stopping if fn
-// returns false. The store must not be mutated during iteration.
+// returns false. Range holds every shard's read lock for the duration of
+// the iteration, so it is safe against concurrent Adds (they block), but
+// fn must not itself mutate the store.
 func (s *Store) Range(fn func(Record) bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, d := range s.order {
-		if !fn(Record{Domain: d, IP: s.records[d]}) {
+	for i := range s.shards {
+		s.shards[i].ensureSorted()
+	}
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+	}
+	defer func() {
+		for i := range s.shards {
+			s.shards[i].mu.RUnlock()
+		}
+	}()
+	// K-way merge of the per-shard sequences; with a few dozen shards a
+	// linear min-scan per record beats heap bookkeeping.
+	heads := make([]int, len(s.shards))
+	for {
+		best := -1
+		var bestSeq uint64
+		for i := range s.shards {
+			if heads[i] >= len(s.shards[i].order) {
+				continue
+			}
+			if e := s.shards[i].order[heads[i]]; best == -1 || e.firstSeq < bestSeq {
+				best, bestSeq = i, e.firstSeq
+			}
+		}
+		if best == -1 {
+			return
+		}
+		e := s.shards[best].order[heads[best]]
+		heads[best]++
+		if !fn(Record{Domain: e.domain, IP: e.ip}) {
 			return
 		}
 	}
 }
 
+// RangeShard calls fn for every record of one shard in insertion order,
+// stopping if fn returns false. The shard's read lock is held for the
+// duration; fn must not mutate the store.
+func (s *Store) RangeShard(shard int, fn func(Record) bool) {
+	sh := &s.shards[shard]
+	sh.ensureSorted()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, e := range sh.order {
+		if !fn(Record{Domain: e.domain, IP: e.ip}) {
+			return
+		}
+	}
+}
+
+// ParallelRange calls fn for every record, distributing shards over up to
+// workers goroutines (workers <= 0 means GOMAXPROCS). fn may be called
+// concurrently and observes no particular order; returning false stops the
+// whole iteration promptly (records already in flight may still be
+// delivered). fn must be safe for concurrent calls and must not mutate the
+// store.
+func (s *Store) ParallelRange(workers int, fn func(Record) bool) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(s.shards) {
+		workers = len(s.shards)
+	}
+	var next atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(s.shards) {
+					return
+				}
+				s.RangeShard(i, func(r Record) bool {
+					if stop.Load() {
+						return false
+					}
+					if !fn(r) {
+						stop.Store(true)
+						return false
+					}
+					return true
+				})
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // Domains returns all domain names in insertion order.
 func (s *Store) Domains() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]string(nil), s.order...)
+	out := make([]string, 0, s.Len())
+	s.Range(func(r Record) bool {
+		out = append(out, r.Domain)
+		return true
+	})
+	return out
 }
 
 // WriteSnapshot serialises the store as "domain,ip" lines sorted by domain,
-// the on-disk snapshot format shared with ReadSnapshot.
+// the on-disk snapshot format shared with ReadSnapshot. Records are copied
+// out under one read-lock pass per shard (no per-record lock round trips).
 func (s *Store) WriteSnapshot(w io.Writer) error {
-	s.mu.RLock()
-	domains := append([]string(nil), s.order...)
-	s.mu.RUnlock()
-	sort.Strings(domains)
+	recs := make([]Record, 0, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.order {
+			recs = append(recs, Record{Domain: e.domain, IP: e.ip})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Domain < recs[j].Domain })
 	bw := bufio.NewWriter(w)
-	for _, d := range domains {
-		ip, _ := s.Lookup(d)
-		if _, err := fmt.Fprintf(bw, "%s,%d.%d.%d.%d\n", d, ip[0], ip[1], ip[2], ip[3]); err != nil {
+	for _, r := range recs {
+		if _, err := fmt.Fprintf(bw, "%s,%d.%d.%d.%d\n", r.Domain, r.IP[0], r.IP[1], r.IP[2], r.IP[3]); err != nil {
 			return err
 		}
 	}

@@ -11,7 +11,10 @@ package ml
 
 import (
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"squatphi/internal/simrand"
 )
@@ -361,11 +364,17 @@ type RandomForest struct {
 	MaxDepth int
 	// Seed drives bootstrap sampling and feature subsampling.
 	Seed uint64
+	// Workers is the number of goroutines Fit trains trees on (<= 0 means
+	// GOMAXPROCS). Every tree derives its own RNG from (Seed, tree index),
+	// so the fitted ensemble — and therefore every prediction — is
+	// identical for any Workers value.
+	Workers int
 
 	trees []Tree
 }
 
-// Fit trains the ensemble on bootstrap resamples of (X, y).
+// Fit trains the ensemble on bootstrap resamples of (X, y), fanning the
+// independent trees out over the worker pool.
 func (rf *RandomForest) Fit(X [][]float64, y []int) {
 	n := rf.NTrees
 	if n <= 0 {
@@ -379,8 +388,10 @@ func (rf *RandomForest) Fit(X [][]float64, y []int) {
 	if maxFeat < 1 {
 		maxFeat = 1
 	}
+	// rng is only ever read (SplitN derives a fresh generator without
+	// advancing the parent), so workers can share it without locking.
 	rng := simrand.New(rf.Seed).Split("forest")
-	for ti := range rf.trees {
+	fitTree := func(ti int) {
 		tr := rng.SplitN(uint64(ti))
 		bx := make([][]float64, len(X))
 		by := make([]int, len(X))
@@ -391,6 +402,36 @@ func (rf *RandomForest) Fit(X [][]float64, y []int) {
 		rf.trees[ti] = Tree{MaxDepth: rf.MaxDepth, MaxFeatures: maxFeat, Seed: tr.Uint64()}
 		rf.trees[ti].Fit(bx, by)
 	}
+
+	workers := rf.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for ti := range rf.trees {
+			fitTree(ti)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ti := int(next.Add(1)) - 1
+				if ti >= n {
+					return
+				}
+				fitTree(ti)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // PredictProba averages the trees' leaf probabilities.

@@ -1,0 +1,44 @@
+package ml
+
+import (
+	"testing"
+
+	"squatphi/internal/simrand"
+)
+
+// TestForestFitWorkersDeterministic checks the parallel-training contract:
+// for a fixed seed, the fitted ensemble predicts identically at any worker
+// count (every tree derives its RNG from the seed and its index alone).
+func TestForestFitWorkersDeterministic(t *testing.T) {
+	r := simrand.New(123)
+	const n, dim = 240, 30
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = r.NormFloat64()
+		}
+		if r.Bool(0.5) {
+			y[i] = 1
+			row[0] += 2 // separable-ish signal
+		}
+		X[i] = row
+	}
+
+	fit := func(workers int) *RandomForest {
+		rf := &RandomForest{NTrees: 30, Seed: 77, Workers: workers}
+		rf.Fit(X, y)
+		return rf
+	}
+	serial := fit(1)
+	for _, workers := range []int{2, 8} {
+		parallel := fit(workers)
+		for i, row := range X {
+			a, b := serial.PredictProba(row), parallel.PredictProba(row)
+			if a != b {
+				t.Fatalf("workers=%d: prediction %d differs: %v vs %v", workers, i, a, b)
+			}
+		}
+	}
+}

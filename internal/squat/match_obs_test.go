@@ -45,8 +45,23 @@ func TestMatcherMetrics(t *testing.T) {
 			t.Errorf("%s = %d, want %d", name, got, want)
 		}
 	}
-	if got := snap.Histograms["squat.match.scan_us"].Count; got != int64(len(cases)) {
-		t.Errorf("scan time observations = %d, want %d", got, len(cases))
+	// Scan timing is sampled 1-in-scanSampleEvery (the first call of each
+	// period is timed), so 5 matches yield exactly one observation...
+	if got := snap.Histograms["squat.match.scan_us"].Count; got != 1 {
+		t.Errorf("scan time observations = %d, want 1 (sampled)", got)
+	}
+
+	// ...and pushing past two more sampling periods yields two more, while
+	// the scanned counter stays exact.
+	for i := 0; i < 2*scanSampleEvery; i++ {
+		m.Match("totally-unrelated.org")
+	}
+	snap = reg.Snapshot()
+	if got := snap.Counters["squat.match.scanned"]; got != int64(len(cases)+2*scanSampleEvery) {
+		t.Errorf("scanned = %d, want %d", got, len(cases)+2*scanSampleEvery)
+	}
+	if got := snap.Histograms["squat.match.scan_us"].Count; got != 3 {
+		t.Errorf("scan time observations after %d matches = %d, want 3", len(cases)+2*scanSampleEvery, got)
 	}
 }
 
