@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-all vet fmt fuzz paperbench pipeline clean
+.PHONY: all build test test-short race chaos bench bench-all vet fmt fuzz paperbench pipeline clean
 
 all: build vet test
 
@@ -27,9 +27,20 @@ test-short:
 # store, scan/score pools). The race detector is 5-20x slower than native;
 # the heavyweight packages (core, experiments) need more than the default
 # 10m per-package budget on small machines.
-race:
+race: chaos
 	$(GO) vet ./...
 	$(GO) test -race -timeout 45m ./...
+
+# Deterministic chaos suite: drives the crawler, DNS prober, and whois
+# client through seeded fault injection (internal/faultx) under the race
+# detector. Fault plans are pure functions of (seed, key, attempt), so the
+# tests assert exact counter values and identical snapshots at any worker
+# count; the seed matrix is fixed inside the test files. Runs first in the
+# `race` gate so resilience regressions fail fast.
+chaos:
+	$(GO) test -race -count=1 -timeout 10m \
+		./internal/faultx ./internal/retry ./internal/crawler \
+		./internal/dnsx ./internal/whois
 
 # Root benchmarks (paper artifacts + the parallel scan/score/fit spine),
 # then the scan sweep artifact: ns/op and records/sec at 1, NumCPU/2 and

@@ -29,6 +29,7 @@ import (
 	"squatphi/internal/dnsx"
 	"squatphi/internal/features"
 	"squatphi/internal/obs"
+	"squatphi/internal/retry"
 	"squatphi/internal/simrand"
 	"squatphi/internal/squat"
 	"squatphi/internal/webworld"
@@ -55,6 +56,9 @@ func main() {
 	scoreWorkers := flag.Int("score-workers", 0, "classifier scoring parallelism (0 = all cores, 1 = serial)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /spans and pprof on this address (e.g. :6060)")
 	metricsPath := flag.String("metrics", "", "write the final metrics snapshot to this file (default <report>.metrics.json when -report is set)")
+	crawlRetries := flag.Int("crawl-retries", 0, "crawler retries per fetch (negative disables, 0 = default 1)")
+	probeRetries := flag.Int("probe-retries", 0, "DNS probe re-sends per domain (negative disables, 0 = default 2)")
+	pol := retry.RegisterFlags(nil) // -retry-* and -breaker-* (shared by crawler + prober)
 	flag.Parse()
 
 	reg := obs.NewRegistry()
@@ -64,6 +68,8 @@ func main() {
 		ForestTrees:     25,
 		ScanWorkers:     *scanWorkers,
 		ScoreWorkers:    *scoreWorkers,
+		CrawlRetries:    *crawlRetries,
+		Retry:           *pol,
 		Seed:            99,
 		Metrics:         reg,
 	})
@@ -113,12 +119,12 @@ func main() {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	prober := &dnsx.Prober{Addr: srv.Addr(), Metrics: reg}
+	prober := &dnsx.Prober{Addr: srv.Addr(), Retries: *probeRetries, Policy: *pol, Metrics: reg}
 
 	worldDomains := p.World.DNSDomains()
 	rng := simrand.New(1)
 	cursor := 0
-	c := &crawler.Crawler{Client: p.Server.Client(), Workers: 16, Metrics: reg}
+	c := &crawler.Crawler{Client: p.Server.Client(), Workers: 16, Retries: *crawlRetries, Policy: *pol, Metrics: reg}
 
 	mRounds := reg.Counter("squatmond.rounds")
 	mNew := reg.Counter("squatmond.new_registrations")

@@ -21,6 +21,7 @@ import (
 	"squatphi/internal/features"
 	"squatphi/internal/obs"
 	"squatphi/internal/report"
+	"squatphi/internal/retry"
 	"squatphi/internal/squat"
 	"squatphi/internal/webworld"
 )
@@ -36,6 +37,8 @@ func main() {
 	scanWorkers := flag.Int("scan-workers", 0, "DNS scan/generation parallelism (0 = all cores, 1 = serial)")
 	scoreWorkers := flag.Int("score-workers", 0, "classifier scoring parallelism (0 = all cores, 1 = serial)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /spans and pprof on this address (e.g. :6060)")
+	crawlRetries := flag.Int("crawl-retries", 0, "crawler retries per fetch (negative disables, 0 = default 1)")
+	pol := retry.RegisterFlags(nil) // -retry-* and -breaker-*
 	flag.Parse()
 
 	cfg := core.Config{
@@ -44,6 +47,8 @@ func main() {
 		ForestTrees:     *trees,
 		ScanWorkers:     *scanWorkers,
 		ScoreWorkers:    *scoreWorkers,
+		CrawlRetries:    *crawlRetries,
+		Retry:           *pol,
 		Seed:            *seed ^ 0x53517561, // decouple pipeline seed from world seed
 	}
 	start := time.Now()

@@ -26,6 +26,7 @@ import (
 	"squatphi/internal/obs"
 	"squatphi/internal/phishtank"
 	"squatphi/internal/render"
+	"squatphi/internal/retry"
 	"squatphi/internal/squat"
 	"squatphi/internal/webworld"
 )
@@ -50,6 +51,13 @@ type Config struct {
 	// liveness monitoring, and feature extraction (<= 0 means GOMAXPROCS;
 	// 1 forces serial scoring). Results are identical for every value.
 	ScoreWorkers int
+	// CrawlRetries is the crawler's retry count (repository retry
+	// convention: negative disables, 0 selects the default of 1).
+	CrawlRetries int
+	// Retry is the shared retry/backoff/circuit-breaker policy handed to
+	// the network components the pipeline owns (currently the crawler).
+	// The zero value keeps budget and breaker disabled.
+	Retry retry.Policy
 	// Seed drives feed generation and training randomness.
 	Seed uint64
 	// Metrics, when set, is the registry every pipeline component reports
@@ -128,7 +136,13 @@ func New(cfg Config) (*Pipeline, error) {
 		stageDur:   map[string]time.Duration{},
 	}
 	p.Matcher.InstrumentMetrics(reg)
-	p.crawlerByProfile = &crawler.Crawler{Client: server.Client(), Workers: cfg.CrawlWorkers, Metrics: reg}
+	p.crawlerByProfile = &crawler.Crawler{
+		Client:  server.Client(),
+		Workers: cfg.CrawlWorkers,
+		Retries: cfg.CrawlRetries,
+		Policy:  cfg.Retry,
+		Metrics: reg,
+	}
 	return p, nil
 }
 
@@ -286,8 +300,41 @@ func (p *Pipeline) CandidateDomains() []string {
 	return out
 }
 
+// Degraded records substrate-failure thinning for one stage: failed items
+// out of total produced no usable output because the network layer gave
+// nothing back after retries (or the circuit breaker fast-failed them).
+// The counter core.degraded.<stage> and the fraction gauge make partial
+// output visible in every metrics snapshot instead of the stage silently
+// shrinking; downstream stages keep working on what survived.
+func (p *Pipeline) Degraded(stage string, failed, total int) {
+	if failed <= 0 || total <= 0 {
+		return
+	}
+	p.Obs.Counter("core.degraded." + stage).Add(int64(failed))
+	p.Obs.Gauge("core.degraded." + stage + ".fraction").Set(float64(failed) / float64(total))
+}
+
+// transportDead reports whether a capture got no HTTP answer at all —
+// the substrate failed (timeouts, resets, open breaker), as opposed to a
+// server that answered with an error status.
+func transportDead(c crawler.Capture) bool { return !c.Live && c.StatusCode == 0 }
+
+// countDegraded tallies results where both profiles were transport-dead.
+func countDegraded(results []crawler.Result) int {
+	n := 0
+	for _, r := range results {
+		if transportDead(r.Web) && transportDead(r.Mobile) {
+			n++
+		}
+	}
+	return n
+}
+
 // Crawl crawls all candidate squatting domains (web + mobile) at the given
-// snapshot date, with caching (paper §3.2).
+// snapshot date, with caching (paper §3.2). Domains the substrate swallowed
+// entirely are counted under core.degraded.crawl; the partial result set is
+// returned (with the error, if the context was cancelled) rather than
+// discarded.
 func (p *Pipeline) Crawl(ctx context.Context, snapshot int) ([]crawler.Result, error) {
 	if cached, ok := p.crawls[snapshot]; ok {
 		return cached, nil
@@ -297,19 +344,22 @@ func (p *Pipeline) Crawl(ctx context.Context, snapshot int) ([]crawler.Result, e
 	p.Server.SetSnapshot(snapshot)
 	results, err := p.crawlerByProfile.Crawl(ctx, domains)
 	done(err)
+	p.Degraded("crawl", countDegraded(results), len(results))
 	if err != nil {
-		return nil, err
+		return results, err
 	}
 	p.crawls[snapshot] = results
 	return results, nil
 }
 
 // CrawlDomains crawls an arbitrary domain list at a snapshot (used for the
-// feed's ground-truth collection and liveness re-checks).
+// feed's ground-truth collection and liveness re-checks), with the same
+// degraded-stage accounting as Crawl under core.degraded.crawl_domains.
 func (p *Pipeline) CrawlDomains(ctx context.Context, snapshot int, domains []string) ([]crawler.Result, error) {
 	ctx, done := p.stageSpan(ctx, "crawl_domains")
 	p.Server.SetSnapshot(snapshot)
 	results, err := p.crawlerByProfile.Crawl(ctx, domains)
 	done(err)
+	p.Degraded("crawl_domains", countDegraded(results), len(results))
 	return results, err
 }

@@ -13,10 +13,8 @@ package crawler
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"io"
-	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -25,6 +23,7 @@ import (
 	"squatphi/internal/htmlx"
 	"squatphi/internal/obs"
 	"squatphi/internal/render"
+	"squatphi/internal/retry"
 )
 
 // Browser profiles (paper: Chrome 65 for web, iPhone 6 for mobile).
@@ -44,7 +43,11 @@ type Capture struct {
 	RedirectChain []string
 	// FinalHost is the host that served the content.
 	FinalHost string
-	HTML      string
+	// FinalURL is the full URL that served the content, scheme included;
+	// asset fetches resolve against it so an https redirect target keeps
+	// being fetched over https.
+	FinalURL string
+	HTML     string
 	// Assets maps image src paths to their text payloads.
 	Assets map[string]string
 	// Shot is the rendered screenshot (nil when not Live or rendering is
@@ -82,17 +85,35 @@ type Crawler struct {
 	// MaxBodyBytes bounds response reads (default 1 MiB).
 	MaxBodyBytes int64
 	// Retries is the number of re-attempts after a transport error on a
-	// page fetch (default 1; negative disables). HTTP error statuses are
-	// not retried — the server answered.
+	// fetch (repository retry convention: negative disables, 0 selects the
+	// default of 1, positive as given). HTTP error statuses are not
+	// retried — the server answered. Both page and asset fetches share
+	// these semantics.
 	Retries int
+	// Policy configures backoff, per-host retry budgets, and the per-host
+	// circuit breaker shared by every fetch (see internal/retry). The zero
+	// value backs off at the default schedule with budget and breaker
+	// disabled.
+	Policy retry.Policy
 	// Metrics, when set, receives crawl accounting: pages fetched, live
 	// pages, retries, timeouts, failures, redirects followed, fetch
 	// latency, and worker-pool depth. Per-host failure/retry maps are
-	// exposed as registry values and via HostFailures/HostRetries.
+	// exposed as registry values and via HostFailures/HostRetries; the
+	// retry layer reports under crawler.retry.* and crawler.breaker.*.
 	Metrics *obs.Registry
 
 	statsOnce sync.Once
 	stats     *crawlStats
+
+	retrierOnce sync.Once
+	rt          *retry.Retrier
+}
+
+// Retrier returns the crawler's shared retry/breaker state, built lazily
+// from Policy (tests use it to assert breaker transitions).
+func (c *Crawler) Retrier() *retry.Retrier {
+	c.retrierOnce.Do(func() { c.rt = retry.New(c.Policy, "crawler", c.Metrics) })
+	return c.rt
 }
 
 // crawlStats is the crawler's mutable accounting, created lazily so the
@@ -200,15 +221,7 @@ func (c *Crawler) bodyLimit() int64 {
 	return c.MaxBodyBytes
 }
 
-func (c *Crawler) retries() int {
-	if c.Retries < 0 {
-		return 0
-	}
-	if c.Retries == 0 {
-		return 1
-	}
-	return c.Retries
-}
+func (c *Crawler) retries() int { return retry.Resolve(c.Retries, 1) }
 
 // Crawl visits every domain with both profiles using the worker pool.
 // Results are returned in input order.
@@ -292,18 +305,22 @@ func (c *Crawler) CaptureProfile(ctx context.Context, domain string, mobile bool
 		cap.Live = true
 		cap.HTML = body
 		cap.FinalHost = hostOf(url)
+		cap.FinalURL = url
 		break
 	}
 	st.live.Inc()
 
 	// Fetch referenced image assets from the final host (the crawler's
 	// second round of requests, like a browser loading subresources).
+	// Assets resolve against the final URL — preserving the scheme an
+	// https redirect landed on — and go through the same retry and
+	// accounting path as page fetches.
 	page := htmlx.Extract(cap.HTML)
 	for _, img := range page.Images {
 		if img.Src == "" || !strings.HasPrefix(img.Src, "/") {
 			continue
 		}
-		body, status, _, err := c.fetch(ctx, "http://"+cap.FinalHost+img.Src, ua)
+		body, status, _, err := c.fetchPage(ctx, absoluteURL(cap.FinalURL, img.Src), ua, st)
 		if err != nil || status != 200 {
 			st.assetErrs.Inc()
 			continue
@@ -333,36 +350,42 @@ func (c *Crawler) CaptureProfile(ctx context.Context, domain string, mobile bool
 	return cap
 }
 
-// fetchPage fetches one page URL with retry-on-transport-error semantics:
-// an HTTP response of any status is definitive, but a connection or timeout
-// error is re-attempted up to Retries times, with per-host retry/timeout
-// accounting and a latency observation per attempt.
+// fetchPage fetches one URL with retry-on-transport-error semantics: an
+// HTTP response of any status is definitive, but a connection or timeout
+// error is re-attempted up to Retries times — with capped, jittered
+// backoff between attempts — subject to the host's retry budget and
+// circuit breaker, with per-host retry/timeout accounting and a latency
+// observation per attempt. HTTP >= 500 counts against the host's breaker
+// (the host is unhealthy) but is still returned, not retried.
 func (c *Crawler) fetchPage(ctx context.Context, url, ua string, st *crawlStats) (body string, status int, location string, err error) {
 	host := hostOf(url)
+	rt := c.Retrier()
 	for attempt := 0; ; attempt++ {
+		if err := rt.Allow(host); err != nil {
+			return "", 0, "", fmt.Errorf("fetch %s: %w", host, err)
+		}
 		start := time.Now()
 		body, status, location, err = c.fetch(ctx, url, ua)
 		st.fetchMS.ObserveSince(start)
 		if err == nil {
+			rt.Report(host, status < 500)
 			return body, status, location, nil
 		}
-		if isTimeout(err) {
+		if retry.IsTimeout(err) {
 			st.timeouts.Inc()
 		}
+		rt.Report(host, false)
 		if attempt >= c.retries() || ctx.Err() != nil {
 			return body, status, location, err
 		}
+		if !rt.GrantRetry(host) {
+			return body, status, location, err
+		}
 		st.recordHostRetry(host)
+		if werr := rt.Wait(ctx, url, attempt+1); werr != nil {
+			return body, status, location, err
+		}
 	}
-}
-
-// isTimeout reports whether err is a deadline-style failure.
-func isTimeout(err error) bool {
-	if errors.Is(err, context.DeadlineExceeded) {
-		return true
-	}
-	var ne net.Error
-	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // fetch performs one GET, returning body, status and redirect location.
@@ -396,15 +419,36 @@ func hostOf(url string) string {
 	return strings.ToLower(s)
 }
 
-// absoluteURL resolves a Location header against the current URL.
+// schemeOf extracts the scheme of an http(s) URL.
+func schemeOf(url string) string {
+	if strings.HasPrefix(url, "https://") {
+		return "https"
+	}
+	return "http"
+}
+
+// hostPortOf extracts host[:port] from an http URL, unlike hostOf keeping
+// any port so resolved URLs stay routable.
+func hostPortOf(url string) string {
+	s := strings.TrimPrefix(strings.TrimPrefix(url, "http://"), "https://")
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		s = s[:i]
+	}
+	return strings.ToLower(s)
+}
+
+// absoluteURL resolves a Location header or asset path against the
+// current URL, preserving the current scheme and port for relative
+// targets (a relative redirect on an https page must stay https).
 func absoluteURL(current, location string) string {
 	if strings.HasPrefix(location, "http://") || strings.HasPrefix(location, "https://") {
 		return location
 	}
+	base := schemeOf(current) + "://" + hostPortOf(current)
 	if strings.HasPrefix(location, "/") {
-		return "http://" + hostOf(current) + location
+		return base + location
 	}
-	return "http://" + hostOf(current) + "/" + location
+	return base + "/" + location
 }
 
 // SnapshotDates are the paper's four crawl dates (§3.2).

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"squatphi/internal/obs"
+	"squatphi/internal/retry"
 )
 
 // Server is an authoritative DNS server over UDP answering A queries from a
@@ -146,19 +147,35 @@ type Prober struct {
 	Addr string
 	// Timeout bounds each query round trip. Default 2s.
 	Timeout time.Duration
-	// Retries is the number of re-sends after a timeout. Default 2.
+	// Retries is the number of re-sends after a timed-out attempt,
+	// following the repository retry convention: negative disables
+	// retries entirely, 0 selects the default of 2, positive as given.
 	Retries int
-	// Parallelism is the number of concurrent workers. Default 8.
+	// Parallelism is the number of concurrent workers. Default 8. Each
+	// worker owns a disjoint block of the 16-bit DNS ID space, so a stale
+	// answer to one worker's query can never match another worker's.
 	Parallelism int
+	// Policy configures backoff between retries, the retry budget, and
+	// the circuit breaker for the probed server (see internal/retry).
+	Policy retry.Policy
+	// Dial opens the worker UDP connections; nil selects net.Dial("udp",
+	// Addr). Chaos tests wrap the returned conn with faultx injection.
+	Dial func(addr string) (net.Conn, error)
 	// Metrics, when set, receives probe accounting: queries sent, retries,
-	// timeouts, resolved/unresolved splits, and an RTT histogram.
+	// timeouts vs non-timeout network errors, stale/malformed datagrams
+	// discarded, resolved/unresolved splits, and an RTT histogram; the
+	// retry layer reports under dnsx.probe.retry.* and
+	// dnsx.probe.breaker.*.
 	Metrics *obs.Registry
+
+	retrierOnce sync.Once
+	rt          *retry.Retrier
 }
 
 // probeMetrics bundles the handles resolved once per Probe call.
 type probeMetrics struct {
-	sent, retries, timeouts, resolved, unresolved *obs.Counter
-	rttMS                                         *obs.Histogram
+	sent, retries, timeouts, neterrors, stale, resolved, unresolved *obs.Counter
+	rttMS                                                           *obs.Histogram
 }
 
 func (p *Prober) metrics() *probeMetrics {
@@ -167,10 +184,35 @@ func (p *Prober) metrics() *probeMetrics {
 		sent:       reg.Counter("dnsx.probe.sent"),
 		retries:    reg.Counter("dnsx.probe.retries"),
 		timeouts:   reg.Counter("dnsx.probe.timeouts"),
+		neterrors:  reg.Counter("dnsx.probe.neterrors"),
+		stale:      reg.Counter("dnsx.probe.stale_discarded"),
 		resolved:   reg.Counter("dnsx.probe.resolved"),
 		unresolved: reg.Counter("dnsx.probe.unresolved"),
 		rttMS:      reg.Histogram("dnsx.probe.rtt_ms", obs.MillisBuckets),
 	}
+}
+
+// Retrier returns the prober's shared retry/breaker state, built lazily
+// from Policy.
+func (p *Prober) Retrier() *retry.Retrier {
+	p.retrierOnce.Do(func() { p.rt = retry.New(p.Policy, "dnsx.probe", p.Metrics) })
+	return p.rt
+}
+
+// idBlock partitions the 16-bit DNS ID space into equal per-worker
+// blocks: worker w of n draws IDs from [base, base+size). Blocks are
+// disjoint, so no worker can mistake another worker's (possibly stale)
+// answer for its own — the old shared seq += 257 streams overlapped mod
+// 65536 on large batches.
+func idBlock(worker, workers int) (base, size int) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > 1<<16 {
+		workers = 1 << 16
+	}
+	blk := (1 << 16) / workers
+	return worker * blk, blk
 }
 
 // Probe resolves the given domains and returns the records that resolved.
@@ -180,10 +222,7 @@ func (p *Prober) Probe(ctx context.Context, domains []string) ([]Record, error) 
 	if timeout <= 0 {
 		timeout = 2 * time.Second
 	}
-	retries := p.Retries
-	if retries <= 0 {
-		retries = 2
-	}
+	retries := retry.Resolve(p.Retries, 2)
 	workers := p.Parallelism
 	if workers <= 0 {
 		workers = 8
@@ -199,30 +238,37 @@ func (p *Prober) Probe(ctx context.Context, domains []string) ([]Record, error) 
 	var firstErr error
 	var errOnce sync.Once
 
+	rt := p.Retrier()
+	dial := p.Dial
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("udp", addr) }
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(id uint16) {
+		go func(w int) {
 			defer wg.Done()
-			conn, err := net.Dial("udp", p.Addr)
+			conn, err := dial(p.Addr)
 			if err != nil {
 				errOnce.Do(func() { firstErr = err })
 				return
 			}
 			defer conn.Close()
-			seq := id
+			base, size := idBlock(w, workers)
+			n := 0
 			for domain := range jobs {
 				if ctx.Err() != nil {
 					return
 				}
-				seq += 257 // distinct IDs per worker stream
-				if ip, ok := p.query(conn, seq, domain, timeout, retries, met); ok {
+				id := uint16(base + n%size)
+				n++
+				if ip, ok := p.query(ctx, conn, id, domain, timeout, retries, met, rt); ok {
 					met.resolved.Inc()
 					results <- Record{Domain: domain, IP: ip}
 				} else {
 					met.unresolved.Inc()
 				}
 			}
-		}(uint16(w))
+		}(w)
 	}
 
 	go func() {
@@ -248,7 +294,14 @@ func (p *Prober) Probe(ctx context.Context, domains []string) ([]Record, error) 
 	return out, firstErr
 }
 
-func (p *Prober) query(conn net.Conn, id uint16, domain string, timeout time.Duration, retries int, met *probeMetrics) ([4]byte, bool) {
+// query resolves one domain over conn with up to retries re-sends. Each
+// attempt gets one read deadline; datagrams that fail to parse or carry a
+// mismatched (stale) ID are discarded and the read continues within the
+// remaining deadline instead of burning the attempt. Read errors are
+// classified: only genuine deadline expiries count as timeouts, other
+// network errors (e.g. connection refused) are accounted separately. Both
+// feed the server's circuit breaker.
+func (p *Prober) query(ctx context.Context, conn net.Conn, id uint16, domain string, timeout time.Duration, retries int, met *probeMetrics, rt *retry.Retrier) ([4]byte, bool) {
 	req, err := NewQuery(id, domain, TypeA).Pack()
 	if err != nil {
 		return [4]byte{}, false
@@ -256,33 +309,71 @@ func (p *Prober) query(conn net.Conn, id uint16, domain string, timeout time.Dur
 	buf := make([]byte, 4096)
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
+			if !rt.GrantRetry(p.Addr) {
+				break
+			}
 			met.retries.Inc()
+			if rt.Wait(ctx, domain, attempt) != nil {
+				break // context cancelled during backoff
+			}
+		}
+		if rt.Allow(p.Addr) != nil {
+			break // circuit open: fast-fail the remaining attempts
 		}
 		met.sent.Inc()
 		start := time.Now()
 		if _, err := conn.Write(req); err != nil {
-			return [4]byte{}, false
-		}
-		_ = conn.SetReadDeadline(time.Now().Add(timeout))
-		n, err := conn.Read(buf)
-		if err != nil {
-			met.timeouts.Inc()
-			continue // timeout: retry
-		}
-		met.rttMS.ObserveSince(start)
-		resp, err := Unpack(buf[:n])
-		if err != nil || resp.Header.ID != id || !resp.Header.QR {
+			met.neterrors.Inc()
+			rt.Report(p.Addr, false)
 			continue
 		}
-		if resp.Header.RCode != RCodeSuccess {
+		deadline := time.Now().Add(timeout)
+		_ = conn.SetReadDeadline(deadline)
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				if retry.IsTimeout(err) {
+					met.timeouts.Inc()
+				} else {
+					met.neterrors.Inc()
+				}
+				rt.Report(p.Addr, false)
+				break // next attempt
+			}
+			resp, uerr := Unpack(buf[:n])
+			if uerr != nil || resp.Header.ID != id || !resp.Header.QR {
+				// Stale, mismatched, or malformed datagram: discard and
+				// keep reading within the remaining deadline.
+				met.stale.Inc()
+				continue
+			}
+			met.rttMS.ObserveSince(start)
+			rt.Report(p.Addr, true)
+			drainConn(conn, buf, met)
+			if resp.Header.RCode != RCodeSuccess {
+				return [4]byte{}, false
+			}
+			for _, rr := range resp.Answers {
+				if ip, ok := rr.IPv4(); ok {
+					return ip, true
+				}
+			}
 			return [4]byte{}, false
 		}
-		for _, rr := range resp.Answers {
-			if ip, ok := rr.IPv4(); ok {
-				return ip, true
-			}
-		}
-		return [4]byte{}, false
 	}
 	return [4]byte{}, false
+}
+
+// drainConn discards datagrams that are already deliverable without
+// waiting (late duplicates of the accepted answer), leaving the socket
+// clean for the next query on this conn. The expired deadline makes the
+// drain free when nothing is pending.
+func drainConn(conn net.Conn, buf []byte, met *probeMetrics) {
+	_ = conn.SetReadDeadline(time.Now())
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+		met.stale.Inc()
+	}
 }

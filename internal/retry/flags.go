@@ -1,0 +1,57 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"net"
+)
+
+// RegisterFlags defines the repository-standard -retry-* / -breaker-*
+// flags on fs (nil selects flag.CommandLine) and returns the Policy they
+// populate when the flag set is parsed. Every binary that owns network
+// components (squatphi, squatmond, paperbench) registers the same six
+// flags, so one policy vocabulary covers the crawler, the DNS prober,
+// and the whois client:
+//
+//	-retry-base-delay   backoff before the first retry
+//	                    (0 = default 100ms, negative disables backoff)
+//	-retry-max-delay    cap on the exponential backoff (0 = default 5s)
+//	-retry-jitter-seed  seed of the deterministic jitter stream
+//	-retry-budget       total retries allowed per host (0 = unlimited)
+//	-breaker-threshold  consecutive per-host failures that open the
+//	                    circuit (0 = breaker disabled)
+//	-breaker-cooldown   open-circuit fast-fail window before a half-open
+//	                    probe (0 = default 30s)
+func RegisterFlags(fs *flag.FlagSet) *Policy {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	p := &Policy{}
+	fs.DurationVar(&p.BaseDelay, "retry-base-delay", 0,
+		"backoff before the first retry (0 = default 100ms, negative disables backoff)")
+	fs.DurationVar(&p.MaxDelay, "retry-max-delay", 0,
+		"cap on exponential retry backoff (0 = default 5s)")
+	fs.Uint64Var(&p.JitterSeed, "retry-jitter-seed", 0,
+		"seed of the deterministic backoff jitter stream")
+	fs.IntVar(&p.HostBudget, "retry-budget", 0,
+		"total retries allowed per host over a run (0 = unlimited)")
+	fs.IntVar(&p.BreakerThreshold, "breaker-threshold", 0,
+		"consecutive per-host failures that open the circuit breaker (0 = breaker disabled)")
+	fs.DurationVar(&p.BreakerCooldown, "breaker-cooldown", 0,
+		"how long an open circuit fast-fails before a half-open probe (0 = default 30s)")
+	return p
+}
+
+// IsTimeout reports whether err is a deadline-style failure (a net.Error
+// timeout or context.DeadlineExceeded), as opposed to a connection-level
+// error such as ECONNREFUSED. Components use it to split "the host is
+// slow" from "the host is unreachable" in their metrics; conflating the
+// two hid resolver outages behind timeout counters.
+func IsTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

@@ -13,12 +13,18 @@ package whois
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
+
+	"squatphi/internal/obs"
+	"squatphi/internal/retry"
 )
 
 // Record is one domain registration entry.
@@ -129,23 +135,128 @@ func (s *Server) handle(conn net.Conn) {
 	_, _ = conn.Write([]byte(Format(rec)))
 }
 
-// Lookup queries a whois server for one domain.
-func Lookup(addr, domain string) (Record, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+// Client queries whois servers with per-attempt deadlines, classified
+// error accounting, and the shared retry/backoff/circuit-breaker policy
+// (keyed by server address). A hung registry server costs at most Timeout
+// per attempt instead of stalling a worker indefinitely, and a connection
+// that dies mid-record surfaces as an error instead of being silently
+// parsed as a (partial) record.
+type Client struct {
+	// Timeout bounds each lookup attempt end to end: dial, query write,
+	// and the read-until-close loop share one deadline. Default 5s.
+	Timeout time.Duration
+	// Retries is the number of re-attempts after a transport error
+	// (repository retry convention: negative disables, 0 selects the
+	// default of 1, positive as given). A served record or a clean
+	// "No match" answer is definitive and never retried.
+	Retries int
+	// Policy configures backoff, the per-server retry budget, and the
+	// per-server circuit breaker (see internal/retry).
+	Policy retry.Policy
+	// Metrics, when set, receives whois.* accounting: lookups, retries,
+	// timeouts vs other network errors, no-match answers, and an RTT
+	// histogram; the retry layer reports under whois.breaker.* and
+	// whois.retry.*.
+	Metrics *obs.Registry
+
+	once sync.Once
+	m    *clientMetrics
+	rt   *retry.Retrier
+}
+
+type clientMetrics struct {
+	lookups, retries, timeouts, neterrors, nomatch *obs.Counter
+	rttMS                                          *obs.Histogram
+}
+
+func (c *Client) init() {
+	c.once.Do(func() {
+		reg := c.Metrics // nil-safe: handles stay live but unregistered
+		c.m = &clientMetrics{
+			lookups:   reg.Counter("whois.lookups"),
+			retries:   reg.Counter("whois.retries"),
+			timeouts:  reg.Counter("whois.timeouts"),
+			neterrors: reg.Counter("whois.neterrors"),
+			nomatch:   reg.Counter("whois.nomatch"),
+			rttMS:     reg.Histogram("whois.rtt_ms", obs.MillisBuckets),
+		}
+		c.rt = retry.New(c.Policy, "whois", c.Metrics)
+	})
+}
+
+// Retrier returns the client's shared retry/breaker state, built lazily
+// from Policy (tests use it to assert breaker transitions).
+func (c *Client) Retrier() *retry.Retrier {
+	c.init()
+	return c.rt
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.Timeout
+}
+
+// Lookup queries the whois server at addr for one domain, retrying
+// transport failures per the client's policy.
+func (c *Client) Lookup(ctx context.Context, addr, domain string) (Record, error) {
+	c.init()
+	c.m.lookups.Inc()
+	retries := retry.Resolve(c.Retries, 1)
+	for attempt := 0; ; attempt++ {
+		if err := c.rt.Allow(addr); err != nil {
+			return Record{}, fmt.Errorf("whois %s: %w", addr, err)
+		}
+		start := time.Now()
+		rec, err := c.lookupOnce(addr, domain)
+		if err == nil || errors.Is(err, ErrNoMatch) {
+			c.rt.Report(addr, true)
+			c.m.rttMS.ObserveSince(start)
+			if err != nil {
+				c.m.nomatch.Inc()
+			}
+			return rec, err
+		}
+		if retry.IsTimeout(err) {
+			c.m.timeouts.Inc()
+		} else {
+			c.m.neterrors.Inc()
+		}
+		c.rt.Report(addr, false)
+		if attempt >= retries || ctx.Err() != nil || !c.rt.GrantRetry(addr) {
+			return Record{}, err
+		}
+		c.m.retries.Inc()
+		if werr := c.rt.Wait(ctx, addr+"/"+domain, attempt+1); werr != nil {
+			return Record{}, err
+		}
+	}
+}
+
+// lookupOnce performs one RFC 3912 exchange under a single deadline. Only
+// a clean close (EOF) terminates the read; a timeout or reset mid-record
+// is a transport failure, never silently parsed as partial data.
+func (c *Client) lookupOnce(addr, domain string) (Record, error) {
+	timeout := c.timeout()
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return Record{}, err
 	}
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	_ = conn.SetDeadline(time.Now().Add(timeout))
 	if _, err := fmt.Fprintf(conn, "%s\r\n", domain); err != nil {
 		return Record{}, err
 	}
 	var sb strings.Builder
 	buf := make([]byte, 4096)
 	for {
-		n, err := conn.Read(buf)
+		n, rerr := conn.Read(buf)
 		sb.Write(buf[:n])
-		if err != nil {
+		if rerr != nil {
+			if !errors.Is(rerr, io.EOF) {
+				return Record{}, rerr
+			}
 			break
 		}
 	}
@@ -154,4 +265,11 @@ func Lookup(addr, domain string) (Record, error) {
 		return Record{}, ErrNoMatch
 	}
 	return Parse(text)
+}
+
+// Lookup queries a whois server for one domain with default client
+// settings (5s attempt deadline, one retry, no budget or breaker).
+func Lookup(addr, domain string) (Record, error) {
+	var c Client
+	return c.Lookup(context.Background(), addr, domain)
 }
