@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race chaos bench bench-all vet fmt fuzz paperbench pipeline clean
+.PHONY: all build test test-short race chaos bench bench-all vet fmt fuzz fuzz-smoke cover verify paperbench pipeline clean
 
 all: build vet test
 
@@ -53,12 +53,39 @@ bench:
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
-# Short fuzz campaigns on the parser-facing packages.
-fuzz:
-	$(GO) test -fuzz FuzzExtract -fuzztime 30s ./internal/htmlx/
-	$(GO) test -fuzz FuzzAnalyze -fuzztime 30s ./internal/jsx/
-	$(GO) test -fuzz FuzzUnpack -fuzztime 30s ./internal/dnsx/
-	$(GO) test -fuzz FuzzParseZone -fuzztime 30s ./internal/dnsx/
+# Short fuzz campaigns on the parser-facing packages. Each invocation
+# anchors a single target (go test allows only one -fuzz match per run).
+fuzz: fuzz-smoke
+
+fuzz-smoke:
+	$(GO) test -fuzz '^FuzzExtract$$' -fuzztime 30s ./internal/htmlx/
+	$(GO) test -fuzz '^FuzzAnalyze$$' -fuzztime 30s ./internal/jsx/
+	$(GO) test -fuzz '^FuzzUnpack$$' -fuzztime 30s ./internal/dnsx/
+	$(GO) test -fuzz '^FuzzParseZone$$' -fuzztime 30s ./internal/dnsx/
+	$(GO) test -fuzz '^FuzzDecode$$' -fuzztime 30s ./internal/punycode/
+	$(GO) test -fuzz '^FuzzEncodeRoundTrip$$' -fuzztime 30s ./internal/punycode/
+	$(GO) test -fuzz '^FuzzToUnicode$$' -fuzztime 30s ./internal/punycode/
+	$(GO) test -fuzz '^FuzzSkeleton$$' -fuzztime 30s ./internal/confusables/
+	$(GO) test -fuzz '^FuzzFold$$' -fuzztime 30s ./internal/confusables/
+
+# Per-package coverage with a floor: the detection spine (dnsx store +
+# codec, squat matcher, core pipeline, deltascan cache) must each keep at
+# least COVER_FLOOR% statement coverage.
+COVER_PKGS = ./internal/dnsx ./internal/squat ./internal/core ./internal/deltascan
+COVER_FLOOR = 60
+
+cover:
+	$(GO) test -cover $(COVER_PKGS) | tee cover_output.txt
+	@awk -v floor=$(COVER_FLOOR) ' \
+		/coverage:/ { \
+			pct = $$0; sub(/.*coverage: /, "", pct); sub(/%.*/, "", pct); \
+			if (pct + 0 < floor) { printf "coverage floor violated: %s at %s%% (floor %d%%)\n", $$2, pct, floor; bad = 1 } \
+		} END { exit bad }' cover_output.txt
+	@echo "coverage floor $(COVER_FLOOR)% held"
+
+# Full verification chain: build, vet, tests (including the golden
+# end-to-end pipeline), coverage floors, and the fuzz smoke campaign.
+verify: build vet test cover fuzz-smoke
 
 # Regenerate every paper table and figure.
 paperbench:
@@ -69,4 +96,4 @@ pipeline:
 	$(GO) run ./cmd/squatphi -domains 4000 -phish 400
 
 clean:
-	rm -f test_output.txt bench_output.txt BENCH_scan.json
+	rm -f test_output.txt bench_output.txt cover_output.txt BENCH_scan.json

@@ -2,12 +2,21 @@
 // counts and writes the BENCH_scan.json artifact: ns/op and records/sec at
 // 1, NumCPU/2 and NumCPU workers, plus the parallel-vs-serial speedup and
 // an equivalence check (the parallel candidate slice must be identical to
-// the serial one). `make bench` runs it after the root benchmarks so the
-// repo's perf trajectory is captured next to the paper artifacts.
+// the serial one).
+//
+// With -delta (default on) it also measures the warm-epoch incremental
+// re-scan: a deltascan.Engine is warmed on one snapshot epoch, a second
+// epoch with a small churn fraction is derived, and the engine's re-scan
+// of the new epoch is timed against a cold full scan of the same store.
+// The artifact records the speedup, shard-skip ratio, and cache hit rate,
+// and the warm result is verified byte-identical to the cold scan.
+// `make bench` runs it after the root benchmarks so the repo's perf
+// trajectory is captured next to the paper artifacts.
 //
 // Usage:
 //
 //	scanbench [-records 200000] [-seed 1035] [-out BENCH_scan.json]
+//	          [-delta] [-churn 0.005] [-warm-reps 5]
 package main
 
 import (
@@ -18,9 +27,12 @@ import (
 	"reflect"
 	"runtime"
 	"testing"
+	"time"
 
 	"squatphi/internal/core"
+	"squatphi/internal/deltascan"
 	"squatphi/internal/dnsx"
+	"squatphi/internal/simrand"
 	"squatphi/internal/squat"
 )
 
@@ -36,6 +48,16 @@ type entry struct {
 	Speedup       float64 `json:"speedup_vs_serial"`
 }
 
+// warmEntry is one measured warm-epoch incremental re-scan.
+type warmEntry struct {
+	Workers        int     `json:"workers"`
+	ColdNsPerOp    int64   `json:"cold_ns_per_op"`
+	WarmNsPerOp    int64   `json:"warm_ns_per_op"`
+	Speedup        float64 `json:"warm_speedup_vs_cold"`
+	ShardSkipRatio float64 `json:"shard_skip_ratio"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+}
+
 // artifact is the BENCH_scan.json schema.
 type artifact struct {
 	Kind       string  `json:"kind"`
@@ -45,6 +67,12 @@ type artifact struct {
 	Candidates int     `json:"candidates"`
 	Identical  bool    `json:"parallel_identical_to_serial"`
 	Entries    []entry `json:"entries"`
+
+	// Warm-epoch incremental scan (only with -delta).
+	ChurnFraction  float64     `json:"churn_fraction,omitempty"`
+	ChangedRecords int         `json:"changed_records,omitempty"`
+	DeltaIdentical bool        `json:"delta_identical_to_cold,omitempty"`
+	WarmEntries    []warmEntry `json:"warm_entries,omitempty"`
 }
 
 func main() {
@@ -53,6 +81,10 @@ func main() {
 	records := flag.Int("records", 200000, "background DNS records in the synthetic haystack")
 	seed := flag.Uint64("seed", 1035, "snapshot seed")
 	out := flag.String("out", "BENCH_scan.json", "write the JSON artifact to this file")
+	delta := flag.Bool("delta", true, "also measure the warm-epoch incremental re-scan (internal/deltascan)")
+	churn := flag.Float64("churn", 0.005, "fraction of records changed between the two epochs of the -delta bench")
+	warmReps := flag.Int("warm-reps", 5, "repetitions of the warm-epoch measurement (min is reported)")
+	deltaShards := flag.Int("delta-shards", 2048, "shard count of the delta-bench snapshot stores (finer shards = finer skip granularity)")
 	flag.Parse()
 
 	var brands []squat.Brand
@@ -117,6 +149,10 @@ func main() {
 		log.Printf("workers=%-3d %12d ns/op %12.0f records/sec  %.2fx", w, e.NsPerOp, e.RecordsPerSec, e.Speedup)
 	}
 
+	if *delta {
+		benchWarmEpoch(&art, store, matcher, workerCounts, *seed, *churn, *warmReps, *deltaShards)
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
@@ -130,4 +166,103 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("%d candidates over %d records; artifact written to %s", art.Candidates, art.Records, *out)
+}
+
+// benchWarmEpoch measures the incremental re-scan of a churned second
+// epoch. Each repetition warms a fresh engine on epoch 0 (untimed), then
+// times exactly one Scan of epoch 1, so the measurement is the true
+// "yesterday's cache, today's snapshot" cost and never degrades into the
+// all-shards-skipped fast path.
+//
+// The epoch stores are re-sharded to deltaShards (a longitudinal store
+// wants fine shards so a sparse churn leaves most of them checksum-equal);
+// the cold reference scans a default-sharded copy of the same records, the
+// layout a non-incremental deployment would use. Shard layout never
+// changes the candidate output, only the cost.
+func benchWarmEpoch(art *artifact, src *dnsx.Store, matcher *squat.Matcher, workerCounts []int, seed uint64, churn float64, reps, deltaShards int) {
+	epoch0 := reshard(src, deltaShards)
+	epoch1, changed := churnEpoch(epoch0, seed, churn)
+	epoch1Cold := reshard(epoch1, dnsx.DefaultShards)
+	art.ChurnFraction = churn
+	art.ChangedRecords = changed
+
+	cold := core.ScanStore(epoch1Cold, matcher, 1, nil)
+	check := deltascan.NewEngine()
+	check.Scan(epoch0, matcher, 0)
+	warm := check.Scan(epoch1, matcher, 0)
+	art.DeltaIdentical = reflect.DeepEqual(cold, warm)
+	if !art.DeltaIdentical {
+		log.Fatalf("warm incremental scan diverged from cold scan: %d vs %d candidates", len(warm), len(cold))
+	}
+	log.Printf("warm epoch: %d of %d records changed (%.2f%%), warm output identical to cold",
+		changed, epoch1.Len(), float64(changed)/float64(epoch1.Len())*100)
+
+	for _, w := range workerCounts {
+		coldRes := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.ScanStore(epoch1Cold, matcher, w, nil)
+			}
+		})
+		var warmBest time.Duration
+		var stats deltascan.Stats
+		for rep := 0; rep < reps; rep++ {
+			e := deltascan.NewEngine()
+			e.Scan(epoch0, matcher, w) // warm-up epoch, untimed
+			start := time.Now()
+			e.Scan(epoch1, matcher, w)
+			d := time.Since(start)
+			if rep == 0 || d < warmBest {
+				warmBest, stats = d, e.LastStats()
+			}
+		}
+		we := warmEntry{
+			Workers:        w,
+			ColdNsPerOp:    coldRes.NsPerOp(),
+			WarmNsPerOp:    warmBest.Nanoseconds(),
+			Speedup:        float64(coldRes.NsPerOp()) / float64(warmBest.Nanoseconds()),
+			ShardSkipRatio: stats.SkipRatio(),
+		}
+		if n := stats.CacheHits + stats.CacheMisses; n > 0 {
+			we.CacheHitRate = float64(stats.CacheHits) / float64(n)
+		}
+		art.WarmEntries = append(art.WarmEntries, we)
+		log.Printf("warm workers=%-3d cold %12d ns/op  warm %12d ns/op  %.1fx (skip %.0f%%, cache hit %.1f%%)",
+			w, we.ColdNsPerOp, we.WarmNsPerOp, we.Speedup, we.ShardSkipRatio*100, we.CacheHitRate*100)
+	}
+}
+
+// reshard copies a store into a new shard layout, preserving insertion
+// order (and therefore all observable contents).
+func reshard(s *dnsx.Store, shards int) *dnsx.Store {
+	out := dnsx.NewShardedStore(shards)
+	s.Range(func(r dnsx.Record) bool {
+		out.Add(r.Domain, r.IP)
+		return true
+	})
+	return out
+}
+
+// churnEpoch derives epoch 1 from epoch 0: a churn fraction of records is
+// touched (half re-pointed to new IPs, a quarter removed, a quarter
+// replaced by fresh registrations), the rest copied verbatim.
+func churnEpoch(epoch0 *dnsx.Store, seed uint64, churn float64) (*dnsx.Store, int) {
+	rng := simrand.New(seed ^ 0xde17a)
+	next := dnsx.NewShardedStore(epoch0.NumShards())
+	changed := 0
+	epoch0.Range(func(r dnsx.Record) bool {
+		switch {
+		case rng.Float64() >= churn: // unchanged
+			next.Add(r.Domain, r.IP)
+		case rng.Bool(0.5): // re-pointed
+			next.Add(r.Domain, dnsx.RandomIP(rng))
+			changed++
+		case rng.Bool(0.5): // removed (deregistered)
+			changed++
+		default: // replaced by a fresh registration
+			next.Add(rng.Letters(12)+".com", dnsx.RandomIP(rng))
+			changed++
+		}
+		return true
+	})
+	return next, changed
 }

@@ -11,7 +11,13 @@
 //
 // Usage:
 //
-//	squatmond [-rounds 3] [-interval 0s] [-report alerts.jsonl] [-debug-addr :6060]
+//	squatmond [-rounds 3] [-interval 0s] [-report alerts.jsonl] [-debug-addr :6060] [-delta]
+//
+// -delta switches the match stage to the incremental delta-scan engine:
+// each round re-scans the whole accumulated zone, but unchanged shards are
+// skipped by checksum and previously-seen domains answer from the verdict
+// cache, so the round cost tracks the churn rather than the zone size.
+// Alerts are identical to the per-batch match path.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 
 	"squatphi/internal/core"
 	"squatphi/internal/crawler"
+	"squatphi/internal/deltascan"
 	"squatphi/internal/dnsx"
 	"squatphi/internal/features"
 	"squatphi/internal/obs"
@@ -53,6 +60,7 @@ func main() {
 	reportPath := flag.String("report", "", "append alerts as JSONL to this file (default stdout)")
 	newPerRound := flag.Int("new", 400, "world registrations arriving per round (plus 50% random-noise names)")
 	scanWorkers := flag.Int("scan-workers", 0, "DNS scan/generation parallelism (0 = all cores, 1 = serial)")
+	deltaScan := flag.Bool("delta", false, "match via the incremental delta-scan engine: each round re-scans the whole zone but reuses unchanged shards and cached per-domain verdicts (same alerts, longitudinal cost)")
 	scoreWorkers := flag.Int("score-workers", 0, "classifier scoring parallelism (0 = all cores, 1 = serial)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /spans and pprof on this address (e.g. :6060)")
 	metricsPath := flag.String("metrics", "", "write the final metrics snapshot to this file (default <report>.metrics.json when -report is set)")
@@ -126,6 +134,17 @@ func main() {
 	cursor := 0
 	c := &crawler.Crawler{Client: p.Server.Client(), Workers: 16, Retries: *crawlRetries, Policy: *pol, Metrics: reg}
 
+	// With -delta the monitor re-scans the whole accumulated zone each
+	// round through a persistent engine instead of matching just the new
+	// batch: unchanged shards are skipped by checksum and previously seen
+	// domains answer from the verdict cache, so the round cost tracks the
+	// churn, not the zone size — the paper's §7 deployment posture.
+	var engine *deltascan.Engine
+	if *deltaScan {
+		engine = deltascan.NewEngine()
+		engine.InstrumentMetrics(reg)
+	}
+
 	mRounds := reg.Counter("squatmond.rounds")
 	mNew := reg.Counter("squatmond.new_registrations")
 	mCandidates := reg.Counter("squatmond.candidates")
@@ -168,10 +187,32 @@ func main() {
 		_, matchSpan := obs.StartSpan(roundCtx, "match")
 		var domains []string
 		byDomain := map[string]squat.Candidate{}
-		for _, rec := range records {
-			if cand, ok := p.Matcher.Match(rec.Domain); ok {
-				domains = append(domains, cand.Domain)
-				byDomain[cand.Domain] = cand
+		if engine != nil {
+			// Scan the whole zone incrementally, then keep only this
+			// round's probe-confirmed batch. Batches are disjoint across
+			// rounds (only domains absent from the zone are added), so the
+			// filtered set — and therefore every alert — is identical to
+			// the per-record match below. Iterating the probe records keeps
+			// the candidate order identical too.
+			inZone := map[string]squat.Candidate{}
+			for _, cand := range engine.Scan(zone, p.Matcher, *scanWorkers) {
+				inZone[cand.Domain] = cand
+			}
+			for _, rec := range records {
+				if cand, ok := inZone[rec.Domain]; ok {
+					domains = append(domains, cand.Domain)
+					byDomain[cand.Domain] = cand
+				}
+			}
+			st := engine.LastStats()
+			matchSpan.SetAttr("shards_rescanned", strconv.Itoa(st.ShardsRescanned))
+			matchSpan.SetAttr("cache_hits", strconv.Itoa(st.CacheHits))
+		} else {
+			for _, rec := range records {
+				if cand, ok := p.Matcher.Match(rec.Domain); ok {
+					domains = append(domains, cand.Domain)
+					byDomain[cand.Domain] = cand
+				}
 			}
 		}
 		matchSpan.SetAttr("candidates", strconv.Itoa(len(domains)))
@@ -221,6 +262,12 @@ func main() {
 		log.Printf("round %d: %d new registrations, %d candidates, %d alerts (wall %s, probe RTT p50 %.2fms, alerts total %d)",
 			round, len(batch), len(domains), roundAlerts,
 			time.Since(start).Round(time.Millisecond), rtt.Quantile(0.5), mAlerts.Value())
+		if engine != nil {
+			st := engine.LastStats()
+			log.Printf("round %d delta: %d/%d shards rescanned, %d cache hits / %d misses, %d candidates reused",
+				round, st.ShardsRescanned, st.ShardsRescanned+st.ShardsSkipped,
+				st.CacheHits, st.CacheMisses, st.CandidatesReused)
+		}
 
 		if *interval > 0 && round < *rounds {
 			time.Sleep(*interval)

@@ -1,0 +1,201 @@
+package squatphi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"squatphi/internal/core"
+	"squatphi/internal/features"
+	"squatphi/internal/retry"
+	"squatphi/internal/webworld"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_pipeline.json from the current pipeline output")
+
+const goldenPath = "testdata/golden_pipeline.json"
+
+// goldenReport is the stable projection of one full pipeline run that the
+// golden file pins: the scanned candidates, the ground-truth split, the CV
+// evaluation, and every flagged domain with its score and verdict.
+type goldenReport struct {
+	Candidates    []goldenCandidate `json:"candidates"`
+	GroundTruth   goldenCounts      `json:"ground_truth"`
+	AUC           float64           `json:"auc"`
+	FPR           float64           `json:"fpr"`
+	FNR           float64           `json:"fnr"`
+	FlaggedWeb    []goldenFlag      `json:"flagged_web"`
+	FlaggedMobile []goldenFlag      `json:"flagged_mobile"`
+}
+
+type goldenCounts struct {
+	Phishing int `json:"phishing"`
+	Benign   int `json:"benign"`
+}
+
+type goldenCandidate struct {
+	Domain string `json:"domain"`
+	Type   string `json:"type"`
+	Brand  string `json:"brand"`
+}
+
+type goldenFlag struct {
+	Domain    string  `json:"domain"`
+	SquatType string  `json:"squat_type"`
+	Brand     string  `json:"brand"`
+	Score     float64 `json:"score"`
+	Confirmed bool    `json:"confirmed"`
+}
+
+// goldenConfig is the tiny fixed world every variant runs against. Backoff
+// is disabled so no wall-clock timing can reach the captures.
+func goldenConfig(scanWorkers int, incremental bool) core.Config {
+	return core.Config{
+		World:           webworld.Config{SquattingDomains: 400, NonSquattingPhish: 100, Seed: 11},
+		DNSNoiseRecords: 1200,
+		ForestTrees:     10,
+		ScanWorkers:     scanWorkers,
+		ScoreWorkers:    1,
+		Incremental:     incremental,
+		Retry:           retry.Policy{BaseDelay: -1},
+		Seed:            12,
+	}
+}
+
+// runGoldenPipeline executes generate -> scan -> crawl -> features ->
+// classify -> detect and projects the outcome.
+func runGoldenPipeline(t *testing.T, cfg core.Config) goldenReport {
+	t.Helper()
+	p, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx := context.Background()
+
+	cands := p.ScanDNS()
+	if cfg.Incremental {
+		// Re-scanning the unchanged snapshot must reuse every shard and
+		// reproduce the candidate list exactly (the warm delta path).
+		if again := p.RescanDNS(); !reflect.DeepEqual(again, cands) {
+			t.Fatalf("delta re-scan diverged: %d vs %d candidates", len(again), len(cands))
+		}
+		st := p.DeltaEngine().LastStats()
+		if st.ShardsRescanned != 0 || st.CacheMisses != 0 {
+			t.Fatalf("re-scan of unchanged snapshot did real work: %+v", st)
+		}
+	}
+	gt, err := p.BuildGroundTruth(ctx, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf := p.TrainClassifier(gt, features.AllFeatures())
+	det, err := p.DetectInWild(ctx, clf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rep goldenReport
+	for _, c := range cands {
+		rep.Candidates = append(rep.Candidates, goldenCandidate{
+			Domain: c.Domain, Type: c.Type.String(), Brand: c.Brand.Domain(),
+		})
+	}
+	rep.GroundTruth.Phishing, rep.GroundTruth.Benign = gt.Counts()
+	rep.AUC = clf.Eval.AUC
+	rep.FPR = clf.Eval.Confusion.FPR()
+	rep.FNR = clf.Eval.Confusion.FNR()
+	rep.FlaggedWeb = goldenFlags(det.FlaggedWeb)
+	rep.FlaggedMobile = goldenFlags(det.FlaggedMobile)
+	return rep
+}
+
+func goldenFlags(fs []core.Flagged) []goldenFlag {
+	var out []goldenFlag
+	for _, f := range fs {
+		out = append(out, goldenFlag{
+			Domain: f.Domain, SquatType: f.SquatType.String(),
+			Brand: f.Brand, Score: f.Score, Confirmed: f.Confirmed,
+		})
+	}
+	return out
+}
+
+func marshalGolden(t *testing.T, rep goldenReport) []byte {
+	t.Helper()
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(buf, '\n')
+}
+
+// TestGoldenPipeline pins the end-to-end pipeline output against
+// testdata/golden_pipeline.json and proves the serial, parallel, and
+// incremental scan paths are byte-identical at the report level. Regenerate
+// with: go test -run TestGoldenPipeline -update .
+func TestGoldenPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline is slow")
+	}
+
+	base := runGoldenPipeline(t, goldenConfig(1, false))
+	got := marshalGolden(t, base)
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d candidates, %d web + %d mobile flags)",
+			goldenPath, len(base.Candidates), len(base.FlaggedWeb), len(base.FlaggedMobile))
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("pipeline output diverged from %s:\n%s\n(run with -update to regenerate)",
+			goldenPath, firstDiff(want, got))
+	}
+
+	// Every other scan configuration must reproduce the same report.
+	for _, v := range []struct {
+		workers     int
+		incremental bool
+	}{{4, false}, {32, false}, {1, true}, {4, true}, {32, true}} {
+		v := v
+		name := fmt.Sprintf("workers=%d,delta=%v", v.workers, v.incremental)
+		t.Run(name, func(t *testing.T) {
+			rep := runGoldenPipeline(t, goldenConfig(v.workers, v.incremental))
+			if out := marshalGolden(t, rep); !bytes.Equal(out, want) {
+				t.Fatalf("%s diverged from golden:\n%s", name, firstDiff(want, out))
+			}
+		})
+	}
+}
+
+// firstDiff renders the first differing line between two JSON blobs.
+func firstDiff(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			return fmt.Sprintf("line %d:\n  golden: %s\n  got:    %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: golden %d, got %d", len(wl), len(gl))
+}

@@ -71,7 +71,15 @@ var multiSeq = map[string]string{
 }
 
 // variants is the reverse index: ASCII prototype -> confusable substitutes.
+// It is built from the raw curated table, so generation keeps offering 'з'
+// as a substitute for "3" even though detection folds both to "e".
 var variants map[string][]rune
+
+// fold is toASCII transitively closed: when a prototype character is itself
+// confusable ('з' -> "3" and '3' -> "e"), the chain is followed to a fixed
+// point. Skeleton uses this closed table — without the closure it was not
+// idempotent (Skeleton("з") == "3" but Skeleton("3") == "e").
+var fold map[rune]string
 
 func init() {
 	variants = make(map[string][]rune)
@@ -82,6 +90,30 @@ func init() {
 		rs := variants[proto]
 		sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
 		variants[proto] = rs
+	}
+
+	fold = make(map[rune]string, len(toASCII))
+	for r, proto := range toASCII {
+		// Chains in the curated data are at most two hops; the bound turns
+		// an accidental future cycle into a visible test failure (Skeleton
+		// idempotence) rather than an infinite loop here.
+		for hop := 0; hop < 4; hop++ {
+			var b strings.Builder
+			changed := false
+			for _, pr := range proto {
+				if p, ok := toASCII[pr]; ok {
+					b.WriteString(p)
+					changed = true
+				} else {
+					b.WriteRune(pr)
+				}
+			}
+			if !changed {
+				break
+			}
+			proto = b.String()
+		}
+		fold[r] = proto
 	}
 }
 
@@ -112,8 +144,10 @@ func IsConfusable(r rune) bool {
 }
 
 // Fold returns the ASCII prototype for r, or r itself if none is known.
+// Prototypes are fully folded themselves: Fold('з') is "e", not "3",
+// because '3' in turn imitates "e".
 func Fold(r rune) string {
-	if p, ok := toASCII[r]; ok {
+	if p, ok := fold[r]; ok {
 		return p
 	}
 	return string(r)

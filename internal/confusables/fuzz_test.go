@@ -1,0 +1,61 @@
+package confusables
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzSkeleton checks the documented contract on arbitrary input: the
+// transform never panics and is idempotent. The "з" seed is the regression
+// for the unclosed fold table (Skeleton("з") used to yield "3", whose own
+// skeleton is "e"); testdata/fuzz/FuzzSkeleton pins it too.
+func FuzzSkeleton(f *testing.F) {
+	seeds := []string{
+		"",
+		"paypal.com",
+		"pаypаl.com", // Cyrillic а
+		"fàcebook",
+		"з", "ч", "зз3", // prototypes that are themselves confusable
+		"rn", "rnn", "rrn", "vvv", "clcl", // cascading sequence collapses
+		"ΑΒΓαβγ",
+		"ыюя",
+		"æœßĳ",
+		"0123456789",
+		"xn--fcebook-8va.com",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sk := Skeleton(s)
+		if again := Skeleton(sk); again != sk {
+			t.Fatalf("Skeleton not idempotent on %q: %q -> %q", s, sk, again)
+		}
+		if strings.ContainsAny(s, "зч") && strings.ContainsAny(sk, "зч") {
+			t.Fatalf("confusable survived folding: %q -> %q", s, sk)
+		}
+	})
+}
+
+// FuzzFold checks that folding any rune yields a string that is a fixed
+// point of further folding — the transitive-closure property of the table.
+func FuzzFold(f *testing.F) {
+	f.Add(int32('з'))
+	f.Add(int32('3'))
+	f.Add(int32('a'))
+	f.Add(int32('ю'))
+	f.Fuzz(func(t *testing.T, r rune) {
+		if !utf8.ValidRune(r) {
+			return
+		}
+		p := Fold(r)
+		var again strings.Builder
+		for _, pr := range p {
+			again.WriteString(Fold(pr))
+		}
+		if again.String() != p {
+			t.Fatalf("Fold(%q) = %q is not fully folded (refolds to %q)", r, p, again.String())
+		}
+	})
+}

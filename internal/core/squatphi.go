@@ -22,6 +22,7 @@ import (
 
 	"squatphi/internal/blacklist"
 	"squatphi/internal/crawler"
+	"squatphi/internal/deltascan"
 	"squatphi/internal/dnsx"
 	"squatphi/internal/obs"
 	"squatphi/internal/phishtank"
@@ -51,6 +52,14 @@ type Config struct {
 	// liveness monitoring, and feature extraction (<= 0 means GOMAXPROCS;
 	// 1 forces serial scoring). Results are identical for every value.
 	ScoreWorkers int
+	// Incremental routes the DNS scan through a persistent delta-scan
+	// engine (internal/deltascan): successive scans of an evolving
+	// snapshot skip unchanged store shards wholesale and answer repeated
+	// domains from a fingerprint-versioned match cache. The candidate set
+	// is byte-identical to the full scan at every worker count; only the
+	// cost of re-scans changes. Detection (DetectInWild) and everything
+	// downstream consume the incremental candidates transparently.
+	Incremental bool
 	// CrawlRetries is the crawler's retry count (repository retry
 	// convention: negative disables, 0 selects the default of 1).
 	CrawlRetries int
@@ -95,6 +104,10 @@ type Pipeline struct {
 
 	crawlerByProfile *crawler.Crawler
 
+	// delta is the persistent incremental scanner (nil unless
+	// Config.Incremental); RescanDNS feeds it fresh snapshot epochs.
+	delta *deltascan.Engine
+
 	// Caches.
 	snapshot      *dnsx.Store
 	candidates    []squat.Candidate
@@ -136,6 +149,10 @@ func New(cfg Config) (*Pipeline, error) {
 		stageDur:   map[string]time.Duration{},
 	}
 	p.Matcher.InstrumentMetrics(reg)
+	if cfg.Incremental {
+		p.delta = deltascan.NewEngine()
+		p.delta.InstrumentMetrics(reg)
+	}
 	p.crawlerByProfile = &crawler.Crawler{
 		Client:  server.Client(),
 		Workers: cfg.CrawlWorkers,
@@ -277,18 +294,46 @@ func ScanStore(store *dnsx.Store, m *squat.Matcher, workers int, reg *obs.Regist
 // ScanDNS runs the squatting matcher over the whole snapshot and returns
 // the candidate squatting domains (paper §3.1; Figure 2). The scan is
 // distributed over Config.ScanWorkers goroutines; its result is identical
-// to the single-goroutine reference scan.
+// to the single-goroutine reference scan. Under Config.Incremental the
+// scan goes through the pipeline's delta-scan engine: the first call is a
+// full scan that warms the engine, and later epochs (RescanDNS after the
+// snapshot evolved) reuse every shard and verdict the snapshot checksums
+// prove unchanged.
 func (p *Pipeline) ScanDNS() []squat.Candidate {
 	if p.candidates == nil {
 		snapshot := p.DNSSnapshot() // built under its own stage span
 		_, done := p.stageSpan(context.Background(), "scan_dns")
-		out := ScanStore(snapshot, p.Matcher, p.scanWorkers(), p.Obs)
+		var out []squat.Candidate
+		if p.delta != nil {
+			start := time.Now()
+			out = p.delta.Scan(snapshot, p.Matcher, p.scanWorkers())
+			if secs := time.Since(start).Seconds(); secs > 0 {
+				p.Obs.Gauge("core.scan_dns.records_per_sec").Set(float64(snapshot.Len()) / secs)
+			}
+		} else {
+			out = ScanStore(snapshot, p.Matcher, p.scanWorkers(), p.Obs)
+		}
 		p.candidates = out
 		p.Obs.Gauge("core.scan_dns.candidates").Set(float64(len(out)))
 		done(nil)
 	}
 	return p.candidates
 }
+
+// RescanDNS invalidates the cached candidate set and re-runs ScanDNS —
+// the per-epoch entry point for longitudinal callers that mutated the
+// snapshot (new registrations, re-pointed records). With
+// Config.Incremental the re-scan is a cheap delta pass; without it, a
+// full scan.
+func (p *Pipeline) RescanDNS() []squat.Candidate {
+	p.candidates = nil
+	return p.ScanDNS()
+}
+
+// DeltaEngine exposes the pipeline's incremental scanner (nil unless
+// Config.Incremental), for callers that drive their own snapshot stores
+// (cmd/squatmond's zone monitor) or want per-epoch Stats.
+func (p *Pipeline) DeltaEngine() *deltascan.Engine { return p.delta }
 
 // CandidateDomains returns just the domain names from ScanDNS.
 func (p *Pipeline) CandidateDomains() []string {

@@ -1,0 +1,336 @@
+// Package deltascan is the incremental scan engine behind SquatPhi's
+// longitudinal measurement (paper §3, §7): instead of re-matching every
+// record of a fresh DNS snapshot from scratch, it diffs the snapshot
+// against the previous epoch per store shard and re-matches only what
+// changed.
+//
+// Two mechanisms make re-scans cheap:
+//
+//   - Shard skipping. dnsx.Store maintains a rolling content checksum per
+//     FNV shard (a commutative sum of per-record hashes, independent of
+//     insertion order). A shard whose checksum equals the previous epoch's
+//     is skipped wholesale — its candidate list from last epoch is reused
+//     verbatim.
+//   - A content-addressed match cache. Within rescanned shards, per-domain
+//     match verdicts are cached across epochs, so a shard that changed by
+//     one record re-matches one record; every other record is a map hit.
+//     Matching depends only on the domain name, so IP-only churn always
+//     hits the cache.
+//
+// The cache is versioned by the matcher's Fingerprint (brand-universe hash
+// plus rule/index fingerprint, squat.Matcher.Fingerprint): scanning with a
+// matcher whose fingerprint differs from the cached one transparently
+// degrades to a full scan and rebuilds the cache, so a config change can
+// never serve stale verdicts.
+//
+// The engine's output contract is strict: Scan returns a candidate slice
+// byte-identical to core.ScanStore's full scan of the same store with the
+// same matcher, at every worker count. The property and golden tests pin
+// this equivalence.
+package deltascan
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"squatphi/internal/dnsx"
+	"squatphi/internal/obs"
+	"squatphi/internal/squat"
+)
+
+// verdict is one cached match result for a domain.
+type verdict struct {
+	cand squat.Candidate
+	ok   bool
+}
+
+// shardState is the engine's memory of one store shard: the checksum the
+// shard had when last scanned, the candidates it produced, and the
+// per-domain verdict cache. Shard states are only ever touched by the one
+// worker that owns the shard during a scan, so they need no locks.
+type shardState struct {
+	csum  uint64
+	valid bool
+	cands []squat.Candidate
+	cache map[string]verdict
+	// seen is the record count of the shard at its last rescan; it drives
+	// cache pruning (stale entries for long-gone domains).
+	seen int
+}
+
+// Stats describes one Scan call.
+type Stats struct {
+	// Epoch counts Scan calls on this engine (1-based).
+	Epoch int
+	// FullScan reports that no prior epoch state was usable: a first scan,
+	// a fingerprint invalidation, or a shard-count change.
+	FullScan bool
+	// Invalidated reports that prior state existed but was discarded
+	// because the matcher fingerprint or the store's shard count changed.
+	Invalidated bool
+	// ShardsSkipped / ShardsRescanned partition the store's shards.
+	ShardsSkipped, ShardsRescanned int
+	// RecordsWalked is the number of records visited in rescanned shards;
+	// CacheHits of them were answered from the verdict cache and
+	// CacheMisses went through the matcher.
+	RecordsWalked, CacheHits, CacheMisses int
+	// CandidatesReused counts candidates taken verbatim from skipped
+	// shards' previous-epoch lists.
+	CandidatesReused int
+	// Duration is the wall time of the Scan call.
+	Duration time.Duration
+}
+
+// SkipRatio is the fraction of shards skipped wholesale.
+func (s Stats) SkipRatio() float64 {
+	if n := s.ShardsSkipped + s.ShardsRescanned; n > 0 {
+		return float64(s.ShardsSkipped) / float64(n)
+	}
+	return 0
+}
+
+// metrics holds the engine's registry handles (see InstrumentMetrics).
+type metrics struct {
+	scans, fullScans, invalidations   *obs.Counter
+	shardsSkipped, shardsRescanned    *obs.Counter
+	cacheHits, cacheMisses, cachePrunes *obs.Counter
+	recordsWalked                     *obs.Counter
+	skipRatio, cacheEntries           *obs.Gauge
+	scanMS                            *obs.Histogram
+}
+
+// Engine is a persistent incremental scanner. It is bound to one logical
+// snapshot lineage (successive epochs of "the DNS") and one matcher
+// configuration at a time; feed it successive stores via Scan. An Engine
+// serialises its own Scan calls; Scan results are plain value slices and
+// safe to retain.
+type Engine struct {
+	mu     sync.Mutex
+	fp     uint64
+	haveFP bool
+	shards []*shardState
+	epoch  int
+	last   Stats
+	met    *metrics
+}
+
+// NewEngine returns an empty engine; its first Scan is a full scan.
+func NewEngine() *Engine { return &Engine{} }
+
+// InstrumentMetrics points the engine's counters at reg: deltascan.scans,
+// .full_scans, .invalidations, .shards_skipped, .shards_rescanned,
+// .cache_hits, .cache_misses, .cache_prunes, .records_walked, the gauges
+// .shard_skip_ratio and .cache_entries, and the .scan_ms histogram.
+func (e *Engine) InstrumentMetrics(reg *obs.Registry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.met = &metrics{
+		scans:           reg.Counter("deltascan.scans"),
+		fullScans:       reg.Counter("deltascan.full_scans"),
+		invalidations:   reg.Counter("deltascan.invalidations"),
+		shardsSkipped:   reg.Counter("deltascan.shards_skipped"),
+		shardsRescanned: reg.Counter("deltascan.shards_rescanned"),
+		cacheHits:       reg.Counter("deltascan.cache_hits"),
+		cacheMisses:     reg.Counter("deltascan.cache_misses"),
+		cachePrunes:     reg.Counter("deltascan.cache_prunes"),
+		recordsWalked:   reg.Counter("deltascan.records_walked"),
+		skipRatio:       reg.Gauge("deltascan.shard_skip_ratio"),
+		cacheEntries:    reg.Gauge("deltascan.cache_entries"),
+		scanMS:          reg.Histogram("deltascan.scan_ms", obs.MillisBuckets),
+	}
+}
+
+// LastStats returns the statistics of the most recent Scan.
+func (e *Engine) LastStats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.last
+}
+
+// Epoch returns the number of Scan calls absorbed so far.
+func (e *Engine) Epoch() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.epoch
+}
+
+// Reset discards all epoch state; the next Scan is a full scan.
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.shards, e.haveFP, e.fp = nil, false, 0
+}
+
+// Scan matches every record of store against m, reusing the previous
+// epoch's work wherever the store is provably unchanged. The returned
+// slice is sorted by domain and byte-identical to a cold full scan
+// (core.ScanStore) of the same store with the same matcher, at any workers
+// value (<= 0 means GOMAXPROCS, 1 forces the serial path).
+func (e *Engine) Scan(store *dnsx.Store, m *squat.Matcher, workers int) []squat.Candidate {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	start := time.Now()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	st := Stats{Epoch: e.epoch + 1}
+	fp := m.Fingerprint()
+	n := store.NumShards()
+	if e.shards == nil || !e.haveFP || e.fp != fp || len(e.shards) != n {
+		st.FullScan = true
+		st.Invalidated = e.shards != nil
+		e.shards = make([]*shardState, n)
+		for i := range e.shards {
+			e.shards[i] = &shardState{cache: make(map[string]verdict)}
+		}
+		e.fp, e.haveFP = fp, true
+	}
+
+	// Partition shards into skips and rescans by comparing the store's
+	// rolling checksums against the previous epoch's.
+	rescan := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		cs := store.ShardChecksum(i)
+		if e.shards[i].valid && e.shards[i].csum == cs {
+			st.ShardsSkipped++
+			st.CandidatesReused += len(e.shards[i].cands)
+			continue
+		}
+		e.shards[i].csum = cs
+		rescan = append(rescan, i)
+	}
+	st.ShardsRescanned = len(rescan)
+
+	// Rescan changed shards on a worker pool. Each shard is owned by
+	// exactly one worker, so shard states are mutated without locks; the
+	// per-worker counters are merged below.
+	if len(rescan) > 0 {
+		if workers > len(rescan) {
+			workers = len(rescan)
+		}
+		counters := make([][3]int, workers) // walked, hits, misses
+		prunes := make([]int, workers)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					ri := int(next.Add(1)) - 1
+					if ri >= len(rescan) {
+						return
+					}
+					walked, hits, pruned := e.shards[rescan[ri]].rescan(store, rescan[ri], m)
+					counters[w][0] += walked
+					counters[w][1] += hits
+					counters[w][2] += walked - hits
+					if pruned {
+						prunes[w]++
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for w := range counters {
+			st.RecordsWalked += counters[w][0]
+			st.CacheHits += counters[w][1]
+			st.CacheMisses += counters[w][2]
+		}
+		for _, p := range prunes {
+			if e.met != nil {
+				e.met.cachePrunes.Add(int64(p))
+			}
+		}
+	}
+
+	// Merge: concatenate per-shard candidate lists and sort by domain.
+	// Candidate domains are unique across shards, so the order is total
+	// and identical to the serial full scan's — including nil (not empty)
+	// output when nothing matched, like core.ScanStore.
+	var out []squat.Candidate
+	for _, sh := range e.shards {
+		out = append(out, sh.cands...)
+	}
+	sortCandidates(out)
+
+	st.Duration = time.Since(start)
+	e.epoch++
+	e.last = st
+	e.report(st)
+	return out
+}
+
+// report publishes one scan's statistics to the metrics registry.
+func (e *Engine) report(st Stats) {
+	if e.met == nil {
+		return
+	}
+	e.met.scans.Inc()
+	if st.FullScan {
+		e.met.fullScans.Inc()
+	}
+	if st.Invalidated {
+		e.met.invalidations.Inc()
+	}
+	e.met.shardsSkipped.Add(int64(st.ShardsSkipped))
+	e.met.shardsRescanned.Add(int64(st.ShardsRescanned))
+	e.met.cacheHits.Add(int64(st.CacheHits))
+	e.met.cacheMisses.Add(int64(st.CacheMisses))
+	e.met.recordsWalked.Add(int64(st.RecordsWalked))
+	e.met.skipRatio.Set(st.SkipRatio())
+	e.met.scanMS.Observe(float64(st.Duration) / float64(time.Millisecond))
+	entries := 0
+	for _, sh := range e.shards {
+		entries += len(sh.cache)
+	}
+	e.met.cacheEntries.Set(float64(entries))
+}
+
+// rescan rebuilds one shard's candidate list from the store, answering
+// from the verdict cache where possible. It returns the records walked,
+// the cache hits among them, and whether the cache was pruned.
+func (sh *shardState) rescan(store *dnsx.Store, shard int, m *squat.Matcher) (walked, hits int, pruned bool) {
+	cands := make([]squat.Candidate, 0, len(sh.cands))
+	store.RangeShard(shard, func(r dnsx.Record) bool {
+		walked++
+		v, ok := sh.cache[r.Domain]
+		if ok {
+			hits++
+		} else {
+			v.cand, v.ok = m.Match(r.Domain)
+			sh.cache[r.Domain] = v
+		}
+		if v.ok {
+			cands = append(cands, v.cand)
+		}
+		return true
+	})
+	sh.cands, sh.seen, sh.valid = cands, walked, true
+
+	// The cache accumulates verdicts for domains that have since left the
+	// snapshot. Once stale entries dominate (and the shard is non-trivial),
+	// rebuild the cache from the live record set.
+	if len(sh.cache) > 2*walked && len(sh.cache) > 256 {
+		fresh := make(map[string]verdict, walked)
+		store.RangeShard(shard, func(r dnsx.Record) bool {
+			if v, ok := sh.cache[r.Domain]; ok {
+				fresh[r.Domain] = v
+			}
+			return true
+		})
+		sh.cache = fresh
+		pruned = true
+	}
+	return walked, hits, pruned
+}
+
+// sortCandidates sorts by domain (unique within a store) — the output
+// order contract shared with core.ScanStore.
+func sortCandidates(cs []squat.Candidate) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Domain < cs[j].Domain })
+}

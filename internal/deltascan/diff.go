@@ -1,0 +1,63 @@
+package deltascan
+
+import (
+	"sort"
+
+	"squatphi/internal/dnsx"
+)
+
+// DiffStats describes one shard-aware diff: how many shards the checksum
+// comparison proved unchanged (skipped wholesale) and how many had to be
+// compared record by record.
+type DiffStats struct {
+	ShardsSkipped, ShardsCompared int
+}
+
+// Diff computes the epoch delta between two snapshots — added, removed and
+// IP-changed domains — with the same output as dnsx.Diff but per shard:
+// shards whose rolling checksums match are skipped without touching a
+// single record, so the cost of a quiet epoch is ~NumShards checksum
+// loads. Stores with differing shard counts fall back to the global diff.
+func Diff(oldSnap, newSnap *dnsx.Store) dnsx.Delta {
+	d, _ := DiffWithStats(oldSnap, newSnap)
+	return d
+}
+
+// DiffWithStats is Diff plus the shard-skip accounting.
+func DiffWithStats(oldSnap, newSnap *dnsx.Store) (dnsx.Delta, DiffStats) {
+	if oldSnap.NumShards() != newSnap.NumShards() {
+		return dnsx.Diff(oldSnap, newSnap), DiffStats{ShardsCompared: newSnap.NumShards()}
+	}
+	var d dnsx.Delta
+	var st DiffStats
+	for i := 0; i < newSnap.NumShards(); i++ {
+		if oldSnap.ShardChecksum(i) == newSnap.ShardChecksum(i) {
+			st.ShardsSkipped++
+			continue
+		}
+		st.ShardsCompared++
+		old := map[string][4]byte{}
+		oldSnap.RangeShard(i, func(r dnsx.Record) bool {
+			old[r.Domain] = r.IP
+			return true
+		})
+		newSnap.RangeShard(i, func(r dnsx.Record) bool {
+			oldIP, ok := old[r.Domain]
+			switch {
+			case !ok:
+				d.Added = append(d.Added, r.Domain)
+			case oldIP != r.IP:
+				d.Changed = append(d.Changed, r.Domain)
+			}
+			delete(old, r.Domain)
+			return true
+		})
+		for dom := range old {
+			d.Removed = append(d.Removed, dom)
+		}
+	}
+	sort.Strings(d.Added)
+	sort.Strings(d.Removed)
+	sort.Strings(d.Changed)
+	return d, st
+}

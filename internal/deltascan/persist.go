@@ -1,0 +1,184 @@
+package deltascan
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"squatphi/internal/squat"
+)
+
+// persistVersion versions the on-disk spill layout.
+const persistVersion = 1
+
+// header is the first JSONL line of a spill: enough to decide on load
+// whether the state is usable at all.
+type header struct {
+	Kind        string `json:"kind"` // "deltascan-cache"
+	Version     int    `json:"version"`
+	Fingerprint uint64 `json:"fingerprint"`
+	Epoch       int    `json:"epoch"`
+	Shards      int    `json:"shards"`
+}
+
+// shardLine carries one shard's epoch state: its checksum and candidate
+// list. Cache verdicts follow as separate entry lines so a huge cache
+// streams instead of building one giant JSON value.
+type shardLine struct {
+	Kind  string      `json:"kind"` // "shard"
+	Shard int         `json:"shard"`
+	Csum  uint64      `json:"csum"`
+	Valid bool        `json:"valid"`
+	Seen  int         `json:"seen"`
+	Cands []candidate `json:"cands,omitempty"`
+}
+
+// entryLine is one cached verdict.
+type entryLine struct {
+	Kind   string `json:"kind"` // "entry"
+	Shard  int    `json:"shard"`
+	Domain string `json:"domain"`
+	Match  bool   `json:"match"`
+	Type   int    `json:"type,omitempty"`
+	Brand  string `json:"brand,omitempty"`
+	TLD    string `json:"tld,omitempty"`
+}
+
+// candidate is the serialised form of squat.Candidate.
+type candidate struct {
+	Domain string `json:"domain"`
+	Type   int    `json:"type"`
+	Brand  string `json:"brand"`
+	TLD    string `json:"tld"`
+}
+
+func toWire(c squat.Candidate) candidate {
+	return candidate{Domain: c.Domain, Type: int(c.Type), Brand: c.Brand.Name, TLD: c.Brand.TLD}
+}
+
+func fromWire(c candidate) squat.Candidate {
+	return squat.Candidate{Domain: c.Domain, Type: squat.Type(c.Type), Brand: squat.Brand{Name: c.Brand, TLD: c.TLD}}
+}
+
+// Save spills the engine's full epoch state — fingerprint, per-shard
+// checksums and candidate lists, and the verdict cache — as a gzipped
+// JSON-lines stream (the crawlstore archive idiom). A later process can
+// Load it and continue incrementally from the same epoch, provided the
+// matcher fingerprint still matches; otherwise the loaded engine degrades
+// to a full scan on first use, exactly like an in-memory config change.
+func (e *Engine) Save(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	gz := gzip.NewWriter(w)
+	bw := bufio.NewWriter(gz)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(header{
+		Kind: "deltascan-cache", Version: persistVersion,
+		Fingerprint: e.fp, Epoch: e.epoch, Shards: len(e.shards),
+	}); err != nil {
+		return err
+	}
+	for i, sh := range e.shards {
+		sl := shardLine{Kind: "shard", Shard: i, Csum: sh.csum, Valid: sh.valid, Seen: sh.seen}
+		for _, c := range sh.cands {
+			sl.Cands = append(sl.Cands, toWire(c))
+		}
+		if err := enc.Encode(sl); err != nil {
+			return err
+		}
+		for dom, v := range sh.cache {
+			el := entryLine{Kind: "entry", Shard: i, Domain: dom, Match: v.ok}
+			if v.ok {
+				el.Type, el.Brand, el.TLD = int(v.cand.Type), v.cand.Brand.Name, v.cand.Brand.TLD
+			}
+			if err := enc.Encode(el); err != nil {
+				return err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// Load reconstructs an engine from a Save spill. The engine resumes at
+// the saved epoch; its next Scan skips shards and hits the cache exactly
+// as the saving process would have.
+func Load(r io.Reader) (*Engine, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("deltascan: load: %w", err)
+	}
+	defer gz.Close()
+	sc := bufio.NewScanner(gz)
+	sc.Buffer(make([]byte, 1<<20), 64<<20)
+
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("deltascan: load: %w", err)
+		}
+		return nil, fmt.Errorf("deltascan: load: empty spill")
+	}
+	var h header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return nil, fmt.Errorf("deltascan: load header: %w", err)
+	}
+	if h.Kind != "deltascan-cache" || h.Version != persistVersion {
+		return nil, fmt.Errorf("deltascan: load: unsupported spill (kind %q version %d)", h.Kind, h.Version)
+	}
+	if h.Shards < 0 || h.Shards > 1<<20 {
+		return nil, fmt.Errorf("deltascan: load: implausible shard count %d", h.Shards)
+	}
+	e := &Engine{fp: h.Fingerprint, haveFP: true, epoch: h.Epoch, shards: make([]*shardState, h.Shards)}
+	for i := range e.shards {
+		e.shards[i] = &shardState{cache: make(map[string]verdict)}
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		var kind struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &kind); err != nil {
+			return nil, fmt.Errorf("deltascan: load line %d: %w", line, err)
+		}
+		switch kind.Kind {
+		case "shard":
+			var sl shardLine
+			if err := json.Unmarshal(sc.Bytes(), &sl); err != nil {
+				return nil, fmt.Errorf("deltascan: load line %d: %w", line, err)
+			}
+			if sl.Shard < 0 || sl.Shard >= len(e.shards) {
+				return nil, fmt.Errorf("deltascan: load line %d: shard %d out of range", line, sl.Shard)
+			}
+			sh := e.shards[sl.Shard]
+			sh.csum, sh.valid, sh.seen = sl.Csum, sl.Valid, sl.Seen
+			sh.cands = sh.cands[:0]
+			for _, c := range sl.Cands {
+				sh.cands = append(sh.cands, fromWire(c))
+			}
+		case "entry":
+			var el entryLine
+			if err := json.Unmarshal(sc.Bytes(), &el); err != nil {
+				return nil, fmt.Errorf("deltascan: load line %d: %w", line, err)
+			}
+			if el.Shard < 0 || el.Shard >= len(e.shards) {
+				return nil, fmt.Errorf("deltascan: load line %d: shard %d out of range", line, el.Shard)
+			}
+			v := verdict{ok: el.Match}
+			if el.Match {
+				v.cand = fromWire(candidate{Domain: el.Domain, Type: el.Type, Brand: el.Brand, TLD: el.TLD})
+			}
+			e.shards[el.Shard].cache[el.Domain] = v
+		default:
+			return nil, fmt.Errorf("deltascan: load line %d: unknown kind %q", line, kind.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("deltascan: load: %w", err)
+	}
+	return e, nil
+}

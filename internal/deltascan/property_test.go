@@ -1,0 +1,108 @@
+package deltascan
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"squatphi/internal/simrand"
+	"squatphi/internal/squat"
+)
+
+// TestPropertyIncrementalEqualsFull is the quick-check-style contract test
+// of the delta engine: for random sequences of record add/remove/modify
+// operations over many epochs, the incremental scan of each epoch's store
+// must equal a cold full scan of the same store, byte for byte, at worker
+// counts 1, 4 and 32 — and one engine driven across all epochs must agree
+// with a fresh engine at every step.
+func TestPropertyIncrementalEqualsFull(t *testing.T) {
+	seeds := []uint64{1, 2026, 0xdeadbeef, 424242}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := simrand.New(seed)
+			m := testMatcher()
+			engines := map[int]*Engine{1: NewEngine(), 4: NewEngine(), 32: NewEngine()}
+			model := seedModel(rng.Split("seed-model"), 200+rng.Intn(400))
+
+			epochs := 8
+			for epoch := 0; epoch < epochs; epoch++ {
+				mutate(model, rng.Split(fmt.Sprintf("mutate-%d", epoch)))
+				store := buildStore(model, rng.Split(fmt.Sprintf("build-%d", epoch)))
+				want := fullScan(store, m)
+				for workers, e := range engines {
+					got := e.Scan(store, m, workers)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("epoch %d workers %d: incremental %d candidates != full %d",
+							epoch, workers, len(got), len(want))
+					}
+				}
+			}
+		})
+	}
+}
+
+// mutate applies a random batch of add/remove/modify operations to the
+// model, including occasional squat-shaped additions so the candidate set
+// itself churns (not just the noise).
+func mutate(model map[string][4]byte, rng *simrand.RNG) {
+	domains := make([]string, 0, len(model))
+	for d := range model {
+		domains = append(domains, d)
+	}
+	sortStrings(domains)
+
+	removes := rng.Intn(10)
+	for i := 0; i < removes && len(domains) > 0; i++ {
+		j := rng.Intn(len(domains))
+		delete(model, domains[j])
+		domains = append(domains[:j], domains[j+1:]...)
+	}
+	modifies := rng.Intn(15)
+	for i := 0; i < modifies && len(domains) > 0; i++ {
+		d := domains[rng.Intn(len(domains))]
+		if _, ok := model[d]; !ok {
+			continue
+		}
+		model[d] = [4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))}
+	}
+	adds := rng.Intn(12)
+	for i := 0; i < adds; i++ {
+		var d string
+		switch rng.Intn(4) {
+		case 0: // squat-shaped: combo of a real brand
+			d = "paypal-" + rng.Letters(4) + ".com"
+		case 1: // wrongTLD
+			d = "facebook." + simrand.Pick(rng, []string{"net", "org", "biz", "info"})
+		default: // noise
+			d = rng.Letters(9) + ".com"
+		}
+		model[d] = [4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))}
+	}
+}
+
+// TestPropertyMatcherSwapMidSequence interleaves matcher-config changes
+// with snapshot churn: the engine must always answer with the current
+// matcher's verdicts, never a cached predecessor's.
+func TestPropertyMatcherSwapMidSequence(t *testing.T) {
+	rng := simrand.New(77)
+	matchers := []*squat.Matcher{
+		testMatcher(),
+		squat.NewMatcher([]squat.Brand{squat.NewBrand("paypal.com")}),
+		squat.NewMatcher([]squat.Brand{squat.NewBrand("citibank.com"), squat.NewBrand("paypal.com")}),
+	}
+	e := NewEngine()
+	model := seedModel(rng.Split("m"), 300)
+	for epoch := 0; epoch < 9; epoch++ {
+		mutate(model, rng.Split(fmt.Sprintf("mu-%d", epoch)))
+		store := buildStore(model, rng.Split(fmt.Sprintf("b-%d", epoch)))
+		m := matchers[epoch%len(matchers)]
+		got := e.Scan(store, m, 1+epoch%4)
+		if want := fullScan(store, m); !reflect.DeepEqual(got, want) {
+			t.Fatalf("epoch %d (matcher %d): %d candidates != full %d", epoch, epoch%len(matchers), len(got), len(want))
+		}
+	}
+}

@@ -23,6 +23,12 @@ type SnapshotSpec struct {
 	// generated snapshot is identical for every Workers value: noise is
 	// drawn from genStripes fixed sub-streams regardless of pool width.
 	Workers int
+	// Shards is the shard count of the generated store (<= 0 means
+	// DefaultShards). Shard count never affects the store's contents or
+	// iteration order; more shards buy finer-grained skipping for
+	// longitudinal delta scans (internal/deltascan), at the price of a
+	// wider K-way merge in serial Range.
+	Shards int
 }
 
 // genStripes is the number of independent noise sub-streams. It is a fixed
@@ -53,7 +59,7 @@ var noiseWords = []string{
 // uniformly from non-reserved space.
 func GenerateSnapshot(spec SnapshotSpec) *Store {
 	base := simrand.New(spec.Seed).Split("dns-snapshot")
-	s := NewStore()
+	s := NewShardedStore(spec.Shards)
 
 	// Planted domains occupy sequence numbers [0, len(Planted)): they come
 	// first in insertion order, exactly as the serial generator inserted

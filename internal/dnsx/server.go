@@ -217,6 +217,9 @@ func idBlock(worker, workers int) (base, size int) {
 
 // Probe resolves the given domains and returns the records that resolved.
 // Unresolvable domains (NXDOMAIN, timeouts after retries) are skipped.
+// Records are returned in input order regardless of which worker resolved
+// them or when, so downstream stages (matching, crawling) see a
+// deterministic sequence.
 func (p *Prober) Probe(ctx context.Context, domains []string) ([]Record, error) {
 	timeout := p.Timeout
 	if timeout <= 0 {
@@ -232,8 +235,12 @@ func (p *Prober) Probe(ctx context.Context, domains []string) ([]Record, error) 
 	}
 
 	met := p.metrics()
-	jobs := make(chan string)
-	results := make(chan Record, len(domains))
+	jobs := make(chan int)
+	// Each worker writes only the slots it claimed, so the per-index
+	// results need no lock; compacting in index order afterwards makes the
+	// output independent of completion order.
+	recs := make([]Record, len(domains))
+	resolved := make([]bool, len(domains))
 	var wg sync.WaitGroup
 	var firstErr error
 	var errOnce sync.Once
@@ -255,15 +262,17 @@ func (p *Prober) Probe(ctx context.Context, domains []string) ([]Record, error) 
 			defer conn.Close()
 			base, size := idBlock(w, workers)
 			n := 0
-			for domain := range jobs {
+			for i := range jobs {
 				if ctx.Err() != nil {
 					return
 				}
+				domain := domains[i]
 				id := uint16(base + n%size)
 				n++
 				if ip, ok := p.query(ctx, conn, id, domain, timeout, retries, met, rt); ok {
 					met.resolved.Inc()
-					results <- Record{Domain: domain, IP: ip}
+					recs[i] = Record{Domain: domain, IP: ip}
+					resolved[i] = true
 				} else {
 					met.unresolved.Inc()
 				}
@@ -273,9 +282,9 @@ func (p *Prober) Probe(ctx context.Context, domains []string) ([]Record, error) 
 
 	go func() {
 		defer close(jobs)
-		for _, d := range domains {
+		for i := range domains {
 			select {
-			case jobs <- d:
+			case jobs <- i:
 			case <-ctx.Done():
 				return
 			}
@@ -283,10 +292,11 @@ func (p *Prober) Probe(ctx context.Context, domains []string) ([]Record, error) 
 	}()
 
 	wg.Wait()
-	close(results)
 	var out []Record
-	for r := range results {
-		out = append(out, r)
+	for i, ok := range resolved {
+		if ok {
+			out = append(out, recs[i])
+		}
 	}
 	if ctx.Err() != nil {
 		return out, ctx.Err()

@@ -49,6 +49,14 @@ type storeShard struct {
 	records map[string]*entry
 	order   []*entry // insertion entries; sorted by firstSeq when sorted
 	sorted  bool
+	// csum is the shard's rolling content checksum: the wrapping sum of
+	// RecordHash over the shard's current records. It is maintained
+	// incrementally on every write, so reading it is O(1), and it depends
+	// only on the shard's (domain, IP) set — never on insertion order,
+	// sequence numbers, or write interleaving. Two shards holding the same
+	// records report the same checksum, which is what lets a delta scanner
+	// skip unchanged shards between snapshot epochs.
+	csum uint64
 }
 
 // ensureSorted restores the order-by-firstSeq invariant after out-of-order
@@ -132,11 +140,15 @@ func (s *Store) addAt(seq uint64, domain string, ip [4]byte) {
 		}
 		if seq >= e.lastSeq {
 			e.lastSeq = seq
-			e.ip = ip
+			if e.ip != ip {
+				sh.csum += RecordHash(domain, ip) - RecordHash(domain, e.ip)
+				e.ip = ip
+			}
 		}
 		sh.mu.Unlock()
 		return
 	}
+	sh.csum += RecordHash(domain, ip)
 	e := &entry{domain: domain, ip: ip, firstSeq: seq, lastSeq: seq}
 	sh.records[domain] = e
 	if sh.sorted && len(sh.order) > 0 && sh.order[len(sh.order)-1].firstSeq > seq {
@@ -145,6 +157,57 @@ func (s *Store) addAt(seq uint64, domain string, ip [4]byte) {
 	sh.order = append(sh.order, e)
 	sh.mu.Unlock()
 	s.length.Add(1)
+}
+
+// RecordHash is the per-record content hash feeding the shard checksums:
+// FNV-1a over the normalised domain, mixed with the address through a
+// SplitMix64-style finaliser so single-byte IP changes flip about half the
+// output bits. It is a pure function of (domain, IP).
+func RecordHash(domain string, ip [4]byte) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(domain); i++ {
+		h ^= uint64(domain[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(ip[0])<<24 | uint64(ip[1])<<16 | uint64(ip[2])<<8 | uint64(ip[3])
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// ShardChecksum returns the rolling content checksum of one shard: a
+// commutative sum of RecordHash over the shard's current records. Equal
+// checksums mean (up to hash collision) equal record sets, independent of
+// how and in which order the records were written — the key a delta
+// scanner uses to skip unchanged shards between epochs. Reading is O(1):
+// the checksum is maintained incrementally by Add.
+func (s *Store) ShardChecksum(shard int) uint64 {
+	sh := &s.shards[shard]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.csum
+}
+
+// Checksums returns all per-shard checksums. The slice is a copy.
+func (s *Store) Checksums() []uint64 {
+	out := make([]uint64, len(s.shards))
+	for i := range s.shards {
+		out[i] = s.ShardChecksum(i)
+	}
+	return out
+}
+
+// ShardOf returns the shard index a domain maps to, so callers that keep
+// per-shard state of their own (e.g. a delta-scan cache) can mirror the
+// store's partitioning exactly.
+func (s *Store) ShardOf(domain string) int {
+	d := normalize(domain)
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(d); i++ {
+		h ^= uint64(d[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(len(s.shards)))
 }
 
 // Lookup returns the address for a domain.

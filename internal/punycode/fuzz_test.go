@@ -1,0 +1,117 @@
+package punycode
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzDecode feeds arbitrary strings to the bootstring decoder: it must
+// never panic, and anything it accepts must survive a re-encode/re-decode
+// round trip (the decoded rune sequence is canonical even when the input
+// spelling is not, e.g. uppercase digits).
+func FuzzDecode(f *testing.F) {
+	seeds := []string{
+		"",
+		"-",
+		"fcebook-8va",
+		"egbpdaj6bu4bxfgehfvwxn", // RFC 3492 sample (Arabic)
+		"ihqwcrb4cv8a8dqg056pqjye", // RFC 3492 sample (Chinese)
+		"abc-",
+		"a-b-c-9999",
+		"ZZZZ",
+		"0",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		dec, err := Decode(s)
+		if err != nil {
+			return
+		}
+		enc, err := Encode(dec)
+		if err != nil {
+			t.Fatalf("re-encode of decoded %q (%q) failed: %v", s, dec, err)
+		}
+		dec2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of %q failed: %v", enc, err)
+		}
+		if dec2 != dec {
+			t.Fatalf("round trip changed value: %q -> %q -> %q -> %q", s, dec, enc, dec2)
+		}
+	})
+}
+
+// FuzzEncodeRoundTrip checks Encode/Decode are inverses on arbitrary valid
+// Unicode input.
+func FuzzEncodeRoundTrip(f *testing.F) {
+	seeds := []string{
+		"",
+		"plain",
+		"fàcebook",
+		"bücher",
+		"правда",
+		"日本語",
+		"a-b.c",
+		"--",
+		"mix0f-ascii-アンド-more",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if !utf8.ValidString(s) {
+			return
+		}
+		enc, err := Encode(s)
+		if err != nil {
+			return // overflow on adversarial input is a valid outcome
+		}
+		for i := 0; i < len(enc); i++ {
+			if enc[i] >= 0x80 {
+				t.Fatalf("Encode(%q) produced non-ASCII output %q", s, enc)
+			}
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%q)) = Decode(%q) failed: %v", s, enc, err)
+		}
+		if dec != s {
+			t.Fatalf("round trip changed value: %q -> %q -> %q", s, enc, dec)
+		}
+	})
+}
+
+// FuzzToUnicode exercises the lenient IDNA layer: ToUnicode never panics
+// and ToASCII/ToUnicode are inverses (modulo lowercasing) for domains that
+// do not already carry an ACE prefix.
+func FuzzToUnicode(f *testing.F) {
+	seeds := []string{
+		"example.com",
+		"xn--fcebook-8va.com",
+		"xn--.com",
+		"xn--a.xn--b",
+		"fàcebook.com",
+		"..",
+		"XN--FCEBOOK-8VA.COM",
+		"xn--\x80.com",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, domain string) {
+		_ = ToUnicode(domain) // must not panic on anything
+		if !utf8.ValidString(domain) || IsACE(domain) {
+			return
+		}
+		ascii, err := ToASCII(domain)
+		if err != nil {
+			return // over-long or overflowing labels are a valid rejection
+		}
+		if got, want := ToUnicode(ascii), strings.ToLower(domain); got != want {
+			t.Fatalf("ToUnicode(ToASCII(%q)) = %q, want %q", domain, got, want)
+		}
+	})
+}

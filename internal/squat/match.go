@@ -34,7 +34,19 @@ type Matcher struct {
 	// met is nil until InstrumentMetrics; all handles are atomic so Match
 	// stays shareable across goroutines.
 	met *matcherMetrics
+
+	// brandHash and fp are computed once at construction; see BrandHash
+	// and Fingerprint.
+	brandHash uint64
+	fp        uint64
 }
+
+// matchRulesVersion versions the classification rules themselves. Bump it
+// whenever classify's behaviour changes for an unchanged brand set (new
+// squatting type, different precedence, confusables-table change), so
+// caches keyed on Fingerprint are invalidated even though the brand
+// universe is identical.
+const matchRulesVersion = 1
 
 // scanSampleEvery is the sampling period of the scan_us histogram: one
 // classification in every scanSampleEvery is timed. A classification costs
@@ -100,8 +112,44 @@ func NewMatcher(brands []Brand) *Matcher {
 		}
 	}
 	m.ac = newAhoCorasick(names)
+
+	// Brand-universe hash: FNV-1a over the ordered brand domains. The brand
+	// order is part of the universe on purpose — combo matching prefers the
+	// longest brand, but equal-length ties resolve by index.
+	bh := uint64(14695981039346656037)
+	mixIn := func(s string) {
+		for i := 0; i < len(s); i++ {
+			bh ^= uint64(s[i])
+			bh *= 1099511628211
+		}
+		bh ^= '\n'
+		bh *= 1099511628211
+	}
+	for _, b := range brands {
+		mixIn(b.Domain())
+	}
+	m.brandHash = bh
+	// Config fingerprint: the brand hash plus the derived index shape and
+	// the rules version. Any change to the generator's edit tables or the
+	// skeleton fold shows up in the index sizes; rule-logic changes must
+	// bump matchRulesVersion.
+	fp := bh ^ matchRulesVersion*0x9e3779b97f4a7c15
+	fp ^= uint64(len(m.edits)) * 0xbf58476d1ce4e5b9
+	fp ^= uint64(len(m.bySkeleton)) * 0x94d049bb133111eb
+	m.fp = fp
 	return m
 }
+
+// BrandHash identifies the brand universe this matcher was built over. Two
+// matchers over the same ordered brand list share a BrandHash.
+func (m *Matcher) BrandHash() uint64 { return m.brandHash }
+
+// Fingerprint identifies the matcher's full classification configuration:
+// the brand universe plus the derived match indexes and the rules version.
+// Caches of Match results (internal/deltascan) key their validity on it —
+// a differing fingerprint means cached verdicts may be stale and the cache
+// must degrade to a full re-scan.
+func (m *Matcher) Fingerprint() uint64 { return m.fp }
 
 // addEdit records a generated label unless it collides with a real brand
 // name (e.g. the omission typo of "apples" would be "apple") or an existing

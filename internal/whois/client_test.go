@@ -77,6 +77,8 @@ func TestLookupPartialRecordIsAnError(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { ln.Close() })
+	done := make(chan struct{})
+	t.Cleanup(func() { close(done) })
 	go func() {
 		for {
 			conn, err := ln.Accept()
@@ -84,11 +86,12 @@ func TestLookupPartialRecordIsAnError(t *testing.T) {
 				return
 			}
 			go func(conn net.Conn) {
+				defer conn.Close()
 				_, _ = bufio.NewReader(conn).ReadString('\n')
 				_, _ = conn.Write([]byte("Domain Name: MOBILE-ADP.COM\nCreation Date: 2017-01-01"))
-				// Hold the connection open: no close, no more data.
-				time.Sleep(5 * time.Second)
-				conn.Close()
+				// Hold the connection open — no close, no more data — until
+				// the test ends, so the client's read deadline must fire.
+				<-done
 			}(conn)
 		}
 	}()
