@@ -3,18 +3,34 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race chaos bench bench-all vet fmt fuzz fuzz-smoke cover verify paperbench pipeline clean
+.PHONY: all build test test-short race chaos bench bench-all vet fmt fmt-check lint fuzz fuzz-smoke cover verify paperbench pipeline clean
 
-all: build vet test
+all: build vet fmt-check lint test
 
 build:
 	$(GO) build ./...
 
+# Two vet passes: the default analyzer set, then an explicit second pass
+# that force-enables the unreachable-code and unused-result checks (they
+# are off by default under some build configurations).
 vet:
 	$(GO) vet ./...
+	$(GO) vet -unreachable -unusedresult ./...
 
 fmt:
 	gofmt -l -w .
+
+# Fail if any file needs reformatting (CI gate; `make fmt` fixes).
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@echo "gofmt clean"
+
+# Repo-specific static analysis: squatvet enforces the determinism,
+# metric-naming, transport, retry-convention and lock-hygiene invariants
+# against the committed squatvet.baseline. Fails on any fresh finding.
+lint:
+	$(GO) run ./cmd/squatvet ./...
 
 test:
 	$(GO) test ./...
@@ -37,7 +53,7 @@ race: chaos
 # tests assert exact counter values and identical snapshots at any worker
 # count; the seed matrix is fixed inside the test files. Runs first in the
 # `race` gate so resilience regressions fail fast.
-chaos:
+chaos: lint
 	$(GO) test -race -count=1 -timeout 10m \
 		./internal/faultx ./internal/retry ./internal/crawler \
 		./internal/dnsx ./internal/whois
@@ -69,9 +85,9 @@ fuzz-smoke:
 	$(GO) test -fuzz '^FuzzFold$$' -fuzztime 30s ./internal/confusables/
 
 # Per-package coverage with a floor: the detection spine (dnsx store +
-# codec, squat matcher, core pipeline, deltascan cache) must each keep at
-# least COVER_FLOOR% statement coverage.
-COVER_PKGS = ./internal/dnsx ./internal/squat ./internal/core ./internal/deltascan
+# codec, squat matcher, core pipeline, deltascan cache) and the squatvet
+# analysis driver must each keep at least COVER_FLOOR% statement coverage.
+COVER_PKGS = ./internal/dnsx ./internal/squat ./internal/core ./internal/deltascan ./internal/analysis
 COVER_FLOOR = 60
 
 cover:
@@ -83,9 +99,10 @@ cover:
 		} END { exit bad }' cover_output.txt
 	@echo "coverage floor $(COVER_FLOOR)% held"
 
-# Full verification chain: build, vet, tests (including the golden
-# end-to-end pipeline), coverage floors, and the fuzz smoke campaign.
-verify: build vet test cover fuzz-smoke
+# Full verification chain: build, vet, formatting, static analysis,
+# tests (including the golden end-to-end pipeline), coverage floors, and
+# the fuzz smoke campaign.
+verify: build vet fmt-check lint test cover fuzz-smoke
 
 # Regenerate every paper table and figure.
 paperbench:

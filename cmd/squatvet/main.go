@@ -1,0 +1,153 @@
+// Command squatvet runs the repository's static-analysis suite
+// (internal/analysis): stdlib-only go/parser + go/types checks that
+// enforce the determinism, metric-naming, transport, retry-convention
+// and lock-hygiene invariants the correctness story rests on.
+//
+// Usage:
+//
+//	squatvet [flags] [packages...]
+//
+// Packages are directories, optionally suffixed /... for subtrees
+// (default ./...). Exit status is 0 when every finding is covered by the
+// baseline, 1 when fresh findings exist, 2 on load/usage errors.
+//
+// The baseline workflow: `squatvet ./...` fails on any finding not in
+// the committed squatvet.baseline at the module root. Intentional
+// exemptions are added there (one justification comment per entry) and
+// burned down over time; `-write-baseline` regenerates the file from the
+// current findings so the diff can be reviewed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"squatphi/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("squatvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut       = fs.Bool("json", false, "emit fresh findings as a JSON array instead of text")
+		baselinePath  = fs.String("baseline", "squatvet.baseline", "baseline file, relative to the module root (empty disables)")
+		writeBaseline = fs.Bool("write-baseline", false, "write the current findings to the baseline file and exit")
+		list          = fs.Bool("list", false, "list analyzers and exit")
+		names         = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		noTests       = fs.Bool("no-tests", false, "skip _test.go files")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers, err := analysis.ByName(*names)
+	if err != nil {
+		fmt.Fprintln(stderr, "squatvet:", err)
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(stderr, "squatvet:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "squatvet:", err)
+		return 2
+	}
+	loader.Tests = !*noTests
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "squatvet:", err)
+		return 2
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "squatvet:", err)
+		return 2
+	}
+
+	if *writeBaseline {
+		if *baselinePath == "" {
+			fmt.Fprintln(stderr, "squatvet: -write-baseline requires -baseline")
+			return 2
+		}
+		f, err := os.Create(filepath.Join(root, *baselinePath))
+		if err != nil {
+			fmt.Fprintln(stderr, "squatvet:", err)
+			return 2
+		}
+		defer f.Close()
+		if err := analysis.WriteBaseline(f, diags); err != nil {
+			fmt.Fprintln(stderr, "squatvet:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "squatvet: wrote %d finding(s) to %s — review and justify each entry\n", len(diags), *baselinePath)
+		return 0
+	}
+
+	fresh := diags
+	if *baselinePath != "" {
+		baseline, err := analysis.LoadBaselineFile(filepath.Join(root, *baselinePath))
+		if err != nil {
+			fmt.Fprintln(stderr, "squatvet:", err)
+			return 2
+		}
+		// Stale entries are only meaningful for files that were actually
+		// analyzed this run; a partial invocation must not flag entries
+		// for packages it never looked at.
+		analyzedDirs := map[string]bool{}
+		for _, p := range pkgs {
+			if rel, err := filepath.Rel(root, p.Dir); err == nil {
+				analyzedDirs[filepath.ToSlash(rel)] = true
+			}
+		}
+		inScope := func(path string) bool {
+			return analyzedDirs[filepath.ToSlash(filepath.Dir(path))]
+		}
+		var stale []string
+		fresh, stale = baseline.FilterScoped(diags, inScope)
+		for _, s := range stale {
+			fmt.Fprintf(stderr, "squatvet: stale baseline entry (fixed? remove it): %s\n", s)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if fresh == nil {
+			fresh = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(fresh); err != nil {
+			fmt.Fprintln(stderr, "squatvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range fresh {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(fresh) > 0 {
+		fmt.Fprintf(stderr, "squatvet: %d finding(s) not covered by baseline\n", len(fresh))
+		return 1
+	}
+	return 0
+}

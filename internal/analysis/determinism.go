@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// determinismScope lists the packages whose outputs are pinned
+// byte-for-byte by the golden pipeline test and the serial/parallel/delta
+// equivalence suites (PR 2/4). Code in these packages must not observe
+// the wall clock or unseeded randomness: any such read could leak into a
+// verdict, a sort order or a cache key and silently break equivalence.
+var determinismScope = []string{"squat", "core", "deltascan", "ml"}
+
+// globalRandFuncs are the math/rand package-level functions that draw
+// from the process-global, unseeded source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+// Determinism enforces the byte-identical-equivalence invariant from
+// PR 2/4 on the scan/score/deltascan/ml packages.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock reads (time.Now/time.Since), time.Sleep and unseeded " +
+		"math/rand in the deterministic scan/score packages (internal/squat, " +
+		"internal/core, internal/deltascan, internal/ml); metric timing goes " +
+		"through obs.Stopwatch and randomness through internal/simrand",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	scoped := false
+	for _, name := range determinismScope {
+		if pathHasInternal(pass.ImportPath, name) {
+			scoped = true
+			break
+		}
+	}
+	if !scoped {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			pkgPath, name, sel, ok := qualifiedSel(pass.Info, n)
+			if !ok {
+				return true
+			}
+			switch pkgPath {
+			case "time":
+				switch name {
+				case "Now", "Since":
+					pass.Reportf(sel.Pos(), "wall-clock read time.%s in deterministic scan path; time metric observations must go through obs.Stopwatch", name)
+				case "Sleep":
+					pass.Reportf(sel.Pos(), "time.Sleep in deterministic scan path; synchronize with channels or sync primitives instead of sleeping")
+				}
+			case "math/rand":
+				if globalRandFuncs[name] {
+					pass.Reportf(sel.Pos(), "unseeded math/rand.%s (process-global source) in deterministic scan path; derive a stream from internal/simrand", name)
+				}
+			case "math/rand/v2":
+				pass.Reportf(sel.Pos(), "math/rand/v2.%s in deterministic scan path (v2 global functions are randomly seeded); derive a stream from internal/simrand", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

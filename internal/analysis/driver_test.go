@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the squatvet JSON golden file")
+
+// sharedLoader hands every test the same loader so the source importer's
+// dependency cache is shared (type-checking net/http once, not per test).
+var sharedLoader = sync.OnceValues(func() (*Loader, error) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		return nil, err
+	}
+	return NewLoader(root)
+})
+
+// loadFixture loads one or more fixture directories under
+// testdata/analysis/src with the shared loader.
+func loadFixture(t *testing.T, dirs ...string) []*Package {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var patterns []string
+	for _, d := range dirs {
+		patterns = append(patterns, filepath.Join("testdata", "analysis", "src", d))
+	}
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+// wantMarkers scans fixture files for //want:<analyzer> markers and
+// returns the expected diagnostic multiset keyed "relpath:line".
+func wantMarkers(t *testing.T, analyzer string, dirs ...string) map[string]int {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	marker := "//want:" + analyzer
+	want := map[string]int{}
+	for _, dir := range dirs {
+		full := filepath.Join("testdata", "analysis", "src", dir)
+		entries, err := os.ReadDir(full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(full, e.Name())
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			abs, _ := filepath.Abs(path)
+			rel, err := filepath.Rel(l.Root, abs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scanner := bufio.NewScanner(f)
+			for line := 1; scanner.Scan(); line++ {
+				n := strings.Count(scanner.Text(), marker)
+				if n > 0 {
+					want[fmt.Sprintf("%s:%d", filepath.ToSlash(rel), line)] += n
+				}
+			}
+			if err := scanner.Err(); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+		}
+	}
+	return want
+}
+
+// runFixture runs exactly one analyzer over fixture dirs and compares
+// the (file, line) multiset of its findings against the //want markers.
+func runFixture(t *testing.T, a *Analyzer, dirs ...string) []Diagnostic {
+	t.Helper()
+	pkgs := loadFixture(t, dirs...)
+	diags, err := Run(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, d := range diags {
+		got[fmt.Sprintf("%s:%d", d.Path, d.Line)]++
+	}
+	want := wantMarkers(t, a.Name, dirs...)
+	for key, n := range want {
+		if got[key] != n {
+			t.Errorf("%s: want %d finding(s) at %s, got %d", a.Name, n, key, got[key])
+		}
+	}
+	for key, n := range got {
+		if want[key] == 0 {
+			t.Errorf("%s: unexpected finding(s) at %s (%d)", a.Name, key, n)
+		}
+	}
+	return diags
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	diags := runFixture(t, Determinism, "internal/core", "unscoped")
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/internal/core/clock.go:14:11",
+		"wall-clock read time.Now in deterministic scan path; time metric observations must go through obs.Stopwatch")
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/internal/core/clock.go:15:2",
+		"time.Sleep in deterministic scan path; synchronize with channels or sync primitives instead of sleeping")
+}
+
+func TestMetricNameFixture(t *testing.T) {
+	diags := runFixture(t, MetricName, "metricuser")
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/metricuser/metrics.go:15:14",
+		`metric name "BadName.Caps" is not lowercase.dotted (want at least two [a-z0-9_] segments joined by dots)`)
+}
+
+func TestTransportFixture(t *testing.T) {
+	diags := runFixture(t, Transport, "fetcher", "internal/dnsx")
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/fetcher/fetch.go:15:9",
+		"direct net.Dial outside the transport layer; open connections through the dnsx/faultx/retry wrappers (e.g. faultx.DialTimeout or a component Dial hook)")
+}
+
+func TestRetryConvFixture(t *testing.T) {
+	diags := runFixture(t, RetryConv, "rclient")
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/rclient/rclient.go:26:31",
+		"retry.Resolve default 0 is not positive; a component default of <= 0 makes the 0=default convention unsatisfiable")
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/rclient/rclient.go:27:31",
+		"retry.Resolve default -1 is not positive; a component default of <= 0 makes the 0=default convention unsatisfiable")
+}
+
+func TestLockCheckFixture(t *testing.T) {
+	diags := runFixture(t, LockCheck, "locker")
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/locker/locker.go:22:2",
+		"b.mu acquired with no matching Unlock (deferred or explicit) later in the same function")
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/locker/locker.go:16:17",
+		"by-value parameter type carries sync.Mutex; a lock must not be copied, pass a pointer")
+}
+
+// assertPosition requires a diagnostic at exactly path:line:col with the
+// given message.
+func assertPosition(t *testing.T, diags []Diagnostic, pos, message string) {
+	t.Helper()
+	for _, d := range diags {
+		if fmt.Sprintf("%s:%d:%d", d.Path, d.Line, d.Col) == pos && d.Message == message {
+			return
+		}
+	}
+	t.Errorf("no diagnostic at %s with message %q; got:", pos, message)
+	for _, d := range diags {
+		t.Errorf("  %s", d.String())
+	}
+}
+
+// TestJSONGolden pins the full-suite JSON output over the fixture tree
+// byte-for-byte (regenerate with -update).
+func TestJSONGolden(t *testing.T) {
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(filepath.Join("testdata", "analysis", "src") + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(diags); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_squatvet.json")
+	if *update {
+		if err := os.WriteFile(golden, []byte(buf.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d findings)", golden, len(diags))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/analysis -run TestJSONGolden -update` to create it)", err)
+	}
+	if buf.String() != string(want) {
+		t.Errorf("JSON output differs from %s (regenerate with -update):\ngot:\n%s", golden, buf.String())
+	}
+}
+
+func TestExpandSkipsTestdataAndHidden(t *testing.T) {
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := l.expand([]string{"."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 1 || filepath.Base(dirs[0]) != "analysis" {
+		t.Fatalf("expand(.) = %v, want just the analysis dir", dirs)
+	}
+	dirs, err = l.expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("expand(./...) included testdata dir %s", d)
+		}
+	}
+	// Explicitly naming a testdata subtree must be honoured.
+	dirs, err = l.expand([]string{"testdata/analysis/src/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 6 {
+		t.Errorf("explicit testdata expansion found only %v", dirs)
+	}
+	sort.Strings(dirs)
+	if !sort.StringsAreSorted(dirs) {
+		t.Error("expand output not sorted")
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != 5 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5", len(all), err)
+	}
+	sub, err := ByName("determinism, lockcheck")
+	if err != nil || len(sub) != 2 || sub[0] != Determinism || sub[1] != LockCheck {
+		t.Fatalf("ByName subset wrong: %v, %v", sub, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) should fail")
+	}
+}
+
+func TestPathHasInternal(t *testing.T) {
+	cases := []struct {
+		path, name string
+		want       bool
+	}{
+		{"squatphi/internal/core", "core", true},
+		{"squatphi/internal/analysis/testdata/analysis/src/internal/core", "core", true},
+		{"squatphi/internal/corex", "core", false},
+		{"squatphi/core", "core", false},
+		{"internal/core", "core", true},
+		{"squatphi/internal", "internal", false},
+	}
+	for _, c := range cases {
+		if got := pathHasInternal(c.path, c.name); got != c.want {
+			t.Errorf("pathHasInternal(%q, %q) = %v, want %v", c.path, c.name, got, c.want)
+		}
+	}
+}
+
+func TestDiagnosticStringAndKey(t *testing.T) {
+	d := Diagnostic{Analyzer: "determinism", Path: "internal/core/x.go", Line: 3, Col: 7, Message: "m"}
+	if got := d.String(); got != "internal/core/x.go:3:7: [determinism] m" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := d.Key(); got != "determinism\tinternal/core/x.go\tm" {
+		t.Errorf("Key() = %q", got)
+	}
+}

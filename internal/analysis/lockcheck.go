@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockCheck guards the concurrency hygiene the race/chaos gates depend
+// on: a copied mutex is two mutexes that exclude nobody, and a Lock with
+// no reachable Unlock deadlocks the sharded scan pools under load.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc: "flag copies of lock-bearing values (sync.Mutex/RWMutex/Once/WaitGroup/" +
+		"Cond/Map/Pool, directly or via struct/array fields) through parameters, " +
+		"assignments, returns and call arguments, and flag sync Lock/RLock calls " +
+		"with no matching deferred or explicit Unlock/RUnlock on the same lock " +
+		"in the same function",
+	Run: runLockCheck,
+}
+
+// syncLockTypes are the sync types that must never be copied after first
+// use (each embeds a mutex or a noCopy sentinel).
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "Once": true, "WaitGroup": true,
+	"Cond": true, "Map": true, "Pool": true,
+}
+
+// lockPairs maps acquire methods to their matching release.
+var lockPairs = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+func runLockCheck(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncDecl:
+				if node.Recv != nil {
+					checkFieldListCopies(pass, node.Recv)
+				}
+				checkFieldListCopies(pass, node.Type.Params)
+				if node.Body != nil {
+					checkLockPairing(pass, node.Body)
+				}
+			case *ast.FuncLit:
+				checkFieldListCopies(pass, node.Type.Params)
+				checkLockPairing(pass, node.Body)
+			case *ast.AssignStmt:
+				for _, rhs := range node.Rhs {
+					checkValueCopy(pass, rhs, "assignment")
+				}
+			case *ast.ReturnStmt:
+				for _, res := range node.Results {
+					checkValueCopy(pass, res, "return")
+				}
+			case *ast.CallExpr:
+				for _, arg := range node.Args {
+					checkValueCopy(pass, arg, "call argument")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFieldListCopies flags by-value parameters/receivers whose type
+// carries a lock.
+func checkFieldListCopies(pass *Pass, fields *ast.FieldList) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if name := lockyType(tv.Type, nil); name != "" {
+			pass.Reportf(field.Type.Pos(), "by-value parameter type carries sync.%s; a lock must not be copied, pass a pointer", name)
+		}
+	}
+}
+
+// checkValueCopy flags expr when it reads an existing lock-bearing value
+// by value (composite literals and calls produce fresh values and are
+// fine at this position; their own internals are checked separately).
+func checkValueCopy(pass *Pass, expr ast.Expr, context string) {
+	e := expr
+	for {
+		paren, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = paren.X
+	}
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	// &x or taking a method value is not a copy of x itself; the parent
+	// inspection positions we receive are already the copied operands.
+	tv, ok := pass.Info.Types[e]
+	if !ok || !tv.IsValue() {
+		return
+	}
+	if name := lockyType(tv.Type, nil); name != "" {
+		pass.Reportf(e.Pos(), "%s copies a value carrying sync.%s; a lock must not be copied, use a pointer", context, name)
+	}
+}
+
+// lockyType reports the sync type name embedded (by value) in t, or "".
+// Pointers, slices, maps, channels and interfaces stop the search: they
+// share rather than copy.
+func lockyType(t types.Type, seen map[types.Type]bool) string {
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch tt := t.(type) {
+	case *types.Named:
+		obj := tt.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			return obj.Name()
+		}
+		return lockyType(tt.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if name := lockyType(tt.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockyType(tt.Elem(), seen)
+	}
+	return ""
+}
+
+// checkLockPairing flags x.Lock()/x.RLock() statements in body with no
+// matching defer x.Unlock()/x.RUnlock() and no later explicit unlock of
+// the same lock expression anywhere in the same function body.
+func checkLockPairing(pass *Pass, body *ast.BlockStmt) {
+	type lockCall struct {
+		pos     ast.Node
+		key     string // flattened lock expression, e.g. "r.mu"
+		release string
+	}
+	var acquires []lockCall
+	releases := map[string][]ast.Node{} // key+method -> call sites
+	walkOwnStatements(body, func(stmt ast.Stmt) {
+		var call *ast.CallExpr
+		deferred := false
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			call, _ = s.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call, deferred = s.Call, true
+		}
+		if call == nil {
+			return
+		}
+		if lit, isLit := call.Fun.(*ast.FuncLit); isLit && deferred {
+			// Releases inside a deferred closure run at function exit;
+			// count them as releases of this function's locks.
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				inner, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := inner.Fun.(*ast.SelectorExpr)
+				if !ok || !isSyncLockMethod(pass.Info, sel) {
+					return true
+				}
+				if key, ok := flattenExpr(sel.X); ok {
+					if _, isAcquire := lockPairs[sel.Sel.Name]; !isAcquire {
+						releases[key+"."+sel.Sel.Name] = append(releases[key+"."+sel.Sel.Name], sel)
+					}
+				}
+				return true
+			})
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !isSyncLockMethod(pass.Info, sel) {
+			return
+		}
+		key, ok := flattenExpr(sel.X)
+		if !ok {
+			return
+		}
+		method := sel.Sel.Name
+		if release, isAcquire := lockPairs[method]; isAcquire && !deferred {
+			acquires = append(acquires, lockCall{pos: sel, key: key, release: release})
+			return
+		}
+		releases[key+"."+method] = append(releases[key+"."+method], sel)
+	})
+	for _, acq := range acquires {
+		matched := false
+		for _, rel := range releases[acq.key+"."+acq.release] {
+			if rel.Pos() > acq.pos.Pos() {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			pass.Reportf(acq.pos.Pos(), "%s acquired with no matching %s (deferred or explicit) later in the same function", acq.key, acq.release)
+		}
+	}
+}
+
+// walkOwnStatements visits every statement of body, descending into
+// nested blocks/if/for/switch/select but NOT into nested function
+// literals (which own their locks separately).
+func walkOwnStatements(body *ast.BlockStmt, fn func(ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if stmt, ok := n.(ast.Stmt); ok {
+			fn(stmt)
+		}
+		return true
+	})
+}
+
+// isSyncLockMethod reports whether sel resolves to a method declared on
+// sync.Mutex or sync.RWMutex (including promoted/embedded forms).
+func isSyncLockMethod(info *types.Info, sel *ast.SelectorExpr) bool {
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// flattenExpr renders a simple ident/selector chain ("r.mu",
+// "c.state.mu") as a string key; anything with calls or indexes is not
+// comparable across statements and reports !ok.
+func flattenExpr(expr ast.Expr) (string, bool) {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		prefix, ok := flattenExpr(e.X)
+		if !ok {
+			return "", false
+		}
+		return prefix + "." + e.Sel.Name, true
+	case *ast.ParenExpr:
+		return flattenExpr(e.X)
+	}
+	return "", false
+}

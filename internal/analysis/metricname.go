@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// metricNameRE is the repo's metric-identifier grammar: two or more
+// lowercase dotted segments of [a-z0-9_], e.g. "crawler.fetch.retries" or
+// "dnsx.probe.rtt_ms". DESIGN.md §3 maps these identifiers to paper
+// tables, so they must be grep-able literals with stable spelling.
+var metricNameRE = regexp.MustCompile(`^[a-z0-9_]+(\.[a-z0-9_]+)+$`)
+
+// registryMethods are the obs.Registry resolution methods whose first
+// argument is a metric name.
+var registryMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true, "RegisterFunc": true,
+}
+
+// MetricName enforces the PR 1 metric-identifier convention: every
+// counter/gauge/histogram/value registered with obs.Registry gets a
+// constant `pkg.name` lowercase dotted identifier.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc: "require every obs.Registry metric registration (Counter, Gauge, " +
+		"Histogram, RegisterFunc) to use a constant lowercase.dotted name, so " +
+		"the DESIGN.md metric-to-paper-table mapping stays grep-able and stable",
+	Run: runMetricName,
+}
+
+func runMetricName(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !registryMethods[sel.Sel.Name] {
+				return true
+			}
+			selection := pass.Info.Selections[sel]
+			if selection == nil || !isObsRegistry(selection.Recv()) {
+				return true
+			}
+			if pass.InTestFile(call.Pos()) {
+				// Test-local registries may use throwaway names; the
+				// convention binds the metrics production code exports.
+				return true
+			}
+			tv, ok := pass.Info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(call.Args[0].Pos(), "metric name passed to obs.Registry.%s is not a constant string; metric identifiers must be stable literals", sel.Sel.Name)
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !metricNameRE.MatchString(name) {
+				pass.Reportf(call.Args[0].Pos(), "metric name %q is not lowercase.dotted (want at least two [a-z0-9_] segments joined by dots)", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isObsRegistry reports whether t is (a pointer to) the
+// squatphi/internal/obs Registry type.
+func isObsRegistry(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && pathHasInternal(obj.Pkg().Path(), "obs")
+}

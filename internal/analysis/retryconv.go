@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// RetryConv enforces the PR 3 retry-count convention: a negative
+// configured count disables retries, zero selects the component default,
+// positive is used as given. The only way to honour that contract is to
+// resolve the raw field through retry.Resolve before consuming it, so
+// the analyzer flags (a) retry-count config fields consumed directly in
+// comparisons or arithmetic and (b) retry.Resolve calls whose default is
+// not a positive constant (a zero or negative default would collapse the
+// "0 means default" case).
+var RetryConv = &Analyzer{
+	Name: "retryconv",
+	Doc: "require retry-count config fields (Retries, *Retries) to be resolved " +
+		"via retry.Resolve(n, def) before use, and retry.Resolve defaults to be " +
+		"positive constants, preserving the negative=off / 0=default convention",
+	Run: runRetryConv,
+}
+
+func runRetryConv(pass *Pass) error {
+	if pathHasInternal(pass.ImportPath, "retry") {
+		return nil // the convention's own implementation
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.BinaryExpr:
+				if pass.InTestFile(node.Pos()) {
+					return true // tests may assert raw config values
+				}
+				for _, operand := range []ast.Expr{node.X, node.Y} {
+					if sel, ok := retryCountField(pass.Info, operand); ok {
+						pass.Reportf(sel.Pos(), "raw retry-count field %s consumed in an expression; resolve it first with retry.Resolve(n, def) (negative=off, 0=default convention)", sel.Sel.Name)
+					}
+				}
+			case *ast.CallExpr:
+				pkgPath, name, _, ok := qualifiedSel(pass.Info, node.Fun)
+				if !ok || name != "Resolve" || !pathHasInternal(pkgPath, "retry") {
+					return true
+				}
+				if len(node.Args) != 2 {
+					return true
+				}
+				tv, ok := pass.Info.Types[node.Args[1]]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+					return true
+				}
+				if v, ok := constant.Int64Val(tv.Value); ok && v <= 0 {
+					pass.Reportf(node.Args[1].Pos(), "retry.Resolve default %d is not positive; a component default of <= 0 makes the 0=default convention unsatisfiable", v)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// retryCountField reports whether expr (through parens) reads an
+// int-typed struct field named Retries or ending in Retries.
+func retryCountField(info *types.Info, expr ast.Expr) (*ast.SelectorExpr, bool) {
+	for {
+		paren, ok := expr.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		expr = paren.X
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return nil, false
+	}
+	name := sel.Sel.Name
+	if name != "Retries" && !strings.HasSuffix(name, "Retries") {
+		return nil, false
+	}
+	basic, ok := selection.Type().Underlying().(*types.Basic)
+	if !ok || basic.Kind() != types.Int {
+		return nil, false
+	}
+	return sel, true
+}

@@ -1,0 +1,30 @@
+// Package core is a determinism-analyzer fixture mirroring the import
+// path shape of the real scan packages (.../internal/core): wall-clock
+// reads, sleeps and unseeded randomness must all be flagged here, while
+// seeded simrand-style streams and plain duration arithmetic stay silent.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad exercises every forbidden call form.
+func Bad() time.Duration {
+	start := time.Now()                //want:determinism
+	time.Sleep(time.Millisecond)       //want:determinism
+	_ = rand.Intn(10)                  //want:determinism
+	rand.Shuffle(3, func(i, j int) {}) //want:determinism
+	return time.Since(start)           //want:determinism
+}
+
+// Good shows the sanctioned forms: explicitly seeded streams and
+// duration constants involve no global clock or global source.
+func Good() int {
+	r := rand.New(rand.NewSource(1))
+	d := 2 * time.Second
+	_ = d
+	deadline := time.Unix(0, 0).Add(time.Minute)
+	_ = deadline
+	return r.Intn(10)
+}

@@ -1,0 +1,11 @@
+// Package dnsx is a transport-analyzer fixture mirroring the import path
+// of a transport-layer package (.../internal/dnsx): raw dials are its
+// job, so nothing here may be flagged.
+package dnsx
+
+import "net"
+
+// Open dials directly; dnsx owns the sockets.
+func Open(addr string) (net.Conn, error) {
+	return net.Dial("udp", addr)
+}

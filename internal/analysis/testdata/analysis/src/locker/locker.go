@@ -1,0 +1,80 @@
+// Package locker is a lockcheck-analyzer fixture: by-value lock copies
+// (parameters, assignments, returns, call arguments) and Lock calls with
+// no matching release must be flagged; pointer passing, deferred
+// unlocks, explicit unlocks and deferred-closure unlocks must not.
+package locker
+
+import "sync"
+
+// Box carries a mutex; copying it is always a bug.
+type Box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// BadParam takes the lock-bearing struct by value.
+func BadParam(b Box) int { //want:lockcheck
+	return b.n
+}
+
+// BadNoUnlock locks and never releases.
+func BadNoUnlock(b *Box) {
+	b.mu.Lock() //want:lockcheck
+	b.n++
+}
+
+// BadRNoUnlock read-locks and releases the wrong lock kind.
+func BadRNoUnlock(b *Box, mu *sync.RWMutex) int {
+	mu.RLock() //want:lockcheck
+	n := b.n
+	mu.Unlock()
+	return n
+}
+
+// BadCopies copies through assignment and return.
+func BadCopies(b *Box) Box {
+	c := *b  //want:lockcheck
+	return c //want:lockcheck
+}
+
+// BadArg passes a lock-bearing value as a call argument.
+func BadArg(b *Box) int {
+	return BadParam(*b) //want:lockcheck
+}
+
+// GoodDefer is the canonical pattern.
+func GoodDefer(b *Box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+// GoodExplicit releases explicitly on the straight-line path.
+func GoodExplicit(b *Box) int {
+	b.mu.Lock()
+	n := b.n
+	b.mu.Unlock()
+	return n
+}
+
+// GoodRW pairs RLock with RUnlock.
+func GoodRW(mu *sync.RWMutex, b *Box) int {
+	mu.RLock()
+	defer mu.RUnlock()
+	return b.n
+}
+
+// GoodDeferredClosure releases inside a deferred closure.
+func GoodDeferredClosure(b *Box) {
+	b.mu.Lock()
+	defer func() {
+		b.n++
+		b.mu.Unlock()
+	}()
+	b.n++
+}
+
+// GoodPointer passes the lock by pointer everywhere.
+func GoodPointer(b *Box) *Box {
+	return b
+}

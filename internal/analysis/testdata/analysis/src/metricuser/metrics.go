@@ -1,0 +1,24 @@
+// Package metricuser is a metricname-analyzer fixture: obs.Registry
+// registrations with non-constant or non-lowercase.dotted names must be
+// flagged; literal and constant dotted names must not.
+package metricuser
+
+import "squatphi/internal/obs"
+
+// goodName is a constant, so it is as stable as a literal.
+const goodName = "metricuser.const_name"
+
+// Register exercises good and bad registrations.
+func Register(reg *obs.Registry, dyn string) {
+	reg.Counter("metricuser.ops")
+	reg.Counter(goodName)
+	reg.Counter("BadName.Caps")        //want:metricname
+	reg.Counter("nodots")              //want:metricname
+	reg.Counter(dyn)                   //want:metricname
+	reg.Gauge("metricuser.sub." + dyn) //want:metricname
+	reg.Gauge("metricuser.depth")
+	reg.Histogram("metricuser.fetch_ms", obs.MillisBuckets)
+	reg.Histogram("metricuser.has space", nil) //want:metricname
+	reg.RegisterFunc("metricuser.values", func() any { return nil })
+	reg.RegisterFunc(dyn, func() any { return nil }) //want:metricname
+}

@@ -1,0 +1,45 @@
+// Package rclient is a retryconv-analyzer fixture: raw retry-count
+// fields consumed in expressions must be flagged, as must retry.Resolve
+// calls with non-positive defaults; resolving first, plumbing copies and
+// flag binding must not.
+package rclient
+
+import "squatphi/internal/retry"
+
+// Client carries retry-count config fields following the repo convention
+// (negative = off, 0 = component default, positive as given).
+type Client struct {
+	Retries      int
+	ProbeRetries int
+	Budget       int // not a retry count: never flagged
+}
+
+// Bad consumes raw fields and mis-defaults Resolve.
+func Bad(c *Client) int {
+	n := 0
+	for i := 0; i < c.Retries; i++ { //want:retryconv
+		n++
+	}
+	if c.ProbeRetries > 3 { //want:retryconv
+		n = 3
+	}
+	_ = retry.Resolve(c.Retries, 0)  //want:retryconv
+	_ = retry.Resolve(c.Retries, -1) //want:retryconv
+	return n
+}
+
+// Good resolves before consuming; writes, plumbing copies and budget
+// comparisons are all fine.
+func Good(c *Client) int {
+	resolved := retry.Resolve(c.Retries, 2)
+	c.Retries = 5
+	plumbed := c.ProbeRetries
+	_ = plumbed
+	if c.Budget > 0 {
+		resolved++
+	}
+	for i := 0; i < resolved; i++ {
+		resolved--
+	}
+	return resolved
+}

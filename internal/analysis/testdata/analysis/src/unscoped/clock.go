@@ -1,0 +1,12 @@
+// Package unscoped sits outside the determinism scope (its import path
+// has no internal/squat|core|deltascan|ml pair), so its wall-clock reads
+// are legal and the determinism analyzer must stay silent.
+package unscoped
+
+import "time"
+
+// Uptime may read the clock freely: this package is not a scan path.
+func Uptime(start time.Time) time.Duration {
+	_ = time.Now()
+	return time.Since(start)
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// transportAllowed are the packages that form the transport seam: dnsx
+// owns the DNS sockets, faultx wraps conns and round-trippers with
+// seeded fault injection, retry owns backoff/breaker policy. Only they
+// may touch raw dial primitives; every other component must route
+// through their wrappers so chaos harnesses can interpose in one place.
+var transportAllowed = []string{"dnsx", "faultx", "retry"}
+
+// netDialNames are the raw client-side primitives of package net.
+// Listeners are deliberately absent: serving is not the invariant's
+// concern, dialing out is.
+var netDialNames = map[string]bool{
+	"Dial": true, "DialTimeout": true, "DialUDP": true, "DialTCP": true,
+	"DialIP": true, "Dialer": true,
+}
+
+// httpDirectNames are the net/http conveniences that bypass an injected
+// client (and with it fault wrapping, retry accounting and breakers).
+var httpDirectNames = map[string]bool{
+	"Get": true, "Post": true, "PostForm": true, "Head": true,
+	"DefaultClient": true,
+}
+
+// Transport enforces the PR 3 resilience invariant: all outbound I/O
+// flows through the dnsx/faultx/retry transport layer.
+var Transport = &Analyzer{
+	Name: "transport",
+	Doc: "forbid direct net.Dial*/net.Dialer/http.DefaultClient/http.Get-style " +
+		"calls outside internal/dnsx, internal/faultx and internal/retry; " +
+		"crawler, prober and whois must use the wrapped clients so fault " +
+		"injection and retry accounting see every outbound connection",
+	Run: runTransport,
+}
+
+func runTransport(pass *Pass) error {
+	for _, name := range transportAllowed {
+		if pathHasInternal(pass.ImportPath, name) {
+			return nil
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			pkgPath, name, sel, ok := qualifiedSel(pass.Info, n)
+			if !ok {
+				return true
+			}
+			if pass.InTestFile(sel.Pos()) {
+				// Tests may open raw conns to drive the servers they spin
+				// up; the invariant binds production code paths.
+				return true
+			}
+			switch pkgPath {
+			case "net":
+				if netDialNames[name] {
+					pass.Reportf(sel.Pos(), "direct net.%s outside the transport layer; open connections through the dnsx/faultx/retry wrappers (e.g. faultx.DialTimeout or a component Dial hook)", name)
+				}
+			case "net/http":
+				if httpDirectNames[name] {
+					pass.Reportf(sel.Pos(), "direct net/http.%s outside the transport layer; use an injected *http.Client whose transport the chaos harness can wrap", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -173,9 +173,9 @@ func (p *Pipeline) Close() error { return p.Server.Close() }
 func (p *Pipeline) stageSpan(ctx context.Context, name string) (context.Context, func(error)) {
 	ctx = obs.WithRecorder(ctx, p.Trace)
 	ctx, span := obs.StartSpan(ctx, name)
-	start := time.Now()
+	sw := obs.StartStopwatch()
 	return ctx, func(err error) {
-		d := time.Since(start)
+		d := sw.Elapsed()
 		p.Obs.Histogram("core.stage."+name+"_ms", obs.MillisBuckets).
 			Observe(float64(d) / float64(time.Millisecond))
 		p.stageMu.Lock()
@@ -239,7 +239,7 @@ func (p *Pipeline) DNSSnapshot() *dnsx.Store {
 // throughput gauge core.scan_dns.records_per_sec and, on the parallel
 // path, the per-shard scan-time histogram core.scan_dns.shard_ms.
 func ScanStore(store *dnsx.Store, m *squat.Matcher, workers int, reg *obs.Registry) []squat.Candidate {
-	start := time.Now()
+	sw := obs.StartStopwatch()
 	var out []squat.Candidate
 	if workers <= 1 {
 		store.Range(func(rec dnsx.Record) bool {
@@ -267,14 +267,14 @@ func ScanStore(store *dnsx.Store, m *squat.Matcher, workers int, reg *obs.Regist
 					if shard >= nShards {
 						break
 					}
-					shardStart := time.Now()
+					shardSW := obs.StartStopwatch()
 					store.RangeShard(shard, func(rec dnsx.Record) bool {
 						if c, ok := m.Match(rec.Domain); ok {
 							buf = append(buf, c)
 						}
 						return true
 					})
-					shardMS.ObserveSince(shardStart)
+					shardMS.Observe(shardSW.Millis())
 				}
 				buffers[w] = buf
 			}(w)
@@ -285,7 +285,7 @@ func ScanStore(store *dnsx.Store, m *squat.Matcher, workers int, reg *obs.Regist
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
-	if secs := time.Since(start).Seconds(); secs > 0 {
+	if secs := sw.Seconds(); secs > 0 {
 		reg.Gauge("core.scan_dns.records_per_sec").Set(float64(store.Len()) / secs)
 	}
 	return out
@@ -305,9 +305,9 @@ func (p *Pipeline) ScanDNS() []squat.Candidate {
 		_, done := p.stageSpan(context.Background(), "scan_dns")
 		var out []squat.Candidate
 		if p.delta != nil {
-			start := time.Now()
+			sw := obs.StartStopwatch()
 			out = p.delta.Scan(snapshot, p.Matcher, p.scanWorkers())
-			if secs := time.Since(start).Seconds(); secs > 0 {
+			if secs := sw.Seconds(); secs > 0 {
 				p.Obs.Gauge("core.scan_dns.records_per_sec").Set(float64(snapshot.Len()) / secs)
 			}
 		} else {

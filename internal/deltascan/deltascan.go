@@ -94,12 +94,12 @@ func (s Stats) SkipRatio() float64 {
 
 // metrics holds the engine's registry handles (see InstrumentMetrics).
 type metrics struct {
-	scans, fullScans, invalidations   *obs.Counter
-	shardsSkipped, shardsRescanned    *obs.Counter
+	scans, fullScans, invalidations     *obs.Counter
+	shardsSkipped, shardsRescanned      *obs.Counter
 	cacheHits, cacheMisses, cachePrunes *obs.Counter
-	recordsWalked                     *obs.Counter
-	skipRatio, cacheEntries           *obs.Gauge
-	scanMS                            *obs.Histogram
+	recordsWalked                       *obs.Counter
+	skipRatio, cacheEntries             *obs.Gauge
+	scanMS                              *obs.Histogram
 }
 
 // Engine is a persistent incremental scanner. It is bound to one logical
@@ -172,7 +172,7 @@ func (e *Engine) Reset() {
 func (e *Engine) Scan(store *dnsx.Store, m *squat.Matcher, workers int) []squat.Candidate {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	start := time.Now()
+	sw := obs.StartStopwatch()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -258,7 +258,7 @@ func (e *Engine) Scan(store *dnsx.Store, m *squat.Matcher, workers int) []squat.
 	}
 	sortCandidates(out)
 
-	st.Duration = time.Since(start)
+	st.Duration = sw.Elapsed()
 	e.epoch++
 	e.last = st
 	e.report(st)

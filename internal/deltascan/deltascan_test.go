@@ -68,7 +68,9 @@ func seedModel(rng *simrand.RNG, n int) map[string][4]byte {
 		"paypal-login.com", "paypa1.com", "xn--pypal-4ve.com", "paypal.net",
 		"faceb00k.com", "facebook-security.com", "gooogle.com", "google.org",
 	}
-	ip := func() [4]byte { return [4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))} }
+	ip := func() [4]byte {
+		return [4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))}
+	}
 	for _, d := range squats {
 		model[d] = ip()
 	}

@@ -1,0 +1,36 @@
+package obs
+
+import "time"
+
+// Stopwatch measures elapsed wall time for metric observation. The
+// deterministic scan/score packages (internal/squat, internal/core,
+// internal/deltascan, internal/ml) must not read the wall clock directly
+// — squatvet's determinism analyzer enforces it, because a clock read on
+// a scan path is one refactor away from leaking into a verdict, a sort
+// key or a cache fingerprint and silently breaking the byte-identical
+// serial/parallel/delta equivalence the golden tests pin. obs owns the
+// only sanctioned stopwatch: elapsed time flows one way, into metrics.
+//
+// The zero Stopwatch is not started; call StartStopwatch. Reading an
+// unstarted stopwatch yields a huge elapsed value rather than a panic,
+// matching the package's tolerance for misuse on hot paths.
+type Stopwatch struct {
+	start time.Time
+}
+
+// StartStopwatch begins timing now.
+func StartStopwatch() Stopwatch { return Stopwatch{start: time.Now()} }
+
+// Elapsed returns the wall time since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.start) }
+
+// Seconds returns the elapsed time in seconds (throughput gauges).
+func (s Stopwatch) Seconds() float64 { return s.Elapsed().Seconds() }
+
+// Millis returns the elapsed time in milliseconds; pair with
+// MillisBuckets histograms.
+func (s Stopwatch) Millis() float64 { return float64(s.Elapsed()) / float64(time.Millisecond) }
+
+// Micros returns the elapsed time in microseconds; pair with
+// MicrosBuckets histograms.
+func (s Stopwatch) Micros() float64 { return float64(s.Elapsed()) / float64(time.Microsecond) }

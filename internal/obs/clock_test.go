@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStopwatchElapsed(t *testing.T) {
+	sw := StartStopwatch()
+	time.Sleep(2 * time.Millisecond)
+	d := sw.Elapsed()
+	if d <= 0 {
+		t.Fatalf("Elapsed() = %v, want > 0", d)
+	}
+	if d > 5*time.Second {
+		t.Fatalf("Elapsed() = %v, implausibly large", d)
+	}
+	if sw.Elapsed() < d {
+		t.Fatal("Elapsed() went backwards across calls")
+	}
+}
+
+func TestStopwatchUnits(t *testing.T) {
+	sw := StartStopwatch()
+	time.Sleep(2 * time.Millisecond)
+	secs, ms, us := sw.Seconds(), sw.Millis(), sw.Micros()
+	if us <= 0 || ms < 0 || secs < 0 {
+		t.Fatalf("unit conversions: secs=%v ms=%v us=%v", secs, ms, us)
+	}
+	// Micros must dominate millis which must dominate seconds in magnitude.
+	if float64(us) < ms || ms < secs*1000-1 {
+		t.Fatalf("unit ordering violated: secs=%v ms=%v us=%v", secs, ms, us)
+	}
+}
+
+func TestStopwatchZeroValue(t *testing.T) {
+	var sw Stopwatch
+	// A zero stopwatch reports a huge elapsed time (since the epoch); the
+	// caller is expected to Start it. Just assert it does not panic and is
+	// monotonic-ish.
+	if sw.Elapsed() <= 0 {
+		t.Fatal("zero-value Stopwatch Elapsed() should be positive (epoch-relative)")
+	}
+}

@@ -15,7 +15,7 @@ func FuzzDecode(f *testing.F) {
 		"",
 		"-",
 		"fcebook-8va",
-		"egbpdaj6bu4bxfgehfvwxn", // RFC 3492 sample (Arabic)
+		"egbpdaj6bu4bxfgehfvwxn",   // RFC 3492 sample (Arabic)
 		"ihqwcrb4cv8a8dqg056pqjye", // RFC 3492 sample (Chinese)
 		"abc-",
 		"a-b-c-9999",

@@ -3,7 +3,6 @@ package squat
 import (
 	"strings"
 	"sync/atomic"
-	"time"
 
 	"squatphi/internal/confusables"
 	"squatphi/internal/obs"
@@ -50,7 +49,7 @@ const matchRulesVersion = 1
 
 // scanSampleEvery is the sampling period of the scan_us histogram: one
 // classification in every scanSampleEvery is timed. A classification costs
-// on the order of a microsecond, so two time.Now() calls per record would
+// on the order of a microsecond, so two stopwatch reads per record would
 // dominate the DNS-scale hot loop; sampling keeps the latency distribution
 // while the scanned/candidate counters stay exact.
 const scanSampleEvery = 64
@@ -178,13 +177,13 @@ func (m *Matcher) Match(domain string) (Candidate, bool) {
 	// The very first call is sampled (Add returns 1), so even tiny batches
 	// record at least one scan-time observation.
 	sampled := met.calls.Add(1)%scanSampleEvery == 1
-	var start time.Time
+	var sw obs.Stopwatch
 	if sampled {
-		start = time.Now()
+		sw = obs.StartStopwatch()
 	}
 	c, ok := m.classify(domain)
 	if sampled {
-		met.scanUS.Observe(float64(time.Since(start)) / float64(time.Microsecond))
+		met.scanUS.Observe(sw.Micros())
 	}
 	met.scanned.Inc()
 	if ok {

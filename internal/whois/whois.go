@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"squatphi/internal/faultx"
 	"squatphi/internal/obs"
 	"squatphi/internal/retry"
 )
@@ -153,6 +154,12 @@ type Client struct {
 	// Policy configures backoff, the per-server retry budget, and the
 	// per-server circuit breaker (see internal/retry).
 	Policy retry.Policy
+	// Dial opens the TCP connection of one lookup attempt; nil selects
+	// faultx.DialTimeout. Chaos tests interpose fault-injecting conn
+	// wrappers here — the repository forbids direct net.Dial* outside
+	// the transport layer (squatvet's transport analyzer) precisely so
+	// this seam sees every outbound connection.
+	Dial func(network, addr string, timeout time.Duration) (net.Conn, error)
 	// Metrics, when set, receives whois.* accounting: lookups, retries,
 	// timeouts vs other network errors, no-match answers, and an RTT
 	// histogram; the retry layer reports under whois.breaker.* and
@@ -239,7 +246,11 @@ func (c *Client) Lookup(ctx context.Context, addr, domain string) (Record, error
 // is a transport failure, never silently parsed as partial data.
 func (c *Client) lookupOnce(addr, domain string) (Record, error) {
 	timeout := c.timeout()
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	dial := c.Dial
+	if dial == nil {
+		dial = faultx.DialTimeout
+	}
+	conn, err := dial("tcp", addr, timeout)
 	if err != nil {
 		return Record{}, err
 	}
