@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race chaos bench bench-all vet fmt fmt-check lint fuzz fuzz-smoke cover verify paperbench pipeline clean
+.PHONY: all build test test-short race chaos bench bench-all vet fmt fmt-check lint fuzz fuzz-smoke cover provenance-check verify paperbench pipeline clean
 
 all: build vet fmt-check lint test
 
@@ -99,10 +99,16 @@ cover:
 		} END { exit bad }' cover_output.txt
 	@echo "coverage floor $(COVER_FLOOR)% held"
 
+# Provenance golden: one serial pipeline run must reproduce the pinned
+# verdict-provenance record (testdata/golden_provenance.json) byte for
+# byte. Regenerate with: go test -run TestGoldenProvenance -update .
+provenance-check:
+	$(GO) test -run '^TestGoldenProvenance$$' -count=1 .
+
 # Full verification chain: build, vet, formatting, static analysis,
-# tests (including the golden end-to-end pipeline), coverage floors, and
-# the fuzz smoke campaign.
-verify: build vet fmt-check lint test cover fuzz-smoke
+# tests (including the golden end-to-end pipeline), coverage floors,
+# the provenance golden, and the fuzz smoke campaign.
+verify: build vet fmt-check lint test cover provenance-check fuzz-smoke
 
 # Regenerate every paper table and figure.
 paperbench:

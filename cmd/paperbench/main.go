@@ -29,7 +29,10 @@ type metricsArtifact struct {
 	Kind           string             `json:"kind"`
 	Title          string             `json:"title"`
 	StageTimingsMS map[string]float64 `json:"stage_timings_ms"`
-	Metrics        obs.Snapshot       `json:"metrics"`
+	// SLO is the latency-quantile rollup (p50/p95/p99/max per histogram),
+	// the per-stage latency-objective view of the run.
+	SLO     []obs.SLOEntry `json:"slo"`
+	Metrics obs.Snapshot   `json:"metrics"`
 }
 
 func main() {
@@ -101,12 +104,22 @@ func main() {
 		}
 		log.Printf("%s done in %s", d.ID, time.Since(start).Round(time.Millisecond))
 	}
+	snap := env.P.Obs.Snapshot()
+	slo := snap.SLORollup("")
+	if len(slo) > 0 {
+		log.Printf("SLO rollup (histogram latency quantiles):")
+		for _, e := range slo {
+			log.Printf("  %-28s n=%-7d p50=%-10.3g p95=%-10.3g p99=%-10.3g max=%.3g",
+				e.Name, e.Count, e.P50, e.P95, e.P99, e.Max)
+		}
+	}
 	if jsonFile != nil {
 		art := metricsArtifact{
 			Kind:           "metrics",
 			Title:          "pipeline observability snapshot",
 			StageTimingsMS: map[string]float64{},
-			Metrics:        env.P.Obs.Snapshot(),
+			SLO:            slo,
+			Metrics:        snap,
 		}
 		for name, d := range env.P.StageTimings() {
 			art.StageTimingsMS[name] = float64(d) / float64(time.Millisecond)

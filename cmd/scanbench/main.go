@@ -32,6 +32,8 @@ import (
 	"squatphi/internal/core"
 	"squatphi/internal/deltascan"
 	"squatphi/internal/dnsx"
+	"squatphi/internal/obs"
+	"squatphi/internal/obs/trace"
 	"squatphi/internal/simrand"
 	"squatphi/internal/squat"
 )
@@ -58,6 +60,18 @@ type warmEntry struct {
 	CacheHitRate   float64 `json:"cache_hit_rate"`
 }
 
+// provEntry measures the verdict-provenance head-sampling overhead: the
+// serial scan re-timed with a trace.Collector attached at 1-in-N
+// sampling, against the uninstrumented serial baseline. The PR 6 target
+// is < 5% overhead at the default 1-in-64.
+type provEntry struct {
+	SampleEvery    int     `json:"sample_every"`
+	BaseNsPerOp    int64   `json:"base_ns_per_op"`
+	SampledNsPerOp int64   `json:"sampled_ns_per_op"`
+	Overhead       float64 `json:"overhead_fraction"`
+	SampledScans   int64   `json:"sampled_scans"`
+}
+
 // artifact is the BENCH_scan.json schema.
 type artifact struct {
 	Kind       string  `json:"kind"`
@@ -67,6 +81,13 @@ type artifact struct {
 	Candidates int     `json:"candidates"`
 	Identical  bool    `json:"parallel_identical_to_serial"`
 	Entries    []entry `json:"entries"`
+
+	// Provenance head-sampling overhead (serial scan).
+	Provenance *provEntry `json:"provenance,omitempty"`
+
+	// SLO is the latency-quantile rollup of one final instrumented scan
+	// (untimed), so the artifact carries p50/p95/p99 per histogram.
+	SLO []obs.SLOEntry `json:"slo,omitempty"`
 
 	// Warm-epoch incremental scan (only with -delta).
 	ChurnFraction  float64     `json:"churn_fraction,omitempty"`
@@ -85,6 +106,7 @@ func main() {
 	churn := flag.Float64("churn", 0.005, "fraction of records changed between the two epochs of the -delta bench")
 	warmReps := flag.Int("warm-reps", 5, "repetitions of the warm-epoch measurement (min is reported)")
 	deltaShards := flag.Int("delta-shards", 2048, "shard count of the delta-bench snapshot stores (finer shards = finer skip granularity)")
+	traceSample := flag.Int("trace-sample", 0, "provenance head-sampling rate for the overhead measurement (1-in-N; 0 = default 64)")
 	flag.Parse()
 
 	var brands []squat.Brand
@@ -149,9 +171,18 @@ func main() {
 		log.Printf("workers=%-3d %12d ns/op %12.0f records/sec  %.2fx", w, e.NsPerOp, e.RecordsPerSec, e.Speedup)
 	}
 
+	benchProvenance(&art, store, matcher, *warmReps, *traceSample)
+
 	if *delta {
 		benchWarmEpoch(&art, store, matcher, workerCounts, *seed, *churn, *warmReps, *deltaShards)
 	}
+
+	// One final instrumented scan (untimed, after every benchmark) so the
+	// artifact carries the latency-quantile rollup of a representative run.
+	reg := obs.NewRegistry()
+	matcher.InstrumentMetrics(reg)
+	core.ScanStore(store, matcher, workerCounts[len(workerCounts)-1], reg)
+	art.SLO = reg.Snapshot().SLORollup("")
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -166,6 +197,44 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("%d candidates over %d records; artifact written to %s", art.Candidates, art.Records, *out)
+}
+
+// benchProvenance measures the provenance head-sampling overhead on the
+// serial scan: alternating uninstrumented and collector-attached scans
+// of the same store, taking the min of each (interleaving cancels drift
+// that separate testing.Benchmark runs would fold into the delta; min
+// filters scheduler noise, the way benchWarmEpoch does). The collector
+// is detached before the delta benchmarks so nothing downstream is
+// perturbed.
+func benchProvenance(art *artifact, store *dnsx.Store, matcher *squat.Matcher, reps, sampleEvery int) {
+	col := trace.NewCollector(sampleEvery)
+	defer matcher.InstrumentTrace(nil)
+	var baseBest, sampledBest time.Duration
+	for rep := 0; rep < reps; rep++ {
+		matcher.InstrumentTrace(nil)
+		start := time.Now()
+		core.ScanStore(store, matcher, 1, nil)
+		if d := time.Since(start); rep == 0 || d < baseBest {
+			baseBest = d
+		}
+		matcher.InstrumentTrace(col)
+		start = time.Now()
+		core.ScanStore(store, matcher, 1, nil)
+		if d := time.Since(start); rep == 0 || d < sampledBest {
+			sampledBest = d
+		}
+	}
+	sampled, _ := col.ScanStats()
+	pe := &provEntry{
+		SampleEvery:    col.SampleEvery(),
+		BaseNsPerOp:    baseBest.Nanoseconds(),
+		SampledNsPerOp: sampledBest.Nanoseconds(),
+		Overhead:       float64(sampledBest.Nanoseconds())/float64(baseBest.Nanoseconds()) - 1,
+		SampledScans:   sampled / int64(reps),
+	}
+	art.Provenance = pe
+	log.Printf("provenance 1-in-%d: base %12d ns/op  sampled %12d ns/op  overhead %+.2f%% (%d scans sampled/op)",
+		pe.SampleEvery, pe.BaseNsPerOp, pe.SampledNsPerOp, pe.Overhead*100, pe.SampledScans)
 }
 
 // benchWarmEpoch measures the incremental re-scan of a churned second

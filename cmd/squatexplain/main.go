@@ -1,0 +1,81 @@
+// Command squatexplain prints human-readable verdict-provenance
+// explanations from a trace store written by `squatphi -trace-out`:
+// which matcher rule fired (and the skeleton / edit-distance evidence
+// behind it), whether the verdict was computed fresh or served from the
+// delta-scan cache, the per-profile crawl and classifier evidence, and
+// any retry/fault events attributed to the domain.
+//
+// Usage:
+//
+//	squatexplain [-json] [-marks] store.gz [domain ...]
+//
+// With no domains every stored record is printed; with domains only
+// those are printed, and a domain absent from the store is an error
+// (exit 1). -json emits the raw records as indented JSON instead of the
+// rendered text; -marks lists the head-sampled scan marks.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"squatphi/internal/obs/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("squatexplain: ")
+	asJSON := flag.Bool("json", false, "emit raw records as indented JSON instead of rendered text")
+	marks := flag.Bool("marks", false, "also list the head-sampled scan marks (domain + matched)")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		log.Fatal("usage: squatexplain [-json] [-marks] store.gz [domain ...]")
+	}
+
+	st, err := trace.ReadStoreFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	records := st.Records
+	if domains := flag.Args()[1:]; len(domains) > 0 {
+		records = records[:0:0]
+		for _, d := range domains {
+			rec, ok := st.Lookup(d)
+			if !ok {
+				log.Fatalf("no provenance record for %q in %s (%d records)", d, flag.Arg(0), len(st.Records))
+			}
+			records = append(records, rec)
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		for _, rec := range records {
+			if err := enc.Encode(rec); err != nil {
+				log.Fatal(err)
+			}
+		}
+	} else {
+		for i, rec := range records {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(rec.Render())
+		}
+	}
+
+	if *marks {
+		fmt.Printf("\nscan marks (1-in-%d head sample, %d domains):\n", st.SampleEvery, len(st.Marks))
+		for _, m := range st.Marks {
+			verdict := "no-match"
+			if m.Matched {
+				verdict = "MATCH"
+			}
+			fmt.Printf("  %-40s %s\n", m.Domain, verdict)
+		}
+	}
+}

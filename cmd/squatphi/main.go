@@ -6,25 +6,36 @@
 // Usage:
 //
 //	squatphi [-domains 8000] [-phish 600] [-seed 1175] [-trees 40] [-delta]
+//	         [-explain dom1,dom2] [-trace-out trace.gz] [-events log.jsonl]
 //
 // -delta routes the DNS scan through the incremental delta-scan engine
 // (internal/deltascan): output is identical to the direct scan, and
 // repeated scans of an evolving snapshot reuse unchanged shards and cached
 // per-domain verdicts.
+//
+// -explain prints the verdict-provenance record for the named domains
+// after detection; -trace-out persists the full trace store (flagged
+// verdicts plus the 1-in-N head sample, adjustable with -trace-sample)
+// for later inspection with squatexplain; -events writes the structured
+// JSONL event log. With -debug-addr, /debug/verdict?domain=… serves the
+// same records over HTTP.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"squatphi/internal/core"
 	"squatphi/internal/features"
 	"squatphi/internal/obs"
+	"squatphi/internal/obs/trace"
 	"squatphi/internal/report"
 	"squatphi/internal/retry"
 	"squatphi/internal/squat"
@@ -44,19 +55,36 @@ func main() {
 	scoreWorkers := flag.Int("score-workers", 0, "classifier scoring parallelism (0 = all cores, 1 = serial)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /spans and pprof on this address (e.g. :6060)")
 	crawlRetries := flag.Int("crawl-retries", 0, "crawler retries per fetch (negative disables, 0 = default 1)")
+	explain := flag.String("explain", "", "comma-separated domains to explain after detection (verdict provenance, human-readable)")
+	traceOut := flag.String("trace-out", "", "write the provenance trace store (gzip+JSONL, readable with squatexplain) to this file")
+	eventsOut := flag.String("events", "", "write the structured JSONL event log to this file (- for stderr)")
+	traceSample := flag.Int("trace-sample", 0, "head-sample 1-in-N scanned domains into the trace store (0 = default 64, negative disables)")
 	pol := retry.RegisterFlags(nil) // -retry-* and -breaker-*
 	flag.Parse()
 
 	cfg := core.Config{
-		World:           webworld.Config{SquattingDomains: *domains, NonSquattingPhish: *phish, Seed: *seed},
-		DNSNoiseRecords: *noise,
-		ForestTrees:     *trees,
-		ScanWorkers:     *scanWorkers,
-		ScoreWorkers:    *scoreWorkers,
-		Incremental:     *deltaScan,
-		CrawlRetries:    *crawlRetries,
-		Retry:           *pol,
-		Seed:            *seed ^ 0x53517561, // decouple pipeline seed from world seed
+		World:            webworld.Config{SquattingDomains: *domains, NonSquattingPhish: *phish, Seed: *seed},
+		DNSNoiseRecords:  *noise,
+		ForestTrees:      *trees,
+		ScanWorkers:      *scanWorkers,
+		ScoreWorkers:     *scoreWorkers,
+		Incremental:      *deltaScan,
+		CrawlRetries:     *crawlRetries,
+		Retry:            *pol,
+		TraceSampleEvery: *traceSample,
+		Seed:             *seed ^ 0x53517561, // decouple pipeline seed from world seed
+	}
+	if *eventsOut != "" {
+		w := io.Writer(os.Stderr)
+		if *eventsOut != "-" {
+			f, err := os.Create(*eventsOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		cfg.Events = trace.NewLogger(w, trace.LevelDebug)
 	}
 	start := time.Now()
 	p, err := core.New(cfg)
@@ -67,13 +95,14 @@ func main() {
 	ctx := context.Background()
 
 	if *debugAddr != "" {
-		dbg, err := obs.Serve(*debugAddr, p.Obs, p.Trace)
+		dbg, err := obs.Serve(*debugAddr, p.Obs, p.Trace,
+			obs.Route{Pattern: "/debug/verdict", Handler: trace.VerdictHandler(p.Lookup)})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer dbg.Close()
 		p.Obs.PublishExpvar("squatphi")
-		log.Printf("debug endpoint on http://%s (/metrics, /spans, /debug/pprof)", dbg.Addr())
+		log.Printf("debug endpoint on http://%s (/metrics, /spans, /debug/verdict, /debug/pprof)", dbg.Addr())
 	}
 
 	log.Printf("world: %d squatting domains, %d brands", len(p.World.SquattingDomains), len(p.World.Brands.Brands))
@@ -145,6 +174,27 @@ func main() {
 	union := det.ConfirmedUnion()
 	fmt.Printf("\n%d confirmed squatting phishing domains (%.2f%% of %d squatting domains) in %s\n",
 		len(union), float64(len(union))/float64(len(cands))*100, len(cands), time.Since(start).Round(time.Second))
+
+	if *explain != "" {
+		for _, d := range strings.Split(*explain, ",") {
+			d = strings.TrimSpace(d)
+			if d == "" {
+				continue
+			}
+			rec := p.Explain(d, clf, det, 0)
+			p.Prov.Put(rec)
+			fmt.Println()
+			fmt.Print(rec.Render())
+		}
+	}
+	if *traceOut != "" {
+		if err := p.Prov.WriteStoreFile(*traceOut); err != nil {
+			log.Fatal(err)
+		}
+		sampled, hits := p.Prov.ScanStats()
+		log.Printf("trace store written to %s (%d records, %d scans sampled, %d sampled hits)",
+			*traceOut, len(p.Prov.Records()), sampled, hits)
+	}
 
 	timings := p.StageTimings()
 	stages := make([]string, 0, len(timings))

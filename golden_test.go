@@ -13,13 +13,17 @@ import (
 
 	"squatphi/internal/core"
 	"squatphi/internal/features"
+	"squatphi/internal/obs/trace"
 	"squatphi/internal/retry"
 	"squatphi/internal/webworld"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_pipeline.json from the current pipeline output")
 
-const goldenPath = "testdata/golden_pipeline.json"
+const (
+	goldenPath     = "testdata/golden_pipeline.json"
+	goldenProvPath = "testdata/golden_provenance.json"
+)
 
 // goldenReport is the stable projection of one full pipeline run that the
 // golden file pins: the scanned candidates, the ground-truth split, the CV
@@ -53,6 +57,15 @@ type goldenFlag struct {
 	Confirmed bool    `json:"confirmed"`
 }
 
+// goldenProvenance pins one flagged domain's verdict-provenance record
+// (PR 6): the structured evidence plus its human-readable rendering,
+// which must be byte-identical across serial, parallel, and delta runs.
+type goldenProvenance struct {
+	Domain   string        `json:"domain"`
+	Record   *trace.Record `json:"record"`
+	Rendered string        `json:"rendered"`
+}
+
 // goldenConfig is the tiny fixed world every variant runs against. Backoff
 // is disabled so no wall-clock timing can reach the captures.
 func goldenConfig(scanWorkers int, incremental bool) core.Config {
@@ -69,8 +82,9 @@ func goldenConfig(scanWorkers int, incremental bool) core.Config {
 }
 
 // runGoldenPipeline executes generate -> scan -> crawl -> features ->
-// classify -> detect and projects the outcome.
-func runGoldenPipeline(t *testing.T, cfg core.Config) goldenReport {
+// classify -> detect and projects the outcome, plus the provenance
+// record of one flagged domain.
+func runGoldenPipeline(t *testing.T, cfg core.Config) (goldenReport, goldenProvenance) {
 	t.Helper()
 	p, err := core.New(cfg)
 	if err != nil {
@@ -80,6 +94,36 @@ func runGoldenPipeline(t *testing.T, cfg core.Config) goldenReport {
 	ctx := context.Background()
 
 	cands := p.ScanDNS()
+	gt, err := p.BuildGroundTruth(ctx, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf := p.TrainClassifier(gt, features.AllFeatures())
+	det, err := p.DetectInWild(ctx, clf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Provenance golden: the first confirmed (fallback: first) flagged web
+	// domain's evidence record, read back from the always-on store that
+	// DetectInWild fills. Captured before any re-scan bumps the engine
+	// epoch, so delta and full runs render identical cache provenance.
+	var prov goldenProvenance
+	if len(det.FlaggedWeb) > 0 {
+		f := det.FlaggedWeb[0]
+		for _, c := range det.FlaggedWeb {
+			if c.Confirmed {
+				f = c
+				break
+			}
+		}
+		rec, ok := p.Prov.Get(f.Domain)
+		if !ok {
+			t.Fatalf("flagged domain %s has no record in the provenance store", f.Domain)
+		}
+		prov = goldenProvenance{Domain: f.Domain, Record: rec, Rendered: rec.Render()}
+	}
+
 	if cfg.Incremental {
 		// Re-scanning the unchanged snapshot must reuse every shard and
 		// reproduce the candidate list exactly (the warm delta path).
@@ -90,15 +134,6 @@ func runGoldenPipeline(t *testing.T, cfg core.Config) goldenReport {
 		if st.ShardsRescanned != 0 || st.CacheMisses != 0 {
 			t.Fatalf("re-scan of unchanged snapshot did real work: %+v", st)
 		}
-	}
-	gt, err := p.BuildGroundTruth(ctx, 100)
-	if err != nil {
-		t.Fatal(err)
-	}
-	clf := p.TrainClassifier(gt, features.AllFeatures())
-	det, err := p.DetectInWild(ctx, clf, 0)
-	if err != nil {
-		t.Fatal(err)
 	}
 
 	var rep goldenReport
@@ -113,7 +148,7 @@ func runGoldenPipeline(t *testing.T, cfg core.Config) goldenReport {
 	rep.FNR = clf.Eval.Confusion.FNR()
 	rep.FlaggedWeb = goldenFlags(det.FlaggedWeb)
 	rep.FlaggedMobile = goldenFlags(det.FlaggedMobile)
-	return rep
+	return rep, prov
 }
 
 func goldenFlags(fs []core.Flagged) []goldenFlag {
@@ -136,6 +171,15 @@ func marshalGolden(t *testing.T, rep goldenReport) []byte {
 	return append(buf, '\n')
 }
 
+func marshalProvenance(t *testing.T, prov goldenProvenance) []byte {
+	t.Helper()
+	buf, err := json.MarshalIndent(prov, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(buf, '\n')
+}
+
 // TestGoldenPipeline pins the end-to-end pipeline output against
 // testdata/golden_pipeline.json and proves the serial, parallel, and
 // incremental scan paths are byte-identical at the report level. Regenerate
@@ -145,8 +189,9 @@ func TestGoldenPipeline(t *testing.T) {
 		t.Skip("full pipeline is slow")
 	}
 
-	base := runGoldenPipeline(t, goldenConfig(1, false))
+	base, baseProv := runGoldenPipeline(t, goldenConfig(1, false))
 	got := marshalGolden(t, base)
+	gotProv := marshalProvenance(t, baseProv)
 
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
@@ -155,8 +200,12 @@ func TestGoldenPipeline(t *testing.T) {
 		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("wrote %s (%d candidates, %d web + %d mobile flags)",
-			goldenPath, len(base.Candidates), len(base.FlaggedWeb), len(base.FlaggedMobile))
+		if err := os.WriteFile(goldenProvPath, gotProv, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d candidates, %d web + %d mobile flags) and %s (%s)",
+			goldenPath, len(base.Candidates), len(base.FlaggedWeb), len(base.FlaggedMobile),
+			goldenProvPath, baseProv.Domain)
 	}
 
 	want, err := os.ReadFile(goldenPath)
@@ -167,8 +216,17 @@ func TestGoldenPipeline(t *testing.T) {
 		t.Fatalf("pipeline output diverged from %s:\n%s\n(run with -update to regenerate)",
 			goldenPath, firstDiff(want, got))
 	}
+	wantProv, err := os.ReadFile(goldenProvPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(gotProv, wantProv) {
+		t.Fatalf("provenance diverged from %s:\n%s\n(run with -update to regenerate)",
+			goldenProvPath, firstDiff(wantProv, gotProv))
+	}
 
-	// Every other scan configuration must reproduce the same report.
+	// Every other scan configuration must reproduce the same report and
+	// the same provenance record, byte for byte.
 	for _, v := range []struct {
 		workers     int
 		incremental bool
@@ -176,11 +234,40 @@ func TestGoldenPipeline(t *testing.T) {
 		v := v
 		name := fmt.Sprintf("workers=%d,delta=%v", v.workers, v.incremental)
 		t.Run(name, func(t *testing.T) {
-			rep := runGoldenPipeline(t, goldenConfig(v.workers, v.incremental))
+			rep, prov := runGoldenPipeline(t, goldenConfig(v.workers, v.incremental))
 			if out := marshalGolden(t, rep); !bytes.Equal(out, want) {
 				t.Fatalf("%s diverged from golden:\n%s", name, firstDiff(want, out))
 			}
+			if out := marshalProvenance(t, prov); !bytes.Equal(out, wantProv) {
+				t.Fatalf("%s provenance diverged from golden:\n%s", name, firstDiff(wantProv, out))
+			}
 		})
+	}
+}
+
+// TestGoldenProvenance is the focused provenance-golden check (`make
+// provenance-check`): one serial run must reproduce
+// testdata/golden_provenance.json byte for byte.
+func TestGoldenProvenance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline is slow")
+	}
+	_, prov := runGoldenPipeline(t, goldenConfig(1, false))
+	got := marshalProvenance(t, prov)
+	if *updateGolden {
+		if err := os.WriteFile(goldenProvPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%s)", goldenProvPath, prov.Domain)
+		return
+	}
+	want, err := os.ReadFile(goldenProvPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("provenance diverged from %s:\n%s\n(run with -update to regenerate)",
+			goldenProvPath, firstDiff(want, got))
 	}
 }
 

@@ -131,6 +131,14 @@ func TestMetricNameFixture(t *testing.T) {
 		`metric name "BadName.Caps" is not lowercase.dotted (want at least two [a-z0-9_] segments joined by dots)`)
 }
 
+func TestEventNameFixture(t *testing.T) {
+	diags := runFixture(t, EventName, "eventuser")
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/eventuser/events.go:16:11",
+		`event name "BadCaps.Event" is not lowercase.dotted (want at least two [a-z0-9_] segments joined by dots)`)
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/eventuser/events.go:18:11",
+		"event name passed to trace.Logger.Info is not a constant string; event identifiers must be stable literals")
+}
+
 func TestTransportFixture(t *testing.T) {
 	diags := runFixture(t, Transport, "fetcher", "internal/dnsx")
 	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/fetcher/fetch.go:15:9",
@@ -243,8 +251,8 @@ func TestExpandSkipsTestdataAndHidden(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5", len(all), err)
+	if err != nil || len(all) != 6 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 6", len(all), err)
 	}
 	sub, err := ByName("determinism, lockcheck")
 	if err != nil || len(sub) != 2 || sub[0] != Determinism || sub[1] != LockCheck {

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// loggerMethods are the trace.Logger emission methods, mapped to the
+// index of the event-name argument (Event takes the level first).
+var loggerMethods = map[string]int{
+	"Event": 1, "Debug": 0, "Info": 0, "Warn": 0, "Error": 0,
+}
+
+// EventName extends the metricname convention (PR 1) to the structured
+// event log (PR 6): every event emitted through trace.Logger carries a
+// constant `pkg.name` lowercase dotted identifier, so DESIGN.md §9's
+// event catalogue stays grep-able and squatexplain output is stable.
+var EventName = &Analyzer{
+	Name: "eventname",
+	Doc: "require every trace.Logger emission (Event, Debug, Info, Warn, " +
+		"Error) to use a constant lowercase.dotted event name, so the " +
+		"DESIGN.md event catalogue stays grep-able and explain output stable",
+	Run: runEventName,
+}
+
+func runEventName(pass *Pass) error {
+	if strings.HasSuffix(pass.ImportPath, "internal/obs/trace") {
+		// The convention's own implementation: the leveled helpers
+		// forward their name argument to Event.
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			argIdx, ok := loggerMethods[sel.Sel.Name]
+			if !ok || len(call.Args) <= argIdx {
+				return true
+			}
+			selection := pass.Info.Selections[sel]
+			if selection == nil || !isTraceLogger(selection.Recv()) {
+				return true
+			}
+			if pass.InTestFile(call.Pos()) {
+				// Tests may emit throwaway events; the convention binds
+				// the events production code ships.
+				return true
+			}
+			arg := call.Args[argIdx]
+			tv, ok := pass.Info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(), "event name passed to trace.Logger.%s is not a constant string; event identifiers must be stable literals", sel.Sel.Name)
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !metricNameRE.MatchString(name) {
+				pass.Reportf(arg.Pos(), "event name %q is not lowercase.dotted (want at least two [a-z0-9_] segments joined by dots)", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isTraceLogger reports whether t is (a pointer to) the
+// squatphi/internal/obs/trace Logger type. The package sits one level
+// below internal/, so the shared pathHasInternal helper does not apply;
+// the suffix match scopes fixture mirrors identically to the real path.
+func isTraceLogger(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Logger" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/obs/trace")
+}

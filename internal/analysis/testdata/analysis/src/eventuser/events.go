@@ -1,0 +1,22 @@
+// Package eventuser is an eventname-analyzer fixture: trace.Logger
+// emissions with non-constant or non-lowercase.dotted event names must
+// be flagged; literal and constant dotted names must not.
+package eventuser
+
+import "squatphi/internal/obs/trace"
+
+// goodEvent is a constant, so it is as stable as a literal.
+const goodEvent = "eventuser.const_event"
+
+// Emit exercises good and bad emissions.
+func Emit(log *trace.Logger, dyn string) {
+	log.Info("eventuser.start")
+	log.Debug(goodEvent)
+	log.Event(trace.LevelWarn, "eventuser.level.event")
+	log.Warn("BadCaps.Event")         //want:eventname
+	log.Error("nodots")               //want:eventname
+	log.Info(dyn)                     //want:eventname
+	log.Debug("eventuser.sub." + dyn) //want:eventname
+	log.Event(trace.LevelError, dyn)  //want:eventname
+	log.Info("eventuser.ok", trace.String("domain", dyn))
+}

@@ -62,6 +62,9 @@ func (p *Pipeline) DetectInWild(ctx context.Context, clf *Classifier, snapshot i
 	if det != nil {
 		p.Obs.Counter("core.detect.flagged").Add(int64(len(det.FlaggedWeb) + len(det.FlaggedMobile)))
 		p.Obs.Counter("core.detect.confirmed").Add(int64(len(det.ConfirmedUnion())))
+		// Always-on provenance: every flagged verdict gets a full evidence
+		// record, independent of head sampling.
+		p.recordFlagged(clf, det, snapshot)
 	}
 	done(err)
 	return det, err

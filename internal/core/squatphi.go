@@ -25,6 +25,7 @@ import (
 	"squatphi/internal/deltascan"
 	"squatphi/internal/dnsx"
 	"squatphi/internal/obs"
+	"squatphi/internal/obs/trace"
 	"squatphi/internal/phishtank"
 	"squatphi/internal/render"
 	"squatphi/internal/retry"
@@ -74,6 +75,18 @@ type Config struct {
 	// Pipeline.Obs). Sharing one registry lets a command aggregate DNS,
 	// matcher, crawler, and stage metrics behind one debug endpoint.
 	Metrics *obs.Registry
+	// TraceSampleEvery is the verdict-provenance head-sampling period: one
+	// scanned domain in every TraceSampleEvery gets a scan-provenance
+	// mark. Domains are selected by name hash, so the sampled set is
+	// identical at any worker count. 0 selects the default (1 in 64);
+	// negative disables scan sampling. Flagged verdicts always get a full
+	// evidence record regardless of this setting.
+	TraceSampleEvery int
+	// Events, when set, receives the pipeline's structured event log (see
+	// internal/obs/trace.Logger); events carrying a domain attribute are
+	// also attributed into that domain's provenance record. nil disables
+	// event logging; provenance records still accumulate.
+	Events *trace.Logger
 }
 
 // DefaultConfig is the laptop-scale configuration.
@@ -101,6 +114,12 @@ type Pipeline struct {
 	// always non-nil and ready to serve via obs.Serve.
 	Obs   *obs.Registry
 	Trace *obs.Recorder
+	// Prov is the verdict-provenance collector: head-sampled scan marks
+	// plus always-on evidence records for flagged verdicts. Always
+	// non-nil; persist it with trace.Collector.WriteStore.
+	Prov *trace.Collector
+	// Events is the structured event log (Config.Events; nil-tolerant).
+	Events *trace.Logger
 
 	crawlerByProfile *crawler.Crawler
 
@@ -116,6 +135,10 @@ type Pipeline struct {
 
 	stageMu  sync.Mutex
 	stageDur map[string]time.Duration
+	// scanEpoch counts completed DNS scans (stageMu-guarded); it mirrors
+	// deltascan's epoch so non-incremental runs report the same cache
+	// provenance ("fresh at epoch N") as incremental ones.
+	scanEpoch int
 }
 
 // New builds the world, starts its HTTP server, and prepares the pipeline.
@@ -145,10 +168,14 @@ func New(cfg Config) (*Pipeline, error) {
 		Blacklists: blacklist.NewService(),
 		Obs:        reg,
 		Trace:      obs.NewRecorder(32),
+		Prov:       trace.NewCollector(cfg.TraceSampleEvery),
+		Events:     cfg.Events,
 		crawls:     map[int][]crawler.Result{},
 		stageDur:   map[string]time.Duration{},
 	}
 	p.Matcher.InstrumentMetrics(reg)
+	p.Matcher.InstrumentTrace(p.Prov)
+	p.Events.AttachCollector(p.Prov)
 	if cfg.Incremental {
 		p.delta = deltascan.NewEngine()
 		p.delta.InstrumentMetrics(reg)
@@ -159,6 +186,7 @@ func New(cfg Config) (*Pipeline, error) {
 		Retries: cfg.CrawlRetries,
 		Policy:  cfg.Retry,
 		Metrics: reg,
+		Events:  cfg.Events.Component("crawler"),
 	}
 	return p, nil
 }
@@ -182,6 +210,13 @@ func (p *Pipeline) stageSpan(ctx context.Context, name string) (context.Context,
 		p.stageDur[name] = d
 		p.stageMu.Unlock()
 		span.EndWith(err)
+		attrs := []trace.Attr{trace.String("stage", name), trace.Float("ms", float64(d)/float64(time.Millisecond))}
+		if err != nil {
+			attrs = append(attrs, trace.String("error", err.Error()))
+			p.Events.Error("core.stage.failed", attrs...)
+			return
+		}
+		p.Events.Debug("core.stage.done", attrs...)
 	}
 }
 
@@ -315,6 +350,14 @@ func (p *Pipeline) ScanDNS() []squat.Candidate {
 		}
 		p.candidates = out
 		p.Obs.Gauge("core.scan_dns.candidates").Set(float64(len(out)))
+		p.stageMu.Lock()
+		p.scanEpoch++
+		epoch := p.scanEpoch
+		p.stageMu.Unlock()
+		sampled, sampledHits := p.Prov.ScanStats()
+		p.Events.Info("core.scan.done",
+			trace.Int("epoch", epoch), trace.Int("candidates", len(out)),
+			trace.Int64("prov_sampled", sampled), trace.Int64("prov_sampled_hits", sampledHits))
 		done(nil)
 	}
 	return p.candidates

@@ -22,6 +22,7 @@ import (
 
 	"squatphi/internal/htmlx"
 	"squatphi/internal/obs"
+	"squatphi/internal/obs/trace"
 	"squatphi/internal/render"
 	"squatphi/internal/retry"
 )
@@ -101,6 +102,11 @@ type Crawler struct {
 	// exposed as registry values and via HostFailures/HostRetries; the
 	// retry layer reports under crawler.retry.* and crawler.breaker.*.
 	Metrics *obs.Registry
+	// Events, when set, receives structured retry/failure events carrying
+	// a "domain" attribute, which the provenance layer attributes to the
+	// domain's evidence record (trace.Logger.AttachCollector). nil
+	// disables event logging; nothing on the fetch path depends on it.
+	Events *trace.Logger
 
 	statsOnce sync.Once
 	stats     *crawlStats
@@ -290,6 +296,11 @@ func (c *Crawler) CaptureProfile(ctx context.Context, domain string, mobile bool
 		if err != nil || status >= 400 {
 			// One failure per page fetch, however many retries it took.
 			st.recordHostFailure(hostOf(url))
+			attrs := []trace.Attr{trace.String("domain", hostOf(url)), trace.Int("status", status)}
+			if err != nil {
+				attrs = append(attrs, trace.String("error", err.Error()))
+			}
+			c.Events.Warn("crawler.fetch.failed", attrs...)
 			return cap
 		}
 		if status >= 300 && location != "" {
@@ -382,6 +393,8 @@ func (c *Crawler) fetchPage(ctx context.Context, url, ua string, st *crawlStats)
 			return body, status, location, err
 		}
 		st.recordHostRetry(host)
+		c.Events.Warn("crawler.fetch.retry",
+			trace.String("domain", host), trace.Int("attempt", attempt+1), trace.String("error", err.Error()))
 		if werr := rt.Wait(ctx, url, attempt+1); werr != nil {
 			return body, status, location, err
 		}

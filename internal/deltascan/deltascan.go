@@ -41,10 +41,14 @@ import (
 	"squatphi/internal/squat"
 )
 
-// verdict is one cached match result for a domain.
+// verdict is one cached match result for a domain. epoch records when
+// the matcher actually ran (the engine epoch of the computing Scan) —
+// pure provenance, never consulted for cache validity, which rests on
+// the fingerprint and checksums alone.
 type verdict struct {
-	cand squat.Candidate
-	ok   bool
+	cand  squat.Candidate
+	ok    bool
+	epoch int
 }
 
 // shardState is the engine's memory of one store shard: the checksum the
@@ -157,6 +161,43 @@ func (e *Engine) Epoch() int {
 	return e.epoch
 }
 
+// Provenance explains how a domain's verdict relates to the engine's
+// scan history — the "cache hit vs fresh" half of a verdict's evidence
+// trail.
+type Provenance struct {
+	// Epoch is the engine's current epoch (Scan calls absorbed).
+	Epoch int
+	// ComputedEpoch is the epoch whose Scan actually ran the matcher for
+	// this domain. 0 means the verdict predates epoch stamping (state
+	// loaded from a spill written before the epoch field existed).
+	ComputedEpoch int
+	// Cached reports that the latest scan answered this domain without
+	// re-running the matcher — a verdict-cache hit inside a rescanned
+	// shard, or wholesale reuse of a skipped shard's candidate list.
+	Cached bool
+	// Matched is the cached verdict itself.
+	Matched bool
+}
+
+// Provenance looks a domain up across all shard verdict caches. The
+// second result is false when the engine has never matched the domain
+// (not yet scanned, or the record left the snapshot and was pruned).
+func (e *Engine) Provenance(domain string) (Provenance, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, sh := range e.shards {
+		if v, ok := sh.cache[domain]; ok {
+			return Provenance{
+				Epoch:         e.epoch,
+				ComputedEpoch: v.epoch,
+				Cached:        v.epoch < e.epoch,
+				Matched:       v.ok,
+			}, true
+		}
+	}
+	return Provenance{Epoch: e.epoch}, false
+}
+
 // Reset discards all epoch state; the next Scan is a full scan.
 func (e *Engine) Reset() {
 	e.mu.Lock()
@@ -225,7 +266,7 @@ func (e *Engine) Scan(store *dnsx.Store, m *squat.Matcher, workers int) []squat.
 					if ri >= len(rescan) {
 						return
 					}
-					walked, hits, pruned := e.shards[rescan[ri]].rescan(store, rescan[ri], m)
+					walked, hits, pruned := e.shards[rescan[ri]].rescan(store, rescan[ri], m, st.Epoch)
 					counters[w][0] += walked
 					counters[w][1] += hits
 					counters[w][2] += walked - hits
@@ -293,8 +334,9 @@ func (e *Engine) report(st Stats) {
 
 // rescan rebuilds one shard's candidate list from the store, answering
 // from the verdict cache where possible. It returns the records walked,
-// the cache hits among them, and whether the cache was pruned.
-func (sh *shardState) rescan(store *dnsx.Store, shard int, m *squat.Matcher) (walked, hits int, pruned bool) {
+// the cache hits among them, and whether the cache was pruned. epoch
+// stamps fresh verdicts for provenance.
+func (sh *shardState) rescan(store *dnsx.Store, shard int, m *squat.Matcher, epoch int) (walked, hits int, pruned bool) {
 	cands := make([]squat.Candidate, 0, len(sh.cands))
 	store.RangeShard(shard, func(r dnsx.Record) bool {
 		walked++
@@ -303,6 +345,7 @@ func (sh *shardState) rescan(store *dnsx.Store, shard int, m *squat.Matcher) (wa
 			hits++
 		} else {
 			v.cand, v.ok = m.Match(r.Domain)
+			v.epoch = epoch
 			sh.cache[r.Domain] = v
 		}
 		if v.ok {

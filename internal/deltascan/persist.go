@@ -35,7 +35,10 @@ type shardLine struct {
 	Cands []candidate `json:"cands,omitempty"`
 }
 
-// entryLine is one cached verdict.
+// entryLine is one cached verdict. Epoch is the provenance stamp of the
+// verdict's computing scan; omitempty keeps it backward compatible —
+// spills written before the field existed load with epoch 0, which
+// Provenance documents as "predates epoch stamping".
 type entryLine struct {
 	Kind   string `json:"kind"` // "entry"
 	Shard  int    `json:"shard"`
@@ -44,6 +47,7 @@ type entryLine struct {
 	Type   int    `json:"type,omitempty"`
 	Brand  string `json:"brand,omitempty"`
 	TLD    string `json:"tld,omitempty"`
+	Epoch  int    `json:"epoch,omitempty"`
 }
 
 // candidate is the serialised form of squat.Candidate.
@@ -89,7 +93,7 @@ func (e *Engine) Save(w io.Writer) error {
 			return err
 		}
 		for dom, v := range sh.cache {
-			el := entryLine{Kind: "entry", Shard: i, Domain: dom, Match: v.ok}
+			el := entryLine{Kind: "entry", Shard: i, Domain: dom, Match: v.ok, Epoch: v.epoch}
 			if v.ok {
 				el.Type, el.Brand, el.TLD = int(v.cand.Type), v.cand.Brand.Name, v.cand.Brand.TLD
 			}
@@ -168,7 +172,7 @@ func Load(r io.Reader) (*Engine, error) {
 			if el.Shard < 0 || el.Shard >= len(e.shards) {
 				return nil, fmt.Errorf("deltascan: load line %d: shard %d out of range", line, el.Shard)
 			}
-			v := verdict{ok: el.Match}
+			v := verdict{ok: el.Match, epoch: el.Epoch}
 			if el.Match {
 				v.cand = fromWire(candidate{Domain: el.Domain, Type: el.Type, Brand: el.Brand, TLD: el.TLD})
 			}

@@ -1,0 +1,100 @@
+package deltascan
+
+import (
+	"bytes"
+	"testing"
+
+	"squatphi/internal/simrand"
+)
+
+// TestProvenanceEpochs pins the cache-provenance semantics: a verdict is
+// "fresh" in the epoch whose scan ran the matcher for it and "cached"
+// afterwards, across both reuse mechanisms (verdict-cache hit and
+// wholesale shard skip).
+func TestProvenanceEpochs(t *testing.T) {
+	rng := simrand.New(11)
+	model := seedModel(rng, 400)
+	m := testMatcher()
+	e := NewEngine()
+
+	if _, ok := e.Provenance("paypa1.com"); ok {
+		t.Fatal("provenance before any scan")
+	}
+
+	e.Scan(buildStore(model, rng.Split("b1")), m, 4)
+	pr, ok := e.Provenance("paypa1.com")
+	if !ok {
+		t.Fatal("no provenance for scanned squat domain")
+	}
+	if pr.Epoch != 1 || pr.ComputedEpoch != 1 || pr.Cached || !pr.Matched {
+		t.Fatalf("epoch 1 provenance = %+v, want fresh matched at epoch 1", pr)
+	}
+	if pr, ok = e.Provenance("this-was-never-scanned.com"); ok {
+		t.Fatalf("provenance for unseen domain: %+v", pr)
+	}
+
+	// Epoch 2, unchanged store: every shard skips, the verdict must now
+	// read as cached with its compute epoch intact.
+	e.Scan(buildStore(model, rng.Split("b2")), m, 4)
+	if st := e.LastStats(); st.ShardsRescanned != 0 {
+		t.Fatalf("unchanged store rescanned %d shards", st.ShardsRescanned)
+	}
+	pr, _ = e.Provenance("paypa1.com")
+	if pr.Epoch != 2 || pr.ComputedEpoch != 1 || !pr.Cached || !pr.Matched {
+		t.Fatalf("epoch 2 provenance = %+v, want cached from epoch 1", pr)
+	}
+
+	// Epoch 3, add one record: its shard rescans, existing verdicts hit
+	// the cache (ComputedEpoch stays 1), the new domain is fresh at 3.
+	model["paypal-fresh3.com"] = [4]byte{1, 2, 3, 4}
+	e.Scan(buildStore(model, rng.Split("b3")), m, 4)
+	pr, _ = e.Provenance("paypa1.com")
+	if pr.Epoch != 3 || pr.ComputedEpoch != 1 || !pr.Cached {
+		t.Fatalf("epoch 3 old-domain provenance = %+v", pr)
+	}
+	pr, ok = e.Provenance("paypal-fresh3.com")
+	if !ok || pr.ComputedEpoch != 3 || pr.Cached || !pr.Matched {
+		t.Fatalf("epoch 3 new-domain provenance = %+v (ok=%t)", pr, ok)
+	}
+
+	// Non-matching domains carry provenance too — "the matcher saw it and
+	// said no" is evidence.
+	var noise string
+	for d := range model {
+		if _, matched := m.Match(d); !matched {
+			noise = d
+			break
+		}
+	}
+	if pr, ok = e.Provenance(noise); !ok || pr.Matched {
+		t.Fatalf("noise-domain provenance = %+v (ok=%t)", pr, ok)
+	}
+}
+
+// TestProvenanceSurvivesSaveLoad checks that epoch stamps round-trip
+// through the spill format.
+func TestProvenanceSurvivesSaveLoad(t *testing.T) {
+	rng := simrand.New(13)
+	model := seedModel(rng, 300)
+	m := testMatcher()
+	e := NewEngine()
+	e.Scan(buildStore(model, rng.Split("b1")), m, 2)
+	model["paypal-late.com"] = [4]byte{5, 5, 5, 5}
+	e.Scan(buildStore(model, rng.Split("b2")), m, 2)
+
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dom := range []string{"paypa1.com", "paypal-late.com"} {
+		want, ok1 := e.Provenance(dom)
+		got, ok2 := loaded.Provenance(dom)
+		if !ok1 || !ok2 || want != got {
+			t.Errorf("%s: provenance %+v (ok=%t) != loaded %+v (ok=%t)", dom, want, ok1, got, ok2)
+		}
+	}
+}

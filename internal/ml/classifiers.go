@@ -445,3 +445,40 @@ func (rf *RandomForest) PredictProba(x []float64) float64 {
 	}
 	return sum / float64(len(rf.trees))
 }
+
+// VoteDetail explains one forest prediction: the averaged probability
+// plus the per-tree vote split behind it. Verdict provenance surfaces it
+// so an analyst can tell a unanimous flag from a 6-of-10 coin toss.
+type VoteDetail struct {
+	// Proba is the ensemble probability (identical to PredictProba).
+	Proba float64
+	// Trees is the ensemble size; VotesFor the number of trees whose leaf
+	// probability reaches the 0.5 decision threshold.
+	Trees    int
+	VotesFor int
+	// Margin is the normalised vote margin (VotesFor*2 - Trees)/Trees in
+	// [-1, 1]: +1 unanimous positive, -1 unanimous negative.
+	Margin float64
+}
+
+// PredictVotes walks every tree once and returns both the ensemble
+// probability and the vote split. It is PredictProba plus bookkeeping —
+// same traversals, same float summation order, so Proba is bit-identical
+// to PredictProba(x).
+func (rf *RandomForest) PredictVotes(x []float64) VoteDetail {
+	if len(rf.trees) == 0 {
+		return VoteDetail{Proba: 0.5}
+	}
+	d := VoteDetail{Trees: len(rf.trees)}
+	sum := 0.0
+	for i := range rf.trees {
+		p := rf.trees[i].PredictProba(x)
+		sum += p
+		if p >= 0.5 {
+			d.VotesFor++
+		}
+	}
+	d.Proba = sum / float64(len(rf.trees))
+	d.Margin = float64(2*d.VotesFor-d.Trees) / float64(d.Trees)
+	return d
+}

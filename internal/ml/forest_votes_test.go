@@ -1,0 +1,57 @@
+package ml
+
+import (
+	"testing"
+
+	"squatphi/internal/simrand"
+)
+
+// TestPredictVotesMatchesPredictProba pins the provenance contract:
+// PredictVotes reports the exact ensemble probability (same summation
+// order as PredictProba) plus a consistent vote split and margin.
+func TestPredictVotesMatchesPredictProba(t *testing.T) {
+	r := simrand.New(9)
+	const n, dim = 160, 20
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = r.NormFloat64()
+		}
+		if r.Bool(0.5) {
+			y[i] = 1
+			row[1] += 2
+		}
+		X[i] = row
+	}
+	rf := &RandomForest{NTrees: 15, Seed: 3}
+	rf.Fit(X, y)
+
+	for i, row := range X {
+		d := rf.PredictVotes(row)
+		if d.Proba != rf.PredictProba(row) {
+			t.Fatalf("row %d: Proba %v != PredictProba %v", i, d.Proba, rf.PredictProba(row))
+		}
+		if d.Trees != 15 || d.VotesFor < 0 || d.VotesFor > d.Trees {
+			t.Fatalf("row %d: impossible vote split %+v", i, d)
+		}
+		wantMargin := float64(2*d.VotesFor-d.Trees) / float64(d.Trees)
+		if d.Margin != wantMargin || d.Margin < -1 || d.Margin > 1 {
+			t.Fatalf("row %d: margin %v, want %v in [-1,1]", i, d.Margin, wantMargin)
+		}
+		// A majority vote must side with the thresholded probability for
+		// well-separated rows; at minimum the extremes must agree.
+		if d.VotesFor == d.Trees && d.Proba < 0.5 {
+			t.Fatalf("row %d: unanimous positive but proba %v", i, d.Proba)
+		}
+		if d.VotesFor == 0 && d.Proba >= 0.5 {
+			t.Fatalf("row %d: unanimous negative but proba %v", i, d.Proba)
+		}
+	}
+
+	empty := &RandomForest{}
+	if d := empty.PredictVotes(X[0]); d.Proba != 0.5 || d.Trees != 0 {
+		t.Errorf("empty forest: %+v", d)
+	}
+}

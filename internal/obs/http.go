@@ -10,6 +10,14 @@ import (
 	"strconv"
 )
 
+// Route attaches an extra handler to the debug mux — e.g. the verdict
+// provenance endpoint from internal/obs/trace, which obs cannot import
+// without a cycle.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // NewMux builds the debug handler tree:
 //
 //	/          index of routes
@@ -18,8 +26,9 @@ import (
 //	/debug/pprof/...  the standard Go profiler endpoints
 //	/debug/vars       expvar (includes registries published via PublishExpvar)
 //
-// Either argument may be nil; the corresponding route serves empty data.
-func NewMux(reg *Registry, rec *Recorder) *http.ServeMux {
+// plus any extra routes the caller mounts. Either of reg/rec may be nil;
+// the corresponding route serves empty data.
+func NewMux(reg *Registry, rec *Recorder, extra ...Route) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -32,6 +41,9 @@ func NewMux(reg *Registry, rec *Recorder) *http.ServeMux {
 			"/spans        recent pipeline traces (JSON, ?n=K)\n"+
 			"/debug/pprof  Go profiler\n"+
 			"/debug/vars   expvar\n")
+		for _, rt := range extra {
+			fmt.Fprintf(w, "%s\n", rt.Pattern)
+		}
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, reg.Snapshot())
@@ -57,6 +69,11 @@ func NewMux(reg *Registry, rec *Recorder) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	for _, rt := range extra {
+		if rt.Pattern != "" && rt.Handler != nil {
+			mux.Handle(rt.Pattern, rt.Handler)
+		}
+	}
 	return mux
 }
 
@@ -75,12 +92,12 @@ type DebugServer struct {
 
 // Serve starts the debug endpoint on addr (e.g. ":6060" or
 // "127.0.0.1:0"). Callers must Close it.
-func Serve(addr string, reg *Registry, rec *Recorder) (*DebugServer, error) {
+func Serve(addr string, reg *Registry, rec *Recorder, extra ...Route) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: NewMux(reg, rec)}
+	srv := &http.Server{Handler: NewMux(reg, rec, extra...)}
 	go func() { _ = srv.Serve(ln) }()
 	return &DebugServer{srv: srv, ln: ln}, nil
 }

@@ -19,6 +19,7 @@ import (
 	"expvar"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -142,13 +143,18 @@ type Bucket struct {
 	Count int64   `json:"count"`
 }
 
-// HistogramSnapshot is the JSON-able state of a Histogram.
+// HistogramSnapshot is the JSON-able state of a Histogram. P50/P95/P99
+// are the bucket-interpolated quantiles (see Quantile), precomputed so
+// /metrics consumers and SLO rollups need no bucket math of their own.
 type HistogramSnapshot struct {
 	Count    int64    `json:"count"`
 	Sum      float64  `json:"sum"`
 	Mean     float64  `json:"mean"`
 	Min      float64  `json:"min"`
 	Max      float64  `json:"max"`
+	P50      float64  `json:"p50"`
+	P95      float64  `json:"p95"`
+	P99      float64  `json:"p99"`
 	Buckets  []Bucket `json:"buckets"`
 	Overflow int64    `json:"overflow"` // observations above the last bound
 }
@@ -168,6 +174,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Mean = s.Sum / float64(s.Count)
 		s.Min = math.Float64frombits(h.minB.Load())
 		s.Max = math.Float64frombits(h.maxB.Load())
+		s.P50 = s.Quantile(0.50)
+		s.P95 = s.Quantile(0.95)
+		s.P99 = s.Quantile(0.99)
 	}
 	return s
 }
@@ -358,6 +367,33 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 	}
 	return s
+}
+
+// SLOEntry is one histogram's latency rollup: the quantiles an SLO is
+// written against, without the bucket detail.
+type SLOEntry struct {
+	Name  string  `json:"name"`
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// SLORollup extracts per-histogram quantile rollups from the snapshot
+// for histograms whose name starts with prefix ("" selects all), sorted
+// by name. Empty histograms are skipped — a zero-observation stage has
+// no latency distribution to report against.
+func (s Snapshot) SLORollup(prefix string) []SLOEntry {
+	out := make([]SLOEntry, 0, len(s.Histograms))
+	for name, h := range s.Histograms {
+		if h.Count == 0 || !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		out = append(out, SLOEntry{Name: name, Count: h.Count, P50: h.P50, P95: h.P95, P99: h.P99, Max: h.Max})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 var expvarMu sync.Mutex

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSnapshotExportsQuantiles pins the quantile math surfaced in the
+// /metrics JSON: 100 observations 1..100 against decade buckets must put
+// p50/p95/p99 at the interpolated 50/95/99 marks.
+func TestSnapshotExportsQuantiles(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.P50 != s.Quantile(0.50) || s.P95 != s.Quantile(0.95) || s.P99 != s.Quantile(0.99) {
+		t.Fatalf("exported quantiles disagree with Quantile(): p50=%v p95=%v p99=%v", s.P50, s.P95, s.P99)
+	}
+	// Each bucket holds 10 uniform observations, so interpolation lands
+	// exactly on the rank: p50=50, p95=95, p99=99.
+	if s.P50 != 50 || s.P95 != 95 || s.P99 != 99 {
+		t.Errorf("quantiles = (%v, %v, %v), want (50, 95, 99)", s.P50, s.P95, s.P99)
+	}
+
+	// The fields must actually reach the JSON wire format /metrics serves.
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"p50":50`, `"p95":95`, `"p99":99`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("JSON missing %s: %s", key, b)
+		}
+	}
+}
+
+func TestSnapshotQuantilesEmptyHistogram(t *testing.T) {
+	s := newHistogram(MillisBuckets).Snapshot()
+	if s.P50 != 0 || s.P95 != 0 || s.P99 != 0 {
+		t.Errorf("empty histogram quantiles = (%v, %v, %v), want zeros", s.P50, s.P95, s.P99)
+	}
+}
+
+func TestSLORollup(t *testing.T) {
+	reg := NewRegistry()
+	for i := 1; i <= 100; i++ {
+		reg.Histogram("core.stage.scan_ms", MillisBuckets).Observe(float64(i))
+	}
+	reg.Histogram("core.stage.crawl_ms", MillisBuckets).Observe(3)
+	reg.Histogram("squat.match.scan_us", MicrosBuckets).Observe(1)
+	reg.Histogram("core.stage.empty_ms", MillisBuckets) // zero observations
+
+	snap := reg.Snapshot()
+	all := snap.SLORollup("")
+	if len(all) != 3 {
+		t.Fatalf("SLORollup(\"\") = %d entries, want 3 (empty histogram skipped)", len(all))
+	}
+	// Sorted by name.
+	if all[0].Name != "core.stage.crawl_ms" || all[2].Name != "squat.match.scan_us" {
+		t.Errorf("rollup order: %v, %v, %v", all[0].Name, all[1].Name, all[2].Name)
+	}
+
+	stages := snap.SLORollup("core.stage.")
+	if len(stages) != 2 {
+		t.Fatalf("SLORollup(core.stage.) = %d entries, want 2", len(stages))
+	}
+	scan := stages[1]
+	if scan.Name != "core.stage.scan_ms" || scan.Count != 100 {
+		t.Fatalf("unexpected entry: %+v", scan)
+	}
+	want := snap.Histograms["core.stage.scan_ms"]
+	if scan.P50 != want.P50 || scan.P95 != want.P95 || scan.P99 != want.P99 || scan.Max != want.Max {
+		t.Errorf("rollup %+v disagrees with histogram snapshot %+v", scan, want)
+	}
+}

@@ -45,6 +45,11 @@ func SpanFrom(ctx context.Context) *Span {
 // context's Recorder if one was attached via WithRecorder. Spans created
 // from a bare context are detached but still usable — instrumented code
 // never needs to check whether tracing is on.
+//
+// Child attachment is lock-protected and allowed even on an ended parent
+// (a straggling worker's sub-span still belongs in the trace); recorder
+// snapshots taken between End and the late attach simply miss the child,
+// they never observe a torn slice.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	s := &Span{name: name, start: time.Now()}
 	if parent := SpanFrom(ctx); parent != nil {
@@ -58,25 +63,34 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 }
 
 // SetAttr attaches a key=value annotation (candidate counts, batch sizes).
+// Calls after End are dropped: an ended span may already be snapshotted
+// from the recorder, and a late worker-goroutine write must not make two
+// reads of the same trace disagree.
 func (s *Span) SetAttr(key, value string) {
 	if s == nil {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
 	if s.attrs == nil {
 		s.attrs = map[string]string{}
 	}
 	s.attrs[key] = value
 }
 
-// Fail tags the span with an error without ending it.
+// Fail tags the span with an error without ending it. Like SetAttr,
+// calls after End are dropped.
 func (s *Span) Fail(err error) {
 	if s == nil || err == nil {
 		return
 	}
 	s.mu.Lock()
-	s.err = err.Error()
+	if !s.ended {
+		s.err = err.Error()
+	}
 	s.mu.Unlock()
 }
 

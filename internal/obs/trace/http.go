@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// VerdictHandler serves per-domain verdict provenance on the debug mux
+// (mounted at /debug/verdict by the CLIs). GET ?domain=NAME returns the
+// evidence record as indented JSON, or the rendered text trail with
+// &format=text. get resolves a domain to its record — typically
+// core.Pipeline.Lookup, which falls back to recomputing matcher evidence
+// for domains outside the always-on flagged set.
+func VerdictHandler(get func(domain string) (*Record, bool)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		domain := r.URL.Query().Get("domain")
+		if domain == "" {
+			http.Error(w, "missing ?domain= parameter", http.StatusBadRequest)
+			return
+		}
+		rec, ok := get(domain)
+		if !ok || rec == nil {
+			http.Error(w, "no provenance for domain "+domain, http.StatusNotFound)
+			return
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte(rec.Render()))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rec)
+	})
+}

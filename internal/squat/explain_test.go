@@ -1,0 +1,107 @@
+package squat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"squatphi/internal/obs/trace"
+)
+
+func TestExplainAgreesWithMatch(t *testing.T) {
+	m := NewMatcher(testBrands)
+	domains := []string{
+		"facebook.net", "xn--fcebook-8va.com", "paypa1.com", "pypal.com",
+		"facebook-login.com", "facebook.com", "unrelated.org", "google.com.ua",
+	}
+	for _, d := range domains {
+		c, ok := m.Match(d)
+		ex := m.Explain(d)
+		if ex.Matched != ok || ex.Type != c.Type || (ok && ex.Brand != c.Brand) {
+			t.Errorf("Explain(%q) = {matched:%t type:%v brand:%v}, Match said {%t %v %v}",
+				d, ex.Matched, ex.Type, ex.Brand, ok, c.Type, c.Brand)
+		}
+	}
+}
+
+func TestExplainRulesAndDerivedForms(t *testing.T) {
+	m := NewMatcher(testBrands)
+	cases := []struct {
+		domain string
+		rule   string
+		dist   int
+	}{
+		{"facebook.net", RuleExactName, 0},
+		{"xn--fcebook-8va.com", RuleSkeleton, 1}, // fácebook vs facebook
+		{"pypal.com", RuleTypoEdit, 1},
+		{"facebook-login.com", RuleBrandSubstring, 6},
+		{"unrelated.org", RuleNone, -1},
+	}
+	for _, tc := range cases {
+		ex := m.Explain(tc.domain)
+		if ex.Rule != tc.rule {
+			t.Errorf("Explain(%q).Rule = %q, want %q", tc.domain, ex.Rule, tc.rule)
+		}
+		if ex.EditDistance != tc.dist {
+			t.Errorf("Explain(%q).EditDistance = %d, want %d", tc.domain, ex.EditDistance, tc.dist)
+		}
+	}
+
+	ex := m.Explain("xn--fcebook-8va.com")
+	if ex.Unicode == "" || ex.Skeleton != ex.BrandSkeleton {
+		t.Errorf("homograph explanation lacks IDN evidence: unicode=%q skeleton=%q brand_skeleton=%q",
+			ex.Unicode, ex.Skeleton, ex.BrandSkeleton)
+	}
+	if ev := ex.Evidence(); ev.Rule != RuleSkeleton || ev.Brand != "facebook.com" {
+		t.Errorf("Evidence() = %+v", ev)
+	}
+	if ev := m.Explain("unrelated.org").Evidence(); ev.Brand != "" || ev.EditDistance != -1 {
+		t.Errorf("unmatched Evidence() = %+v", ev)
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		d    int
+	}{
+		{"", "", 0}, {"abc", "", 3}, {"", "abc", 3},
+		{"paypal", "paypal", 0}, {"pypal", "paypal", 1}, {"paypa1", "paypal", 1},
+		{"kitten", "sitting", 3}, {"fácebook", "facebook", 1},
+	}
+	for _, tc := range cases {
+		if got := levenshtein(tc.a, tc.b); got != tc.d {
+			t.Errorf("levenshtein(%q, %q) = %d, want %d", tc.a, tc.b, got, tc.d)
+		}
+	}
+	// Symmetry property.
+	if err := quick.Check(func(a, b string) bool {
+		return levenshtein(a, b) == levenshtein(b, a)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchFeedsTraceCollector(t *testing.T) {
+	m := NewMatcher(testBrands)
+	col := trace.NewCollector(1) // sample everything
+	m.InstrumentTrace(col)
+
+	if _, ok := m.Match("pypal.com"); !ok {
+		t.Fatal("pypal.com should match")
+	}
+	m.Match("unrelated.org")
+	sampled, matched := col.ScanStats()
+	if sampled != 2 || matched != 1 {
+		t.Errorf("ScanStats = (%d, %d), want (2, 1)", sampled, matched)
+	}
+	marks := col.ScanMarks()
+	if len(marks) != 2 || marks[0].Domain != "pypal.com" || !marks[0].Matched {
+		t.Errorf("marks = %+v", marks)
+	}
+
+	m.InstrumentTrace(nil) // detach must be safe
+	m.Match("pypal.com")
+	if s, _ := col.ScanStats(); s != 2 {
+		t.Error("detached collector still observed scans")
+	}
+}

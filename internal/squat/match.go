@@ -6,6 +6,7 @@ import (
 
 	"squatphi/internal/confusables"
 	"squatphi/internal/obs"
+	"squatphi/internal/obs/trace"
 	"squatphi/internal/punycode"
 )
 
@@ -33,6 +34,10 @@ type Matcher struct {
 	// met is nil until InstrumentMetrics; all handles are atomic so Match
 	// stays shareable across goroutines.
 	met *matcherMetrics
+
+	// trace is nil until InstrumentTrace; it receives head-sampled scan
+	// provenance marks (1-in-N by domain hash, worker-count invariant).
+	trace *trace.Collector
 
 	// brandHash and fp are computed once at construction; see BrandHash
 	// and Fingerprint.
@@ -79,6 +84,12 @@ func (m *Matcher) InstrumentMetrics(reg *obs.Registry) {
 	}
 	m.met = met
 }
+
+// InstrumentTrace points the matcher's scan-provenance sink at col (nil
+// detaches). Like InstrumentMetrics, call it before sharing the matcher
+// across goroutines. The hot-path cost for unsampled domains is one FNV
+// hash — see the scanbench provenance entry for the measured overhead.
+func (m *Matcher) InstrumentTrace(col *trace.Collector) { m.trace = col }
 
 type editEntry struct {
 	brand int
@@ -172,7 +183,9 @@ func (m *Matcher) Brands() []Brand { return m.brands }
 func (m *Matcher) Match(domain string) (Candidate, bool) {
 	met := m.met
 	if met == nil {
-		return m.classify(domain)
+		c, ok := m.classify(domain)
+		m.trace.ObserveScan(domain, ok)
+		return c, ok
 	}
 	// The very first call is sampled (Add returns 1), so even tiny batches
 	// record at least one scan-time observation.
@@ -190,6 +203,7 @@ func (m *Matcher) Match(domain string) (Candidate, bool) {
 		met.hits.Inc()
 		met.byType[c.Type].Inc()
 	}
+	m.trace.ObserveScan(domain, ok)
 	return c, ok
 }
 
