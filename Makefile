@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race chaos bench bench-all vet fmt fmt-check lint fuzz fuzz-smoke cover provenance-check verify paperbench pipeline clean
+.PHONY: all build test test-short race chaos bench bench-all bench-check vet fmt fmt-check lint fuzz fuzz-smoke cover provenance-check verify paperbench pipeline clean
 
 all: build vet fmt-check lint test
 
@@ -69,6 +69,19 @@ bench:
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
+# Zero-allocation gate for the scan hot loop: the matcher miss path must
+# report 0 allocs/op. TestMatchMissZeroAlloc(+Instrumented) pin it with
+# testing.AllocsPerRun; the benchmark pass re-measures with -benchmem and
+# fails on any "N allocs/op" line with N > 0. hotalloc (make lint) is the
+# static half of the same contract.
+bench-check:
+	$(GO) test -run '^TestMatchMissZeroAlloc' -count=1 ./internal/squat
+	@out=$$($(GO) test -run '^$$' -bench '^BenchmarkMatchMiss' -benchmem ./internal/squat); \
+	echo "$$out"; \
+	if echo "$$out" | awk '/allocs\/op/ && $$(NF-1) + 0 > 0 { bad = 1 } END { exit !bad }'; then \
+		echo "bench-check: miss path allocates (>0 allocs/op)"; exit 1; fi
+	@echo "bench-check: miss path at 0 allocs/op"
+
 # Short fuzz campaigns on the parser-facing packages. Each invocation
 # anchors a single target (go test allows only one -fuzz match per run).
 fuzz: fuzz-smoke
@@ -83,6 +96,9 @@ fuzz-smoke:
 	$(GO) test -fuzz '^FuzzToUnicode$$' -fuzztime 30s ./internal/punycode/
 	$(GO) test -fuzz '^FuzzSkeleton$$' -fuzztime 30s ./internal/confusables/
 	$(GO) test -fuzz '^FuzzFold$$' -fuzztime 30s ./internal/confusables/
+	$(GO) test -fuzz '^FuzzSkeletonParity$$' -fuzztime 30s ./internal/confusables/
+	$(GO) test -fuzz '^FuzzMatchBytesParity$$' -fuzztime 30s ./internal/squat/
+	$(GO) test -fuzz '^FuzzOpenBytes$$' -fuzztime 30s ./internal/snapfmt/
 
 # Per-package coverage with a floor: the detection spine (dnsx store +
 # codec, squat matcher, core pipeline, deltascan cache) and the squatvet
@@ -106,9 +122,10 @@ provenance-check:
 	$(GO) test -run '^TestGoldenProvenance$$' -count=1 .
 
 # Full verification chain: build, vet, formatting, static analysis,
-# tests (including the golden end-to-end pipeline), coverage floors,
-# the provenance golden, and the fuzz smoke campaign.
-verify: build vet fmt-check lint test cover provenance-check fuzz-smoke
+# tests (including the golden end-to-end pipeline), the zero-alloc scan
+# gate, coverage floors, the provenance golden, and the fuzz smoke
+# campaign.
+verify: build vet fmt-check lint test bench-check cover provenance-check fuzz-smoke
 
 # Regenerate every paper table and figure.
 paperbench:

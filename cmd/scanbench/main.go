@@ -1,8 +1,11 @@
 // Command scanbench measures the sharded DNS scan at increasing worker
-// counts and writes the BENCH_scan.json artifact: ns/op and records/sec at
-// 1, NumCPU/2 and NumCPU workers, plus the parallel-vs-serial speedup and
-// an equivalence check (the parallel candidate slice must be identical to
-// the serial one).
+// counts and writes the BENCH_scan.json artifact: ns/op, records/sec and
+// allocations per op at 1, 4, 8 and NumCPU workers, plus the
+// parallel-vs-serial speedup and an equivalence check (the parallel
+// candidate slice must be identical to the serial one). A match-miss
+// micro entry pins the per-record classification cost and machine-checks
+// the zero-allocation contract of the miss path — the artifact write
+// fails if a miss allocates.
 //
 // With -delta (default on) it also measures the warm-epoch incremental
 // re-scan: a deltascan.Engine is warmed on one snapshot epoch, a second
@@ -13,19 +16,36 @@
 // `make bench` runs it after the root benchmarks so the repo's perf
 // trajectory is captured next to the paper artifacts.
 //
+// With -paper the haystack is the paper's full measurement scale —
+// 224,810,532 records (Table 2: the com/net/org/info zone-file universe) —
+// streamed straight into an mmap-able columnar snapshot (internal/snapfmt)
+// without ever holding a store in memory, then scanned in place through
+// the file mapping. The artifact's "paper" section records the snapshot
+// size, write and open cost, scan throughput per worker count, RSS, and —
+// unless -paper-text=false — the cold-start and scan cost of the
+// equivalent text snapshot loaded into a heap store, with the two scans'
+// candidate slices verified identical.
+//
 // Usage:
 //
 //	scanbench [-records 200000] [-seed 1035] [-out BENCH_scan.json]
 //	          [-delta] [-churn 0.005] [-warm-reps 5]
+//	          [-paper] [-paper-records N] [-paper-dir DIR] [-paper-text]
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -35,19 +55,59 @@ import (
 	"squatphi/internal/obs"
 	"squatphi/internal/obs/trace"
 	"squatphi/internal/simrand"
+	"squatphi/internal/snapfmt"
 	"squatphi/internal/squat"
 )
+
+// paperRecords is the record count of the paper's scanned universe: the
+// 224.8M com/net/org/info records of Table 2.
+const paperRecords = 224_810_532
 
 // benchBrands is the fixed brand set the synthetic haystack is seeded
 // around; a handful of high-value brands matches the paper's skew.
 var benchBrands = []string{"paypal.com", "facebook.com", "google.com", "citibank.com", "amazon.com"}
 
-// entry is one measured worker count.
+// entry is one measured worker count. AllocsPerOp and BytesPerOp are the
+// allocation totals of one op (one full scan of the snapshot) — with the
+// zero-allocation miss path they stay flat in the worker count and
+// per-candidate costs, instead of growing with the record count.
 type entry struct {
 	Workers       int     `json:"workers"`
 	NsPerOp       int64   `json:"ns_per_op"`
 	RecordsPerSec float64 `json:"records_per_sec"`
 	Speedup       float64 `json:"speedup_vs_serial"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+}
+
+// matchMicro is the per-record classification micro-benchmark over the
+// match-miss corpus shapes. AllocsPerOp is machine-checked to be zero.
+type matchMicro struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+// paperScale is the artifact section of the -paper run: the full-universe
+// snapshot streamed to the binary columnar format and scanned through the
+// file mapping, with the text-format path measured for comparison.
+type paperScale struct {
+	Records       uint64  `json:"records"`
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+	WriteSecs     float64 `json:"write_secs"`
+	MmapOpenNs    int64   `json:"mmap_open_ns"`
+	Candidates    int     `json:"candidates"`
+	ScanEntries   []entry `json:"scan_entries"`
+	RSSMB         float64 `json:"rss_mb,omitempty"`
+	RSSPeakMB     float64 `json:"rss_peak_mb,omitempty"`
+
+	// Text-format comparison (-paper-text): the same records written as
+	// "domain,ip" lines, loaded into a heap store, and scanned there.
+	TextBytes        int64   `json:"text_bytes,omitempty"`
+	TextLoadSecs     float64 `json:"text_load_secs,omitempty"`
+	TextScanSecs     float64 `json:"text_scan_secs,omitempty"`
+	TextRSSPeakMB    float64 `json:"text_rss_peak_mb,omitempty"`
+	IdenticalToStore bool    `json:"snapshot_scan_identical_to_store,omitempty"`
 }
 
 // warmEntry is one measured warm-epoch incremental re-scan.
@@ -82,6 +142,13 @@ type artifact struct {
 	Identical  bool    `json:"parallel_identical_to_serial"`
 	Entries    []entry `json:"entries"`
 
+	// MatchMiss is the per-record classification cost with its
+	// machine-checked zero-allocation guarantee.
+	MatchMiss *matchMicro `json:"match_miss,omitempty"`
+
+	// Paper is the full-universe mmap-scan measurement (-paper).
+	Paper *paperScale `json:"paper,omitempty"`
+
 	// Provenance head-sampling overhead (serial scan).
 	Provenance *provEntry `json:"provenance,omitempty"`
 
@@ -107,6 +174,11 @@ func main() {
 	warmReps := flag.Int("warm-reps", 5, "repetitions of the warm-epoch measurement (min is reported)")
 	deltaShards := flag.Int("delta-shards", 2048, "shard count of the delta-bench snapshot stores (finer shards = finer skip granularity)")
 	traceSample := flag.Int("trace-sample", 0, "provenance head-sampling rate for the overhead measurement (1-in-N; 0 = default 64)")
+	paper := flag.Bool("paper", false, "also run the paper-scale mmap-snapshot scan (224.8M records)")
+	paperN := flag.Int("paper-records", paperRecords, "record count of the -paper run")
+	paperDir := flag.String("paper-dir", "", "directory for the -paper snapshot files (default TMPDIR)")
+	paperText := flag.Bool("paper-text", true, "measure the text-snapshot cold start and scan for comparison in the -paper run")
+	paperKeep := flag.Bool("paper-keep", false, "keep the -paper snapshot files instead of deleting them")
 	flag.Parse()
 
 	var brands []squat.Brand
@@ -127,13 +199,7 @@ func main() {
 	matcher := squat.NewMatcher(brands)
 
 	ncpu := runtime.GOMAXPROCS(0)
-	workerCounts := []int{1}
-	if half := ncpu / 2; half > 1 {
-		workerCounts = append(workerCounts, half)
-	}
-	if ncpu > 1 {
-		workerCounts = append(workerCounts, ncpu)
-	}
+	workerCounts := benchWorkerCounts(ncpu)
 
 	serial := core.ScanStore(store, matcher, 1, nil)
 	parallel := core.ScanStore(store, matcher, workerCounts[len(workerCounts)-1], nil)
@@ -152,6 +218,7 @@ func main() {
 	var serialNs int64
 	for _, w := range workerCounts {
 		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				core.ScanStore(store, matcher, w, nil)
 			}
@@ -160,6 +227,8 @@ func main() {
 			Workers:       w,
 			NsPerOp:       res.NsPerOp(),
 			RecordsPerSec: float64(store.Len()) / (float64(res.NsPerOp()) / 1e9),
+			AllocsPerOp:   res.AllocsPerOp(),
+			BytesPerOp:    res.AllocedBytesPerOp(),
 		}
 		if w == 1 {
 			serialNs = e.NsPerOp
@@ -168,10 +237,16 @@ func main() {
 			e.Speedup = float64(serialNs) / float64(e.NsPerOp)
 		}
 		art.Entries = append(art.Entries, e)
-		log.Printf("workers=%-3d %12d ns/op %12.0f records/sec  %.2fx", w, e.NsPerOp, e.RecordsPerSec, e.Speedup)
+		log.Printf("workers=%-3d %12d ns/op %12.0f records/sec  %.2fx  %d allocs/op",
+			w, e.NsPerOp, e.RecordsPerSec, e.Speedup, e.AllocsPerOp)
 	}
 
+	benchMatchMiss(&art, matcher)
 	benchProvenance(&art, store, matcher, *warmReps, *traceSample)
+
+	if *paper {
+		benchPaperScale(&art, matcher, planted, *seed, *paperN, *paperDir, *paperText, *paperKeep, workerCounts)
+	}
 
 	if *delta {
 		benchWarmEpoch(&art, store, matcher, workerCounts, *seed, *churn, *warmReps, *deltaShards)
@@ -268,6 +343,7 @@ func benchWarmEpoch(art *artifact, src *dnsx.Store, matcher *squat.Matcher, work
 
 	for _, w := range workerCounts {
 		coldRes := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				core.ScanStore(epoch1Cold, matcher, w, nil)
 			}
@@ -334,4 +410,240 @@ func churnEpoch(epoch0 *dnsx.Store, seed uint64, churn float64) (*dnsx.Store, in
 		return true
 	})
 	return next, changed
+}
+
+// benchWorkerCounts is the measured worker-count ladder: serial, 4, 8 and
+// NumCPU, deduplicated and sorted. Counts above NumCPU are still measured
+// — on a narrow machine they document that the scan does not degrade when
+// over-subscribed, and the equivalence check holds at every width.
+func benchWorkerCounts(ncpu int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, w := range []int{1, 4, 8, ncpu} {
+		if w > 0 && !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// missShapes is the match-miss micro corpus: the domain shapes a real scan
+// spends nearly all its time on, none of which match anything.
+var missShapes = [][]byte{
+	[]byte("example.com"),
+	[]byte("somedomain.net"),
+	[]byte("deep.sub.domain.org"),
+	[]byte("shop-fresh-market.io"),
+	[]byte("smartlabs42.co.uk"),
+	[]byte("faceb00k-ish-but-not.xyz"),
+}
+
+// benchMatchMiss measures the per-record classification cost over the
+// miss shapes and machine-checks the tentpole contract: the miss path
+// must not allocate. A violation fails the artifact write outright, so a
+// regression cannot slip into BENCH_scan.json unnoticed.
+func benchMatchMiss(art *artifact, matcher *squat.Matcher) {
+	var s squat.Scratch
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			matcher.MatchBytes(missShapes[i%len(missShapes)], &s)
+		}
+	})
+	mm := &matchMicro{
+		NsPerOp:     res.NsPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+	art.MatchMiss = mm
+	log.Printf("match miss: %d ns/op, %d allocs/op, %d B/op", mm.NsPerOp, mm.AllocsPerOp, mm.BytesPerOp)
+	if mm.AllocsPerOp != 0 {
+		log.Fatalf("match-miss path allocated %d times per record; the zero-allocation contract is broken", mm.AllocsPerOp)
+	}
+}
+
+// benchPaperScale streams a paper-scale snapshot (records total, planted
+// squats included) into the binary columnar format, mmaps it back, and
+// measures the in-place scan — the end-to-end run behind the headline
+// records/sec number. With text enabled the identical record stream is
+// also written as a "domain,ip" text snapshot and replayed through the
+// heap-store path for the cold-start and memory comparison.
+func benchPaperScale(art *artifact, matcher *squat.Matcher, planted []string, seed uint64, records int, dir string, text, keep bool, workerCounts []int) {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	if records <= len(planted) {
+		log.Fatalf("-paper-records %d must exceed the %d planted squats", records, len(planted))
+	}
+	spec := dnsx.SnapshotSpec{Planted: planted, NoiseRecords: records - len(planted), Seed: seed}
+	snapPath := filepath.Join(dir, "squatphi_paper.snap")
+	textPath := filepath.Join(dir, "squatphi_paper.csv")
+	if !keep {
+		defer os.Remove(snapPath)
+		defer os.Remove(textPath)
+	}
+
+	ps := &paperScale{Records: uint64(records)}
+	art.Paper = ps
+	log.Printf("paper scale: streaming %d records to %s ...", records, snapPath)
+	start := time.Now()
+	if err := writePaperFiles(spec, snapPath, textPath, text); err != nil {
+		log.Fatal(err)
+	}
+	ps.WriteSecs = time.Since(start).Seconds()
+	if fi, err := os.Stat(snapPath); err == nil {
+		ps.SnapshotBytes = fi.Size()
+	}
+	if text {
+		if fi, err := os.Stat(textPath); err == nil {
+			ps.TextBytes = fi.Size()
+		}
+	}
+	log.Printf("paper scale: wrote %.2f GB snapshot in %.1fs", float64(ps.SnapshotBytes)/1e9, ps.WriteSecs)
+
+	start = time.Now()
+	snap, err := snapfmt.Open(snapPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer snap.Close()
+	ps.MmapOpenNs = time.Since(start).Nanoseconds()
+	if snap.Len() != uint64(records) {
+		log.Fatalf("snapshot holds %d records, want %d", snap.Len(), records)
+	}
+
+	var mmapHits []squat.Candidate
+	var serialSecs float64
+	for _, w := range workerCounts {
+		start = time.Now()
+		hits, err := core.ScanSnapshot(snap, matcher, w, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		secs := time.Since(start).Seconds()
+		e := entry{
+			Workers:       w,
+			NsPerOp:       int64(secs * 1e9),
+			RecordsPerSec: float64(records) / secs,
+		}
+		if w == 1 {
+			serialSecs = secs
+		}
+		if serialSecs > 0 {
+			e.Speedup = serialSecs / secs
+		}
+		ps.ScanEntries = append(ps.ScanEntries, e)
+		mmapHits = hits
+		log.Printf("paper scan workers=%-3d %8.1fs %12.0f records/sec  %.2fx  (%d candidates)",
+			w, secs, e.RecordsPerSec, e.Speedup, len(hits))
+	}
+	ps.Candidates = len(mmapHits)
+	if ps.Candidates == 0 {
+		log.Fatal("paper-scale scan found no candidates; the planted squats are missing")
+	}
+	ps.RSSMB, ps.RSSPeakMB = rssMB()
+
+	if text {
+		log.Printf("paper scale: loading text snapshot %s into a heap store ...", textPath)
+		start = time.Now()
+		f, err := os.Open(textPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store, err := dnsx.ReadSnapshot(bufio.NewReaderSize(f, 1<<20))
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		ps.TextLoadSecs = time.Since(start).Seconds()
+		start = time.Now()
+		storeHits := core.ScanStore(store, matcher, workerCounts[len(workerCounts)-1], nil)
+		ps.TextScanSecs = time.Since(start).Seconds()
+		ps.IdenticalToStore = reflect.DeepEqual(mmapHits, storeHits)
+		_, ps.TextRSSPeakMB = rssMB()
+		log.Printf("paper text: load %.1fs, scan %.1fs (%.0f records/sec), identical=%v, peak RSS %.0f MB",
+			ps.TextLoadSecs, ps.TextScanSecs, float64(records)/ps.TextScanSecs, ps.IdenticalToStore, ps.TextRSSPeakMB)
+		if !ps.IdenticalToStore {
+			log.Fatal("paper-scale snapshot scan diverged from the heap-store scan")
+		}
+	}
+}
+
+// writePaperFiles streams the spec once, feeding the binary snapshot
+// writer and (optionally) the text snapshot side by side, so both files
+// hold the identical record sequence.
+func writePaperFiles(spec dnsx.SnapshotSpec, snapPath, textPath string, text bool) error {
+	w := snapfmt.NewWriter(0)
+	var tf *os.File
+	var tw *bufio.Writer
+	if text {
+		var err error
+		tf, err = os.Create(textPath)
+		if err != nil {
+			return err
+		}
+		tw = bufio.NewWriterSize(tf, 1<<20)
+	}
+	line := make([]byte, 0, 64)
+	dnsx.StreamSnapshot(spec, func(domain string, ip [4]byte) bool {
+		w.Add(domain, ip)
+		if tw != nil {
+			line = append(line[:0], domain...)
+			line = append(line, ',')
+			line = strconv.AppendUint(line, uint64(ip[0]), 10)
+			line = append(line, '.')
+			line = strconv.AppendUint(line, uint64(ip[1]), 10)
+			line = append(line, '.')
+			line = strconv.AppendUint(line, uint64(ip[2]), 10)
+			line = append(line, '.')
+			line = strconv.AppendUint(line, uint64(ip[3]), 10)
+			line = append(line, '\n')
+			tw.Write(line)
+		}
+		return true
+	})
+	if tw != nil {
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(snapPath)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if _, err := w.WriteTo(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// rssMB reads the process's current and peak resident set from
+// /proc/self/status (zeros where the file or fields are unavailable, e.g.
+// off linux).
+func rssMB() (rss, peak float64) {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, 0
+	}
+	parse := func(field string) float64 {
+		i := strings.Index(string(data), field)
+		if i < 0 {
+			return 0
+		}
+		var kb float64
+		fmt.Sscanf(string(data[i+len(field):]), "%f", &kb)
+		return kb / 1024
+	}
+	return parse("VmRSS:"), parse("VmHWM:")
 }

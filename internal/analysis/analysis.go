@@ -100,7 +100,7 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 
 // All returns every analyzer squatvet ships, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, MetricName, EventName, Transport, RetryConv, LockCheck}
+	return []*Analyzer{Determinism, MetricName, EventName, Transport, RetryConv, LockCheck, HotAlloc}
 }
 
 // ByName resolves a comma-separated analyzer list ("" selects all).

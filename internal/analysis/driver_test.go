@@ -153,6 +153,20 @@ func TestRetryConvFixture(t *testing.T) {
 		"retry.Resolve default -1 is not positive; a component default of <= 0 makes the 0=default convention unsatisfiable")
 }
 
+func TestHotAllocFixture(t *testing.T) {
+	diags := runFixture(t, HotAlloc, "hotpath")
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/hotpath/hotpath.go:25:9",
+		"allocating conversion string([]byte) in //squat:hot function classify; only the map-index and comparison forms are allocation-free")
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/hotpath/hotpath.go:26:9",
+		"allocating conversion []byte(string) in //squat:hot function classify; only the map-index and comparison forms are allocation-free")
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/hotpath/hotpath.go:27:2",
+		"fmt.Sprintf in //squat:hot function classify allocates on every call; format off the hot path")
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/hotpath/hotpath.go:28:11",
+		"strings.Split in //squat:hot function classify allocates its result; use the append-style byte helpers instead")
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/hotpath/hotpath.go:29:9",
+		"strings.ToLower in //squat:hot function classify allocates its result; use the append-style byte helpers instead")
+}
+
 func TestLockCheckFixture(t *testing.T) {
 	diags := runFixture(t, LockCheck, "locker")
 	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/locker/locker.go:22:2",
@@ -251,8 +265,8 @@ func TestExpandSkipsTestdataAndHidden(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 6 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 6", len(all), err)
+	if err != nil || len(all) != 7 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 7", len(all), err)
 	}
 	sub, err := ByName("determinism, lockcheck")
 	if err != nil || len(sub) != 2 || sub[0] != Determinism || sub[1] != LockCheck {

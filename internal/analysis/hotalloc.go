@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotAllocStrings lists strings-package helpers that always allocate
+// their result. The hot path has append-style byte equivalents for each
+// (internal/confusables.AppendSkeleton, squat's appendNormalized and
+// splitETLDAt); reaching for the strings form re-introduces the per-record
+// garbage the byte matcher exists to avoid.
+var hotAllocStrings = map[string]bool{
+	"Split": true, "SplitN": true, "SplitAfter": true, "Fields": true,
+	"ToLower": true, "ToUpper": true, "Map": true, "Replace": true,
+	"ReplaceAll": true, "Repeat": true, "Join": true,
+}
+
+// HotAlloc enforces the zero-allocations-per-record contract of the scan
+// hot loop (the tentpole of the paper-scale scan: BenchmarkMatchMiss and
+// the bench-check make target gate it dynamically; this analyzer pins the
+// same invariant statically, at the pattern level).
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "forbid allocation patterns in functions marked //squat:hot: " +
+		"string([]byte) / []byte(string) conversions outside the allocation-free " +
+		"map-index and comparison forms, fmt.* calls, and allocating strings " +
+		"helpers (Split, ToLower, ...); the miss path's 0 allocs/op contract " +
+		"(BenchmarkMatchMiss, make bench-check) depends on these staying out " +
+		"of the hot loop. Known-rare allocations (hit-time, error paths) are " +
+		"accepted with a justification in squatvet.baseline",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotMarked(fd) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isHotMarked reports whether the function's doc comment carries the
+// //squat:hot directive. Directives survive in Doc.List even though
+// go/doc strips them from the rendered text.
+func isHotMarked(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == "//squat:hot" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotFunc walks one hot function body with a parent stack, so
+// conversions can be judged by the expression position they appear in.
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if conv, isConv := allocConversion(pass.Info, call); isConv {
+			if !allocFreeContext(stack, call) {
+				pass.Reportf(call.Pos(), "allocating conversion %s in //squat:hot function %s; only the map-index and comparison forms are allocation-free", conv, name)
+			}
+			return true
+		}
+		if pkgPath, selName, _, ok := qualifiedSel(pass.Info, call.Fun); ok {
+			switch {
+			case pkgPath == "fmt":
+				pass.Reportf(call.Pos(), "fmt.%s in //squat:hot function %s allocates on every call; format off the hot path", selName, name)
+			case pkgPath == "strings" && hotAllocStrings[selName]:
+				pass.Reportf(call.Pos(), "strings.%s in //squat:hot function %s allocates its result; use the append-style byte helpers instead", selName, name)
+			}
+		}
+		return true
+	})
+}
+
+// allocConversion reports whether call is a string<->[]byte conversion,
+// the two directions that copy their operand. Conversions of generic
+// type-parameter operands are not resolved (their underlying type is the
+// constraint interface); the dynamic gate catches what this misses.
+func allocConversion(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) != 1 {
+		return "", false
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return "", false
+	}
+	from := info.TypeOf(call.Args[0])
+	if from == nil {
+		return "", false
+	}
+	switch {
+	case isString(tv.Type) && isByteSlice(from):
+		return "string([]byte)", true
+	case isByteSlice(tv.Type) && isString(from):
+		return "[]byte(string)", true
+	}
+	return "", false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.String
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// allocFreeContext reports whether the conversion at the top of stack
+// sits in a position the compiler is guaranteed to compile without
+// copying: a map index (m[string(b)]) or an operand of a string
+// comparison (string(b) == s).
+func allocFreeContext(stack []ast.Node, call *ast.CallExpr) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	switch parent := stack[len(stack)-2].(type) {
+	case *ast.IndexExpr:
+		return parent.Index == call
+	case *ast.BinaryExpr:
+		switch parent.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			return parent.X == call || parent.Y == call
+		}
+	}
+	return false
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -236,6 +237,15 @@ func (l *Loader) loadDir(dir string) ([]*Package, error) {
 		}
 		isTest := strings.HasSuffix(name, "_test.go")
 		if isTest && !l.Tests {
+			continue
+		}
+		// Honour build constraints (//go:build lines and GOOS/GOARCH file
+		// suffixes) for the current platform, exactly as the go tool would:
+		// e.g. snapfmt's mmap_linux.go / mmap_other.go pair must never be
+		// type-checked together.
+		if match, err := build.Default.MatchFile(dir, name); err != nil {
+			return nil, err
+		} else if !match {
 			continue
 		}
 		file, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)

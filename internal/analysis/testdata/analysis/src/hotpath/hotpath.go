@@ -1,0 +1,38 @@
+// Package hotpath exercises the hotalloc analyzer: allocation patterns
+// inside //squat:hot functions are flagged, while the allocation-free
+// map-index and comparison conversion forms — and anything in unmarked
+// functions — pass.
+package hotpath
+
+import (
+	"fmt"
+	"strings"
+)
+
+var index = map[string]int{"paypal": 1}
+
+// classify is the hot-loop shape: the first three conversions compile
+// without copying, everything after allocates per call.
+//
+//squat:hot
+func classify(b []byte) int {
+	if n, ok := index[string(b)]; ok { // map-index form: no allocation
+		return n
+	}
+	if string(b) == "exact" || "other" < string(b) { // comparison forms: no allocation
+		return 1
+	}
+	key := string(b)                      //want:hotalloc
+	raw := []byte(label(b))               //want:hotalloc
+	fmt.Sprintf("%d", len(b))             //want:hotalloc
+	parts := strings.Split(label(b), ".") //want:hotalloc
+	low := strings.ToLower(label(b))      //want:hotalloc
+	_, _, _, _ = key, raw, parts, low
+	return 0
+}
+
+// label is not marked hot: the same patterns are fine here.
+func label(b []byte) string {
+	s := strings.ToLower(string(b))
+	return fmt.Sprintf("%s.", strings.Split(s, ".")[0])
+}

@@ -20,6 +20,8 @@ package confusables
 import (
 	"sort"
 	"strings"
+	"unicode"
+	"unicode/utf8"
 )
 
 // toASCII maps each confusable rune to the ASCII prototype it imitates.
@@ -81,6 +83,40 @@ var variants map[string][]rune
 // idempotent (Skeleton("з") == "3" but Skeleton("3") == "e").
 var fold map[rune]string
 
+// multiSeqKeys is the deterministic application order of the multiSeq
+// collapse: the map's keys, sorted once at init. Skeleton previously
+// rebuilt and re-sorted this slice on every call — at DNS-scan volume that
+// alone was two allocations and a sort per record.
+var multiSeqKeys []string
+
+// seqPair is one byte-level multiSeq rule: the two-byte sequence ab
+// collapses to rep. All curated sequences are ASCII pairs with single-byte
+// replacements; init asserts this so the byte fast path stays exact.
+type seqPair struct{ a, b, rep byte }
+
+// seqPairs mirrors multiSeq in multiSeqKeys order for the byte path.
+var seqPairs []seqPair
+
+// asciiFold is the byte fast path of the closed fold table: asciiFold[c]
+// is the single-byte prototype for an ASCII byte the table folds, or 0
+// when c folds to itself. Built at init; init asserts that every ASCII
+// fold in the curated table really is single-byte-to-single-byte.
+var asciiFold [128]byte
+
+// seqSecond marks bytes that can end a multiSeq pair, so the per-byte
+// cleanliness scan pays one table load before touching the pair list.
+var seqSecond [128]bool
+
+// dirtyFlags fuses the two per-byte cleanliness predicates — "folds to
+// another byte" and "can end a multiSeq pair" — into one table, so
+// DirtyASCII answers the common clean byte with a single load.
+var dirtyFlags [128]byte
+
+const (
+	dirtyFold      = 1 << 0
+	dirtySeqSecond = 1 << 1
+)
+
 func init() {
 	variants = make(map[string][]rune)
 	for r, proto := range toASCII {
@@ -114,6 +150,30 @@ func init() {
 			proto = b.String()
 		}
 		fold[r] = proto
+	}
+
+	multiSeqKeys = make([]string, 0, len(multiSeq))
+	for k := range multiSeq {
+		multiSeqKeys = append(multiSeqKeys, k)
+	}
+	sort.Strings(multiSeqKeys)
+	for _, k := range multiSeqKeys {
+		rep := multiSeq[k]
+		if len(k) != 2 || len(rep) != 1 || k[0] >= 0x80 || k[1] >= 0x80 || rep[0] >= 0x80 {
+			panic("confusables: multiSeq entries must be ASCII pair -> ASCII byte: " + k)
+		}
+		seqPairs = append(seqPairs, seqPair{a: k[0], b: k[1], rep: rep[0]})
+		seqSecond[k[1]] = true
+		dirtyFlags[k[1]] |= dirtySeqSecond
+	}
+	for r, proto := range fold {
+		if r < 0x80 {
+			if len(proto) != 1 || proto[0] >= 0x80 {
+				panic("confusables: ASCII fold entries must map to one ASCII byte")
+			}
+			asciiFold[byte(r)] = proto[0]
+			dirtyFlags[byte(r)] |= dirtyFold
+		}
 	}
 }
 
@@ -158,29 +218,153 @@ func Fold(r rune) string {
 // canonical form: a homograph domain and its target share a skeleton.
 // The transform is idempotent: Skeleton(Skeleton(s)) == Skeleton(s).
 func Skeleton(s string) string {
-	var b strings.Builder
-	b.Grow(len(s))
-	for _, r := range strings.ToLower(s) {
-		b.WriteString(Fold(r))
+	if selfSkeleton(s) {
+		return s
 	}
-	folded := b.String()
-	// Collapse multi-character sequences. Longest-first is irrelevant here
-	// since all sequences are length 2, but replacements may cascade
-	// ("rnn" is ambiguous); apply in deterministic key order until fixpoint.
-	keys := make([]string, 0, len(multiSeq))
-	for k := range multiSeq {
-		keys = append(keys, k)
+	return string(AppendSkeleton(nil, []byte(s)))
+}
+
+// AppendSkeleton appends Skeleton(string(src)) to dst and returns the
+// extended slice. It is the allocation-free form of Skeleton for hot
+// loops: with a reused dst buffer of sufficient capacity it performs no
+// allocations on ASCII input.
+//
+//squat:hot
+func AppendSkeleton(dst, src []byte) []byte {
+	start := len(dst)
+	ascii := true
+	for i := 0; i < len(src); i++ {
+		if src[i] >= utf8.RuneSelf {
+			ascii = false
+			break
+		}
 	}
-	sort.Strings(keys)
+	if ascii {
+		for i := 0; i < len(src); i++ {
+			c := src[i]
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if f := asciiFold[c]; f != 0 {
+				c = f
+			}
+			dst = append(dst, c)
+		}
+	} else {
+		// Mirror strings.ToLower + Fold rune by rune; invalid UTF-8 decodes
+		// to RuneError exactly as strings.Map replaces it.
+		for i := 0; i < len(src); {
+			r, size := utf8.DecodeRune(src[i:])
+			i += size
+			r = unicode.ToLower(r)
+			if p, ok := fold[r]; ok {
+				dst = append(dst, p...)
+			} else {
+				dst = utf8.AppendRune(dst, r)
+			}
+		}
+	}
+	return collapseSeqs(dst, start)
+}
+
+// collapseSeqs applies the multiSeq pair collapse to buf[start:] in place,
+// in deterministic key order until fixpoint — byte-for-byte the semantics
+// of repeated strings.ReplaceAll over the sorted keys (left-to-right,
+// non-overlapping per key; replacements may cascade, e.g. "rnn" -> "mn"
+// then the next round's "nn" never re-forms, while "rrn" -> "rm").
+//
+//squat:hot
+func collapseSeqs(buf []byte, start int) []byte {
 	for {
-		prev := folded
-		for _, k := range keys {
-			folded = strings.ReplaceAll(folded, k, multiSeq[k])
+		// One combined pass first: if no pair occurs anywhere (the common
+		// case), skip the per-key replacement passes entirely.
+		found := false
+	scan:
+		for i := start + 1; i < len(buf); i++ {
+			if c := buf[i]; c < utf8.RuneSelf && seqSecond[c] {
+				for _, p := range seqPairs {
+					if buf[i-1] == p.a && buf[i] == p.b {
+						found = true
+						break scan
+					}
+				}
+			}
 		}
-		if folded == prev {
-			return folded
+		if !found {
+			return buf
+		}
+		for _, p := range seqPairs {
+			w := start
+			for r := start; r < len(buf); {
+				if r+1 < len(buf) && buf[r] == p.a && buf[r+1] == p.b {
+					buf[w] = p.rep
+					w++
+					r += 2
+				} else {
+					buf[w] = buf[r]
+					w++
+					r++
+				}
+			}
+			buf = buf[:w]
 		}
 	}
+}
+
+// SelfSkeletonASCII reports whether b is pure ASCII and already its own
+// skeleton: no byte the fold table touches, no upper-case letter, and no
+// multiSeq pair. For such labels a matcher can reuse the label bytes as
+// the skeleton without computing anything — the common case for the
+// overwhelmingly-ASCII background of a DNS snapshot.
+//
+//squat:hot
+func SelfSkeletonASCII(b []byte) bool { return selfSkeleton(b) }
+
+// selfSkeleton is SelfSkeletonASCII generic over both byte views, so the
+// string-keyed cold paths (Skeleton, matcher construction) share the exact
+// predicate without a conversion.
+//
+//squat:hot
+func selfSkeleton[T string | []byte](b T) bool {
+	var prev byte
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if c >= utf8.RuneSelf || asciiFold[c] != 0 || ('A' <= c && c <= 'Z') {
+			return false
+		}
+		if i > 0 && seqSecond[c] {
+			for _, p := range seqPairs {
+				if prev == p.a && c == p.b {
+					return false
+				}
+			}
+		}
+		prev = c
+	}
+	return true
+}
+
+// DirtyASCII reports whether lowercase-ASCII byte c — preceded by prev —
+// breaks the self-skeleton property: the fold table maps c to another
+// byte (e.g. '1' -> 'l'), or (prev, c) forms a multiSeq confusable pair
+// (e.g. 'r','n' -> 'm'). Both bytes must be < 128. Callers fuse it into
+// an existing byte scan; the common (clean) case costs one table load.
+//
+//squat:hot
+func DirtyASCII(prev, c byte) bool {
+	f := dirtyFlags[c]
+	if f == 0 {
+		return false
+	}
+	if f&dirtyFold != 0 {
+		return true
+	}
+	for _, p := range seqPairs {
+		if prev == p.a && c == p.b {
+			return true
+		}
+	}
+	return false
 }
 
 // SkeletonEqual reports whether two strings are visually confusable with

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"reflect"
 	"testing"
 
 	"squatphi/internal/dnsx"
 	"squatphi/internal/features"
+	"squatphi/internal/snapfmt"
 	"squatphi/internal/squat"
 	"squatphi/internal/webworld"
 )
@@ -48,6 +50,36 @@ func TestScanStoreParallelEquivalence(t *testing.T) {
 		if !reflect.DeepEqual(serial, parallel) {
 			t.Fatalf("workers=%d: parallel scan differs from serial (%d vs %d candidates)",
 				workers, len(parallel), len(serial))
+		}
+	}
+}
+
+// TestScanSnapshotEquivalence extends the equivalence contract to the
+// binary snapshot path: scanning the mmap-format serialisation of a store
+// returns the exact candidate slice of ScanStore over the store itself,
+// serial and at every worker count.
+func TestScanSnapshotEquivalence(t *testing.T) {
+	store, m := scanFixture(t, 5000)
+	want := ScanStore(store, m, 1, nil)
+	if len(want) == 0 {
+		t.Fatal("store scan found no candidates")
+	}
+	var buf bytes.Buffer
+	if _, err := snapfmt.WriteStore(&buf, store); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := snapfmt.OpenBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 64} {
+		got, err := ScanSnapshot(snap, m, workers, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: snapshot scan differs from store scan (%d vs %d candidates)",
+				workers, len(got), len(want))
 		}
 	}
 }

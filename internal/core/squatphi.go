@@ -29,6 +29,7 @@ import (
 	"squatphi/internal/phishtank"
 	"squatphi/internal/render"
 	"squatphi/internal/retry"
+	"squatphi/internal/snapfmt"
 	"squatphi/internal/squat"
 	"squatphi/internal/webworld"
 )
@@ -277,8 +278,9 @@ func ScanStore(store *dnsx.Store, m *squat.Matcher, workers int, reg *obs.Regist
 	sw := obs.StartStopwatch()
 	var out []squat.Candidate
 	if workers <= 1 {
+		var sc squat.Scratch
 		store.Range(func(rec dnsx.Record) bool {
-			if c, ok := m.Match(rec.Domain); ok {
+			if c, ok := m.MatchString(rec.Domain, &sc); ok {
 				out = append(out, c)
 			}
 			return true
@@ -297,6 +299,7 @@ func ScanStore(store *dnsx.Store, m *squat.Matcher, workers int, reg *obs.Regist
 			go func(w int) {
 				defer wg.Done()
 				var buf []squat.Candidate
+				var sc squat.Scratch
 				for {
 					shard := int(next.Add(1)) - 1
 					if shard >= nShards {
@@ -304,7 +307,7 @@ func ScanStore(store *dnsx.Store, m *squat.Matcher, workers int, reg *obs.Regist
 					}
 					shardSW := obs.StartStopwatch()
 					store.RangeShard(shard, func(rec dnsx.Record) bool {
-						if c, ok := m.Match(rec.Domain); ok {
+						if c, ok := m.MatchString(rec.Domain, &sc); ok {
 							buf = append(buf, c)
 						}
 						return true
@@ -324,6 +327,84 @@ func ScanStore(store *dnsx.Store, m *squat.Matcher, workers int, reg *obs.Regist
 		reg.Gauge("core.scan_dns.records_per_sec").Set(float64(store.Len()) / secs)
 	}
 	return out
+}
+
+// ScanSnapshot runs the matcher over every record of an mmap'd binary
+// snapshot (internal/snapfmt) and returns the squatting candidates sorted
+// by domain — the scan path for paper-scale data, where records live in a
+// file mapping and are classified via MatchBytes without materializing a
+// string per record. The result is identical to ScanStore over a store
+// holding the same records, at any worker count. reg (nil-tolerant)
+// receives core.scan_snap.records_per_sec and, on the parallel path, the
+// per-segment scan-time histogram core.scan_snap.segment_ms.
+func ScanSnapshot(snap *snapfmt.Snapshot, m *squat.Matcher, workers int, reg *obs.Registry) ([]squat.Candidate, error) {
+	sw := obs.StartStopwatch()
+	var out []squat.Candidate
+	nSegs := snap.NumShards()
+	if workers <= 1 {
+		var sc squat.Scratch
+		for seg := 0; seg < nSegs; seg++ {
+			err := snap.VisitShardDomains(seg, func(domain []byte) bool {
+				if c, ok := m.MatchBytes(domain, &sc); ok {
+					out = append(out, c)
+				}
+				return true
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		segMS := reg.Histogram("core.scan_snap.segment_ms", obs.MillisBuckets)
+		if workers > nSegs {
+			workers = nSegs
+		}
+		buffers := make([][]squat.Candidate, workers)
+		errs := make([]error, workers)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var buf []squat.Candidate
+				var sc squat.Scratch
+				for {
+					seg := int(next.Add(1)) - 1
+					if seg >= nSegs {
+						break
+					}
+					segSW := obs.StartStopwatch()
+					err := snap.VisitShardDomains(seg, func(domain []byte) bool {
+						if c, ok := m.MatchBytes(domain, &sc); ok {
+							buf = append(buf, c)
+						}
+						return true
+					})
+					if err != nil {
+						errs[w] = err
+						break
+					}
+					segMS.Observe(segSW.Millis())
+				}
+				buffers[w] = buf
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, buf := range buffers {
+			out = append(out, buf...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	if secs := sw.Seconds(); secs > 0 {
+		reg.Gauge("core.scan_snap.records_per_sec").Set(float64(snap.Len()) / secs)
+	}
+	return out, nil
 }
 
 // ScanDNS runs the squatting matcher over the whole snapshot and returns

@@ -338,13 +338,14 @@ func (e *Engine) report(st Stats) {
 // stamps fresh verdicts for provenance.
 func (sh *shardState) rescan(store *dnsx.Store, shard int, m *squat.Matcher, epoch int) (walked, hits int, pruned bool) {
 	cands := make([]squat.Candidate, 0, len(sh.cands))
+	var sc squat.Scratch
 	store.RangeShard(shard, func(r dnsx.Record) bool {
 		walked++
 		v, ok := sh.cache[r.Domain]
 		if ok {
 			hits++
 		} else {
-			v.cand, v.ok = m.Match(r.Domain)
+			v.cand, v.ok = m.MatchString(r.Domain, &sc)
 			v.epoch = epoch
 			sh.cache[r.Domain] = v
 		}

@@ -109,6 +109,39 @@ func GenerateSnapshot(spec SnapshotSpec) *Store {
 	return s
 }
 
+// StreamSnapshot delivers the exact record population GenerateSnapshot
+// would build — same spec, same RNG sub-streams, same order (planted
+// first, then the noise stripes in stripe order) — to fn, one record at a
+// time, without materialising a Store. It exists for scan-scale snapshot
+// writing (internal/snapfmt), where holding hundreds of millions of
+// records as a map-backed store is the thing being avoided.
+//
+// Unlike the Store path, nothing deduplicates here: a domain the noise
+// streams mint twice is delivered twice (a Store built from this stream
+// by Add collapses them, reproducing GenerateSnapshot exactly). Domains
+// are already normalised. fn is called on the calling goroutine;
+// returning false stops the stream.
+func StreamSnapshot(spec SnapshotSpec, fn func(domain string, ip [4]byte) bool) {
+	base := simrand.New(spec.Seed).Split("dns-snapshot")
+	plantedRNG := base.Split("planted")
+	for _, d := range spec.Planted {
+		if !fn(normalize(d), RandomIP(plantedRNG)) {
+			return
+		}
+	}
+	noiseRNG := base.Split("noise")
+	for g := 0; g < genStripes; g++ {
+		r := noiseRNG.SplitN(uint64(g))
+		start := g * spec.NoiseRecords / genStripes
+		end := (g + 1) * spec.NoiseRecords / genStripes
+		for i := start; i < end; i++ {
+			if !fn(noiseDomain(r), RandomIP(r)) {
+				return
+			}
+		}
+	}
+}
+
 // noiseDomain mints one background domain name (already normalised:
 // lowercase, no trailing dot).
 func noiseDomain(r *simrand.RNG) string {

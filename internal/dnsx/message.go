@@ -106,10 +106,30 @@ type Message struct {
 	Additional []RR
 }
 
+// lowerNameASCII lowercases A-Z only. DNS case-insensitivity (RFC 1035
+// §2.3.3) is defined on ASCII letters; Unicode-aware lowering would
+// rewrite arbitrary octets — and can lengthen them (invalid UTF-8 bytes
+// become the 3-byte replacement rune), pushing a wire-legal label past
+// the 63-octet limit on repack (found by FuzzUnpack).
+func lowerNameASCII(name string) string {
+	for i := 0; i < len(name); i++ {
+		if c := name[i]; 'A' <= c && c <= 'Z' {
+			b := []byte(name)
+			for j := i; j < len(b); j++ {
+				if 'A' <= b[j] && b[j] <= 'Z' {
+					b[j] += 'a' - 'A'
+				}
+			}
+			return string(b)
+		}
+	}
+	return name
+}
+
 // packName appends the wire encoding of a domain name to buf, using the
 // compression map (name suffix -> offset) when a suffix was already packed.
 func packName(buf []byte, name string, compress map[string]int) ([]byte, error) {
-	name = strings.TrimSuffix(strings.ToLower(name), ".")
+	name = strings.TrimSuffix(lowerNameASCII(name), ".")
 	if name == "" {
 		return append(buf, 0), nil
 	}

@@ -175,6 +175,22 @@ func RecordHash(domain string, ip [4]byte) uint64 {
 	return h ^ (h >> 31)
 }
 
+// RecordHashBytes is RecordHash over a domain held as raw bytes (e.g. a
+// slice into an mmap'd snapshot arena), avoiding the string conversion.
+//
+//squat:hot
+func RecordHashBytes(domain []byte, ip [4]byte) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(domain); i++ {
+		h ^= uint64(domain[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(ip[0])<<24 | uint64(ip[1])<<16 | uint64(ip[2])<<8 | uint64(ip[3])
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
 // ShardChecksum returns the rolling content checksum of one shard: a
 // commutative sum of RecordHash over the shard's current records. Equal
 // checksums mean (up to hash collision) equal record sets, independent of

@@ -112,6 +112,38 @@ func TestGenerateSnapshotDeterministic(t *testing.T) {
 	}
 }
 
+// TestStreamSnapshotMatchesGenerate pins StreamSnapshot's contract: adding
+// its records to a store in delivery order reproduces GenerateSnapshot of
+// the same spec exactly — contents, iteration order and shard checksums.
+func TestStreamSnapshotMatchesGenerate(t *testing.T) {
+	spec := SnapshotSpec{Planted: []string{"facebook-login.com", "PayPal.net."}, NoiseRecords: 5000, Seed: 7}
+	want := GenerateSnapshot(spec)
+	got := NewStore()
+	streamed := 0
+	StreamSnapshot(spec, func(domain string, ip [4]byte) bool {
+		got.Add(domain, ip)
+		streamed++
+		return true
+	})
+	if streamed != len(spec.Planted)+spec.NoiseRecords {
+		t.Fatalf("streamed %d records, want %d", streamed, len(spec.Planted)+spec.NoiseRecords)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("store sizes differ: streamed %d vs generated %d", got.Len(), want.Len())
+	}
+	for i, cs := range want.Checksums() {
+		if got.ShardChecksum(i) != cs {
+			t.Fatalf("shard %d checksum differs", i)
+		}
+	}
+	wantRecs, gotRecs := want.Domains(), got.Domains()
+	for i := range wantRecs {
+		if wantRecs[i] != gotRecs[i] {
+			t.Fatalf("iteration order differs at %d: %q vs %q", i, gotRecs[i], wantRecs[i])
+		}
+	}
+}
+
 func TestGenerateSnapshotSeedsDiffer(t *testing.T) {
 	a := GenerateSnapshot(SnapshotSpec{NoiseRecords: 100, Seed: 1})
 	b := GenerateSnapshot(SnapshotSpec{NoiseRecords: 100, Seed: 2})

@@ -124,6 +124,38 @@ func (c *Collector) ObserveScan(domain string, matched bool) {
 	c.recordMark(domain, matched)
 }
 
+// fnv1aBytes is fnv1a over a byte view — same hash, so ObserveScanBytes
+// samples exactly the domains ObserveScan would.
+func fnv1aBytes(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// ObserveScanBytes is ObserveScan for a domain held as raw bytes (the
+// mmap-backed snapshot scan path). The domain is converted to a string
+// only when it falls in the head sample, keeping the unsampled hot path
+// allocation-free.
+//
+//squat:hot
+func (c *Collector) ObserveScanBytes(domain []byte, matched bool) {
+	if c == nil || c.sampleEvery == 0 {
+		return
+	}
+	h := fnv1aBytes(domain)
+	if c.sampleMask != 0 {
+		if h&c.sampleMask != 0 {
+			return
+		}
+	} else if h%c.sampleEvery != 0 {
+		return
+	}
+	c.recordMark(string(domain), matched)
+}
+
 // recordMark is ObserveScan's sampled slow path.
 func (c *Collector) recordMark(domain string, matched bool) {
 	c.scansSampled.Add(1)

@@ -1,0 +1,40 @@
+//go:build linux
+
+package snapfmt
+
+import (
+	"io"
+	"os"
+	"syscall"
+)
+
+// mapFile maps a file read-only via mmap. Cold start on a paper-scale
+// snapshot is then a few syscalls: the 5+GB of columns are faulted in by
+// the scan itself, sequentially, at page-cache speed. The returned
+// closer unmaps.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		// mmap of length 0 is EINVAL; an empty file is simply not a
+		// snapshot, and OpenBytes reports that uniformly.
+		return nil, func() error { return nil }, nil
+	}
+	if size < 0 || size != int64(int(size)) {
+		return nil, nil, corruptf("file size %d not mappable", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap support (some fuse mounts) fall back
+		// to a plain read.
+		return readFile(f, size)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}
+
+// readFile is the portable fallback: read the whole file into memory.
+func readFile(f *os.File, size int64) ([]byte, func() error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

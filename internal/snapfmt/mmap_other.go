@@ -1,0 +1,21 @@
+//go:build !linux
+
+package snapfmt
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on non-linux platforms reads the file into memory; the
+// Snapshot API is identical, only cold start pays a full read.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size < 0 || size != int64(int(size)) {
+		return nil, nil, corruptf("file size %d not readable", size)
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

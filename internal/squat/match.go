@@ -1,13 +1,11 @@
 package squat
 
 import (
-	"strings"
 	"sync/atomic"
 
 	"squatphi/internal/confusables"
 	"squatphi/internal/obs"
 	"squatphi/internal/obs/trace"
-	"squatphi/internal/punycode"
 )
 
 // Matcher classifies observed DNS domains against a set of target brands.
@@ -28,6 +26,13 @@ type Matcher struct {
 	bySkeleton map[string]int
 	// edits maps every generated bits/typo label to (brand index, type).
 	edits map[string]editEntry
+	// fast folds byName, bySkeleton and edits into one combined map for
+	// labels that are their own skeleton — the hot-loop common case, which
+	// then costs a single lookup instead of three. fastLens is the bitmask
+	// of key lengths present, letting labels of unindexed lengths skip the
+	// lookup entirely. See classifyBytes.
+	fast     map[string]fastEntry
+	fastLens uint64
 	// ac finds brand names inside hyphenated labels for combo detection.
 	ac *ahoCorasick
 
@@ -122,6 +127,7 @@ func NewMatcher(brands []Brand) *Matcher {
 		}
 	}
 	m.ac = newAhoCorasick(names)
+	m.buildFast()
 
 	// Brand-universe hash: FNV-1a over the ordered brand domains. The brand
 	// order is part of the universe on purpose — combo matching prefers the
@@ -180,82 +186,26 @@ func (m *Matcher) Brands() []Brand { return m.brands }
 // Match classifies a single observed domain. The bool result reports
 // whether the domain is a squatting domain of any indexed brand. Domains
 // equal to a brand's own domain (or a subdomain of it) return false.
+//
+// Match borrows scratch buffers from a pool; scan loops that own a
+// per-worker Scratch should call MatchString or MatchBytes directly.
 func (m *Matcher) Match(domain string) (Candidate, bool) {
-	met := m.met
-	if met == nil {
-		c, ok := m.classify(domain)
-		m.trace.ObserveScan(domain, ok)
-		return c, ok
-	}
-	// The very first call is sampled (Add returns 1), so even tiny batches
-	// record at least one scan-time observation.
-	sampled := met.calls.Add(1)%scanSampleEvery == 1
-	var sw obs.Stopwatch
-	if sampled {
-		sw = obs.StartStopwatch()
-	}
-	c, ok := m.classify(domain)
-	if sampled {
-		met.scanUS.Observe(sw.Micros())
-	}
-	met.scanned.Inc()
-	if ok {
-		met.hits.Inc()
-		met.byType[c.Type].Inc()
-	}
-	m.trace.ObserveScan(domain, ok)
+	s := scratchPool.Get().(*Scratch)
+	c, ok := m.MatchString(domain, s)
+	scratchPool.Put(s)
 	return c, ok
 }
 
-// classify applies the five squatting rules in precedence order.
+// classify applies the five squatting rules in precedence order. It is the
+// uninstrumented core shared by Match and Explain.
 func (m *Matcher) classify(domain string) (Candidate, bool) {
-	label, tld := SplitETLD(domain)
-	if label == "" {
-		return Candidate{}, false
-	}
-
-	// Exact brand-name match: the brand's own domain or a wrongTLD squat.
-	if bi, ok := m.byName[label]; ok {
-		if m.brands[bi].TLD == tld {
-			return Candidate{}, false // the original site
-		}
-		return m.candidate(domain, WrongTLD, bi), true
-	}
-
-	// Homograph: fold IDN form and confusables to a skeleton and compare.
-	uni := label
-	if punycode.IsACE(label) {
-		uni, _ = SplitETLD(punycode.ToUnicode(domain))
-	}
-	if bi, ok := m.bySkeleton[confusables.Skeleton(uni)]; ok {
-		return m.candidate(domain, Homograph, bi), true
-	}
-
-	// Bits and typo: single-edit labels precomputed per brand.
-	if e, ok := m.edits[label]; ok {
-		return m.candidate(domain, e.typ, e.brand), true
-	}
-
-	// Combo: a hyphenated label containing a brand name.
-	if strings.Contains(label, "-") {
-		found := -1
-		m.ac.match(label, func(pat int32, end int) bool {
-			// Prefer the longest brand occurrence so "facebook-login"
-			// matches facebook, not a hypothetical brand "face".
-			if found == -1 || len(m.brands[pat].Name) > len(m.brands[found].Name) {
-				found = int(pat)
-			}
-			return true
-		})
-		if found >= 0 {
-			return m.candidate(domain, Combo, found), true
-		}
-	}
-	return Candidate{}, false
-}
-
-func (m *Matcher) candidate(domain string, t Type, brand int) Candidate {
-	return Candidate{Domain: strings.ToLower(strings.TrimSuffix(domain, ".")), Type: t, Brand: m.brands[brand]}
+	s := scratchPool.Get().(*Scratch)
+	_, clean, _, _ := prescan(domain)
+	s.norm = appendNormalized(s.norm[:0], domain)
+	d1, d2 := lastTwoDots(s.norm)
+	c, ok := m.classifyBytes(s.norm, clean, d1, d2, s)
+	scratchPool.Put(s)
+	return c, ok
 }
 
 // MatchAll classifies a batch of domains, returning only the squatting hits.

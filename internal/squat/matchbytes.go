@@ -1,0 +1,438 @@
+package squat
+
+import (
+	"bytes"
+	"sync"
+	"unicode"
+	"unicode/utf8"
+
+	"squatphi/internal/confusables"
+	"squatphi/internal/obs"
+	"squatphi/internal/punycode"
+)
+
+// Scratch holds the reusable buffers of one matcher worker. The
+// allocation-free match path (MatchString, MatchBytes) normalizes the
+// observed domain and derives its confusable skeleton into these buffers
+// instead of allocating per record; after a few records the buffers reach
+// steady-state capacity and the miss path performs zero allocations.
+//
+// A Scratch must not be shared between concurrent goroutines. The zero
+// value is ready to use.
+type Scratch struct {
+	norm []byte // normalized domain: lowercase, no trailing dot
+	skel []byte // confusable skeleton of the registrable label
+}
+
+// scratchPool backs the scratch-less convenience entry points (Match,
+// MatchAll, Explain) so they stay allocation-light without forcing every
+// caller to thread a Scratch.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// fastEntry folds the three label indexes — exact brand name, brand
+// skeleton, bits/typo edit table — into one map entry. For a label that
+// is already its own skeleton (the overwhelming majority of a DNS
+// snapshot), a single lookup in the fast map answers the first three
+// classification rules in precedence order; only hyphenated labels go on
+// to the combo automaton.
+type fastEntry struct {
+	name     int32 // brand index for an exact-name match, -1 if none
+	skel     int32 // brand index for a skeleton match, -1 if none
+	edit     int32 // brand index for an edit-table match, -1 if none
+	editType Type
+}
+
+// lenBit maps a label length to its bit in the fastLens mask (lengths
+// beyond 63 share the top bit).
+func lenBit(n int) uint64 {
+	if n > 63 {
+		n = 63
+	}
+	return 1 << uint(n)
+}
+
+// buildFast derives the combined fast map from the three per-rule indexes.
+// Keys that can never be reached through the fast path (e.g. edit labels
+// containing digit substitutions, which classify as "dirty") are harmless:
+// dirty labels consult the per-rule maps directly.
+func (m *Matcher) buildFast() {
+	m.fast = make(map[string]fastEntry, len(m.byName)+len(m.bySkeleton)+len(m.edits))
+	get := func(k string) fastEntry {
+		if e, ok := m.fast[k]; ok {
+			return e
+		}
+		return fastEntry{name: -1, skel: -1, edit: -1}
+	}
+	for k, i := range m.byName {
+		e := get(k)
+		e.name = int32(i)
+		m.fast[k] = e
+	}
+	for k, i := range m.bySkeleton {
+		e := get(k)
+		e.skel = int32(i)
+		m.fast[k] = e
+	}
+	for k, ee := range m.edits {
+		e := get(k)
+		e.edit = int32(ee.brand)
+		e.editType = ee.typ
+		m.fast[k] = e
+	}
+	for k := range m.fast {
+		m.fastLens |= lenBit(len(k))
+	}
+}
+
+// byteClass drives prescan: one table load classifies a raw input byte as
+// ordinary (0), a label separator, in need of normalization (uppercase or
+// non-ASCII), self-skeleton-breaking after lowering (a fold byte), or a
+// possible second byte of a confusable pair. Built at init from the
+// confusables tables so the two stay in lockstep by construction.
+var byteClass [256]byte
+
+const (
+	classDot   = 1 << iota // '.': label separator, tracked for splitETLD
+	classNorm              // uppercase or non-ASCII: needs normalization
+	classDirty             // folds to another byte once lowered
+	classSeq               // can end a multiSeq pair once lowered
+)
+
+func init() {
+	for i := 0; i < 256; i++ {
+		c := byte(i)
+		if c >= utf8.RuneSelf {
+			byteClass[i] = classNorm | classDirty
+			continue
+		}
+		if c == '.' {
+			byteClass[i] = classDot
+			continue
+		}
+		if 'A' <= c && c <= 'Z' {
+			byteClass[i] |= classNorm
+			c += 'a' - 'A'
+		}
+		// DirtyASCII with a never-pairing prev isolates the fold predicate;
+		// probing every prev finds the pair-second bytes.
+		if confusables.DirtyASCII(0, c) {
+			byteClass[i] |= classDirty
+			continue
+		}
+		for prev := byte(1); prev < utf8.RuneSelf; prev++ {
+			if confusables.DirtyASCII(prev, c) {
+				byteClass[i] |= classSeq
+				break
+			}
+		}
+	}
+}
+
+// prescan walks a raw domain once and answers the questions of the match
+// entry: does it need normalization (upper-case byte, trailing dot, or
+// non-ASCII), is its normalized form pure ASCII that is its own
+// confusable skeleton, and where are its last two '.' separators (-1 when
+// absent; valid only when needNorm is false, since normalization shifts
+// positions). The clean answer is conservative over the whole domain — a
+// fold byte in the subdomain or TLD sends a clean label down the dirty
+// path, which computes the same verdict, just slower.
+//
+//squat:hot
+func prescan[T string | []byte](domain T) (needNorm, clean bool, d1, d2 int) {
+	n := len(domain)
+	if n > 0 && domain[n-1] == '.' {
+		needNorm = true
+	}
+	clean = true
+	d1, d2 = -1, -1
+	var prev byte
+	for i := 0; i < n; i++ {
+		c := domain[i]
+		f := byteClass[c]
+		if f == 0 {
+			prev = c
+			continue
+		}
+		if f == classDot {
+			d2, d1 = d1, i
+			prev = c
+			continue
+		}
+		if c >= utf8.RuneSelf {
+			return true, false, 0, 0
+		}
+		if f&classNorm != 0 {
+			needNorm = true
+			c += 'a' - 'A'
+		}
+		if f&classDirty != 0 || (f&classSeq != 0 && confusables.DirtyASCII(prev, c)) {
+			clean = false
+			if needNorm {
+				return true, false, 0, 0 // nothing left to learn
+			}
+		}
+		prev = c
+	}
+	return needNorm, clean, d1, d2
+}
+
+// lastTwoDots recomputes the dot positions prescan could not carry across
+// normalization.
+func lastTwoDots(norm []byte) (d1, d2 int) {
+	d1 = bytes.LastIndexByte(norm, '.')
+	if d1 < 0 {
+		return -1, -1
+	}
+	return d1, bytes.LastIndexByte(norm[:d1], '.')
+}
+
+// MatchString classifies one observed domain using caller-owned scratch
+// buffers. It is Match with the per-call scratch pool round trip factored
+// out: a scan worker that owns a Scratch performs no allocations on the
+// miss path (uninstrumented matcher; see BenchmarkMatchMiss and the
+// bench-check gate).
+//
+//squat:hot
+func (m *Matcher) MatchString(domain string, s *Scratch) (Candidate, bool) {
+	needNorm, clean, d1, d2 := prescan(domain)
+	if needNorm {
+		s.norm = appendNormalized(s.norm[:0], domain)
+		d1, d2 = lastTwoDots(s.norm)
+	} else {
+		s.norm = append(s.norm[:0], domain...)
+	}
+	met := m.met
+	if met == nil {
+		c, ok := m.classifyBytes(s.norm, clean, d1, d2, s)
+		m.trace.ObserveScan(domain, ok)
+		return c, ok
+	}
+	sampled := met.calls.Add(1)%scanSampleEvery == 1
+	var sw obs.Stopwatch
+	if sampled {
+		sw = obs.StartStopwatch()
+	}
+	c, ok := m.classifyBytes(s.norm, clean, d1, d2, s)
+	if sampled {
+		met.scanUS.Observe(sw.Micros())
+	}
+	met.scanned.Inc()
+	if ok {
+		met.hits.Inc()
+		met.byType[c.Type].Inc()
+	}
+	m.trace.ObserveScan(domain, ok)
+	return c, ok
+}
+
+// MatchBytes classifies one observed domain given as raw bytes — the
+// entry point for scanning mmap-backed snapshots (internal/snapfmt),
+// where domains are byte slices into a file mapping and never exist as
+// strings. Verdicts, metrics and trace sampling are identical to Match on
+// the equivalent string; a string is materialized only at hit time (for
+// the Candidate) or when the domain falls into the provenance head
+// sample.
+//
+//squat:hot
+func (m *Matcher) MatchBytes(domain []byte, s *Scratch) (Candidate, bool) {
+	// Already-normalized input (every store record and generated snapshot
+	// domain) is classified in place — no copy at all on the miss path.
+	needNorm, clean, d1, d2 := prescan(domain)
+	norm := domain
+	if needNorm {
+		s.norm = appendNormalized(s.norm[:0], domain)
+		norm = s.norm
+		d1, d2 = lastTwoDots(norm)
+	}
+	met := m.met
+	if met == nil {
+		c, ok := m.classifyBytes(norm, clean, d1, d2, s)
+		m.trace.ObserveScanBytes(domain, ok)
+		return c, ok
+	}
+	sampled := met.calls.Add(1)%scanSampleEvery == 1
+	var sw obs.Stopwatch
+	if sampled {
+		sw = obs.StartStopwatch()
+	}
+	c, ok := m.classifyBytes(norm, clean, d1, d2, s)
+	if sampled {
+		met.scanUS.Observe(sw.Micros())
+	}
+	met.scanned.Inc()
+	if ok {
+		met.hits.Inc()
+		met.byType[c.Type].Inc()
+	}
+	m.trace.ObserveScanBytes(domain, ok)
+	return c, ok
+}
+
+// classifyBytes applies the five squatting rules in precedence order over
+// a normalized domain. norm must be lowercase without a trailing dot;
+// clean reports that the whole of norm is ASCII that is its own skeleton
+// (a conservative prescan result — false only costs the slower dirty
+// path, never a different verdict); d1, d2 are the positions of the last
+// two '.' bytes of norm (-1 when absent), carried over from prescan so
+// the eTLD split costs no second pass. The returned Candidate copies norm
+// at hit time only.
+//
+//squat:hot
+func (m *Matcher) classifyBytes(norm []byte, clean bool, d1, d2 int, s *Scratch) (Candidate, bool) {
+	label, tld := splitETLDAt(norm, d1, d2)
+	if len(label) == 0 {
+		return Candidate{}, false
+	}
+
+	if clean && !isACELabel(label) {
+		// Fast path: the label is plain ASCII and its own skeleton, so one
+		// combined lookup answers exact-name, homograph and edit-table in
+		// precedence order without computing anything. Labels whose length
+		// no fast-map key has (checked against a 2ns bitmask) skip even
+		// that lookup.
+		if m.fastLens&lenBit(len(label)) != 0 {
+			if e, ok := m.fast[string(label)]; ok {
+				switch {
+				case e.name >= 0:
+					if eqBytesString(tld, m.brands[e.name].TLD) {
+						return Candidate{}, false // the original site
+					}
+					return m.hit(norm, WrongTLD, int(e.name))
+				case e.skel >= 0:
+					return m.hit(norm, Homograph, int(e.skel))
+				default:
+					return m.hit(norm, e.editType, int(e.edit))
+				}
+			}
+		}
+		return m.combo(norm, label)
+	}
+
+	// Dirty path: the label carries case-folds, confusable bytes, pair
+	// sequences or an ACE prefix; walk the rules one by one.
+	if bi, ok := m.byName[string(label)]; ok {
+		if eqBytesString(tld, m.brands[bi].TLD) {
+			return Candidate{}, false // the original site
+		}
+		return m.hit(norm, WrongTLD, bi)
+	}
+	if isACELabel(label) {
+		// IDN homograph: decode and re-split through the string path.
+		// ACE labels are rare in a snapshot; the allocations here are
+		// off the 0-allocs/op miss budget by construction.
+		uni, _ := SplitETLD(punycode.ToUnicode(string(norm)))
+		if bi, ok := m.bySkeleton[confusables.Skeleton(uni)]; ok {
+			return m.hit(norm, Homograph, bi)
+		}
+	} else {
+		s.skel = confusables.AppendSkeleton(s.skel[:0], label)
+		if bi, ok := m.bySkeleton[string(s.skel)]; ok {
+			return m.hit(norm, Homograph, bi)
+		}
+	}
+	if e, ok := m.edits[string(label)]; ok {
+		return m.hit(norm, e.typ, e.brand)
+	}
+	return m.combo(norm, label)
+}
+
+// combo applies the final rule: a hyphenated label containing a brand
+// name.
+//
+//squat:hot
+func (m *Matcher) combo(norm, label []byte) (Candidate, bool) {
+	if bytes.IndexByte(label, '-') < 0 {
+		return Candidate{}, false
+	}
+	if best := m.ac.bestMatch(label); best >= 0 {
+		return m.hit(norm, Combo, int(best))
+	}
+	return Candidate{}, false
+}
+
+// hit materializes a Candidate — the only allocation of the match path,
+// deferred to hit time (hits are ~per-million events in a real snapshot).
+func (m *Matcher) hit(norm []byte, t Type, brand int) (Candidate, bool) {
+	return Candidate{Domain: string(norm), Type: t, Brand: m.brands[brand]}, true
+}
+
+// appendNormalized appends the normalized form of domain — lowercase with
+// one trailing dot removed, exactly strings.ToLower(strings.TrimSuffix(d,
+// ".")) — to dst. Generic over both byte views so the string and []byte
+// entry points share one implementation.
+//
+//squat:hot
+func appendNormalized[T string | []byte](dst []byte, domain T) []byte {
+	n := len(domain)
+	if n > 0 && domain[n-1] == '.' {
+		n--
+	}
+	for i := 0; i < n; i++ {
+		c := domain[i]
+		if c >= utf8.RuneSelf {
+			return appendLowerRunes(dst, string(domain[i:n]))
+		}
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// appendLowerRunes is appendNormalized's non-ASCII tail: rune-by-rune
+// Unicode lowering, mirroring strings.ToLower (invalid UTF-8 decodes to
+// RuneError exactly as strings.Map replaces it).
+func appendLowerRunes(dst []byte, rest string) []byte {
+	for _, r := range rest {
+		dst = utf8.AppendRune(dst, unicode.ToLower(r))
+	}
+	return dst
+}
+
+// splitETLDAt is SplitETLD over an already-normalized domain whose last
+// two '.' positions (d1, d2; -1 when absent) are already known, returning
+// subslices instead of allocating: the registrable label and the
+// effective TLD (nil for a bare label).
+//
+//squat:hot
+func splitETLDAt(norm []byte, d1, d2 int) (label, tld []byte) {
+	if d1 < 0 {
+		return norm, nil
+	}
+	if d2 >= 0 && multiLabelSuffixes[string(norm[d2+1:])] {
+		d3 := bytes.LastIndexByte(norm[:d2], '.')
+		return norm[d3+1 : d2], norm[d2+1:]
+	}
+	return norm[d2+1 : d1], norm[d1+1:]
+}
+
+// splitETLDBytes is splitETLDAt with the dot positions computed here —
+// the entry for callers without a prescan in hand.
+func splitETLDBytes(norm []byte) (label, tld []byte) {
+	d1, d2 := lastTwoDots(norm)
+	return splitETLDAt(norm, d1, d2)
+}
+
+// isACELabel reports whether a normalized label carries the IDN "xn--"
+// ACE prefix.
+//
+//squat:hot
+func isACELabel(label []byte) bool {
+	return len(label) >= 4 && label[0] == 'x' && label[1] == 'n' && label[2] == '-' && label[3] == '-'
+}
+
+// eqBytesString compares a byte slice to a string without conversion.
+//
+//squat:hot
+func eqBytesString(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		if b[i] != s[i] {
+			return false
+		}
+	}
+	return true
+}
