@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race chaos bench bench-all bench-check vet fmt fmt-check lint fuzz fuzz-smoke cover provenance-check verify paperbench pipeline clean
+.PHONY: all build test test-short race chaos bench bench-all bench-check vet fmt fmt-check lint fuzz fuzz-smoke cover provenance-check serve-smoke verify paperbench pipeline clean
 
 all: build vet fmt-check lint test
 
@@ -56,7 +56,7 @@ race: chaos
 chaos: lint
 	$(GO) test -race -count=1 -timeout 10m \
 		./internal/faultx ./internal/retry ./internal/crawler \
-		./internal/dnsx ./internal/whois
+		./internal/dnsx ./internal/whois ./internal/serve
 
 # Root benchmarks (paper artifacts + the parallel scan/score/fit spine),
 # then the scan sweep artifact: ns/op and records/sec at 1, NumCPU/2 and
@@ -115,6 +115,18 @@ cover:
 		} END { exit bad }' cover_output.txt
 	@echo "coverage floor $(COVER_FLOOR)% held"
 
+# Serving-path smoke: boot squatd on a generated snapshot bound to an
+# ephemeral loopback port, answer a self-lookup and the health check,
+# then exit through the full graceful-shutdown path (listener drain →
+# delta-state spill → metrics flush). Exercises boot scan, shard warm,
+# HTTP serving, signal handling and atomic persistence in one command.
+serve-smoke:
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/squatd -gen 20000 -addr 127.0.0.1:0 \
+		-state $$tmp/squatd.spill.gz -metrics $$tmp/metrics.json \
+		-smoke paypal.com facebook.com; rc=$$?; \
+	rm -rf $$tmp; exit $$rc
+
 # Provenance golden: one serial pipeline run must reproduce the pinned
 # verdict-provenance record (testdata/golden_provenance.json) byte for
 # byte. Regenerate with: go test -run TestGoldenProvenance -update .
@@ -123,9 +135,9 @@ provenance-check:
 
 # Full verification chain: build, vet, formatting, static analysis,
 # tests (including the golden end-to-end pipeline), the zero-alloc scan
-# gate, coverage floors, the provenance golden, and the fuzz smoke
-# campaign.
-verify: build vet fmt-check lint test bench-check cover provenance-check fuzz-smoke
+# gate, coverage floors, the provenance golden, the serving-path smoke,
+# and the fuzz smoke campaign.
+verify: build vet fmt-check lint test bench-check cover provenance-check serve-smoke fuzz-smoke
 
 # Regenerate every paper table and figure.
 paperbench:

@@ -1,0 +1,206 @@
+// Command loadbench load-tests the verdict-serving layer
+// (internal/serve): it warms a coordinator from a generated snapshot
+// scan, then drives a deterministic mixed stream of lookup and update
+// requests from concurrent workers and records latency quantiles and
+// throughput into BENCH_serve.json.
+//
+// The request schedule is pure simrand: worker w draws from its own
+// split of the seed, so the domain sequence — hits, misses and
+// streaming updates — is identical run to run and independent of
+// scheduling. Latency is measured per operation into the serve.*
+// histograms the daemon itself reports, so the benchmark reads the
+// same instruments an operator would.
+//
+// Usage:
+//
+//	loadbench -ops 1000000 -records 120000 -out BENCH_serve.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"log"
+	"reflect"
+	"runtime"
+	"sync"
+	"time"
+
+	"squatphi/internal/core"
+	"squatphi/internal/dnsx"
+	"squatphi/internal/fsx"
+	"squatphi/internal/obs"
+	"squatphi/internal/serve"
+	"squatphi/internal/simrand"
+	"squatphi/internal/squat"
+)
+
+// benchBrands mirrors scanbench's fixed brand set so the two artifacts
+// describe the same synthetic haystack.
+var benchBrands = []string{"paypal.com", "facebook.com", "google.com", "citibank.com", "amazon.com"}
+
+type artifact struct {
+	Kind       string  `json:"kind"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Shards     int     `json:"shards"`
+	Records    int     `json:"records"`
+	Candidates int     `json:"candidates"`
+	Ops        int     `json:"ops"`
+	UpdateFrac float64 `json:"update_frac"`
+	MissFrac   float64 `json:"miss_frac"`
+	Entries    []entry `json:"entries"`
+	// SweepIdenticalToCold records the post-bench invariant: the hot
+	// shard sweep equals a cold serial scan of the mutated store.
+	SweepIdenticalToCold bool `json:"sweep_identical_to_cold"`
+}
+
+type entry struct {
+	Workers     int     `json:"workers"`
+	ElapsedSecs float64 `json:"elapsed_secs"`
+	QPS         float64 `json:"qps"`
+	LookupP50US float64 `json:"lookup_p50_us"`
+	LookupP99US float64 `json:"lookup_p99_us"`
+	UpdateP50US float64 `json:"update_p50_us"`
+	UpdateP99US float64 `json:"update_p99_us"`
+	Lookups     int64   `json:"lookups"`
+	Updates     int64   `json:"updates"`
+	Degraded    int64   `json:"degraded"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadbench: ")
+	records := flag.Int("records", 120000, "noise records in the generated snapshot")
+	ops := flag.Int("ops", 1_000_000, "total requests per workers entry")
+	updateFrac := flag.Float64("update-frac", 0.05, "fraction of requests that are streaming updates")
+	missFrac := flag.Float64("miss-frac", 0.15, "fraction of lookups for domains not in the snapshot")
+	shards := flag.Int("shards", 0, "store shard count (0 = dnsx default)")
+	seed := flag.Uint64("seed", 1, "seed for snapshot generation and the request schedule")
+	out := flag.String("out", "BENCH_serve.json", "write the JSON artifact here")
+	flag.Parse()
+
+	var brands []squat.Brand
+	for _, b := range benchBrands {
+		brands = append(brands, squat.NewBrand(b))
+	}
+	gen := squat.NewGenerator()
+	var planted []string
+	for _, b := range brands {
+		for i, c := range gen.Generate(b) {
+			if i%5 == 0 {
+				planted = append(planted, c.Domain)
+			}
+		}
+	}
+	matcher := squat.NewMatcher(brands)
+
+	ncpu := runtime.GOMAXPROCS(0)
+	workerCounts := []int{1}
+	for _, w := range []int{4, ncpu} {
+		if w > workerCounts[len(workerCounts)-1] {
+			workerCounts = append(workerCounts, w)
+		}
+	}
+
+	art := artifact{
+		Kind:       "bench_serve",
+		GoMaxProcs: ncpu,
+		Records:    *records,
+		Ops:        *ops,
+		UpdateFrac: *updateFrac,
+		MissFrac:   *missFrac,
+	}
+	sweepOK := true
+
+	for _, w := range workerCounts {
+		// A fresh world per entry: each run mutates its store with
+		// streamed updates, and per-entry registries keep quantiles
+		// from bleeding across runs.
+		store := dnsx.GenerateSnapshot(dnsx.SnapshotSpec{
+			Planted: planted, NoiseRecords: *records, Seed: *seed, Shards: *shards,
+		})
+		cands := core.ScanStore(store, matcher, ncpu, nil)
+		reg := obs.NewRegistry()
+		coord := serve.New(serve.Config{Shards: store.NumShards(), Matcher: matcher, Metrics: reg})
+		if err := coord.Warm(store, cands); err != nil {
+			log.Fatal(err)
+		}
+		art.Shards = store.NumShards()
+		art.Candidates = len(cands)
+		domains := store.Domains()
+
+		log.Printf("workers=%d: driving %d requests (%.0f%% updates, %.0f%% misses)...",
+			w, *ops, *updateFrac*100, *missFrac*100)
+		elapsed := drive(coord, domains, w, *ops, *updateFrac, *missFrac, *seed)
+
+		snap := reg.Snapshot()
+		lk := snap.Histograms["serve.lookup_us"]
+		up := snap.Histograms["serve.update_us"]
+		e := entry{
+			Workers:     w,
+			ElapsedSecs: elapsed.Seconds(),
+			QPS:         float64(*ops) / elapsed.Seconds(),
+			LookupP50US: lk.Quantile(0.5),
+			LookupP99US: lk.Quantile(0.99),
+			UpdateP50US: up.Quantile(0.5),
+			UpdateP99US: up.Quantile(0.99),
+			Lookups:     snap.Counters["serve.lookups"],
+			Updates:     snap.Counters["serve.updates"],
+			Degraded:    snap.Counters["core.degraded.serve"],
+		}
+		art.Entries = append(art.Entries, e)
+		log.Printf("workers=%d: %.0f req/s, lookup p50 %.1fus p99 %.1fus",
+			w, e.QPS, e.LookupP50US, e.LookupP99US)
+
+		// The serving invariant, checked on every entry: after the dust
+		// settles the hot sweep matches a cold serial scan.
+		if !reflect.DeepEqual(coord.Candidates(), core.ScanStore(store, matcher, 1, nil)) {
+			sweepOK = false
+			log.Printf("workers=%d: WARNING: hot sweep diverged from cold scan", w)
+		}
+	}
+	art.SweepIdenticalToCold = sweepOK
+
+	if err := fsx.WriteFile(*out, func(wr io.Writer) error {
+		enc := json.NewEncoder(wr)
+		enc.SetIndent("", "  ")
+		return enc.Encode(art)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("artifact written to %s", *out)
+	if !sweepOK {
+		log.Fatal("sweep/cold-scan divergence; see warnings above")
+	}
+}
+
+// drive fires ops requests at the coordinator from w workers and
+// returns the wall time. Worker i's schedule comes from split i of the
+// seed, so the request stream is deterministic at every worker count.
+func drive(coord *serve.Coordinator, domains []string, w, ops int, updateFrac, missFrac float64, seed uint64) time.Duration {
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < w; i++ {
+		share := ops / w
+		if i < ops%w {
+			share++
+		}
+		wg.Add(1)
+		go func(i, share int) {
+			defer wg.Done()
+			rng := simrand.New(seed).Split("loadbench").SplitN(uint64(i))
+			for n := 0; n < share; n++ {
+				switch {
+				case rng.Float64() < updateFrac:
+					coord.Apply(rng.Letters(9)+".com", [4]byte{10, byte(i), byte(n >> 8), byte(n)})
+				case rng.Float64() < missFrac:
+					coord.Lookup(rng.Letters(12) + ".net")
+				default:
+					coord.Lookup(domains[rng.Intn(len(domains))])
+				}
+			}
+		}(i, share)
+	}
+	wg.Wait()
+	return time.Since(start)
+}

@@ -25,9 +25,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
+	"syscall"
 	"time"
 
 	"squatphi/internal/core"
@@ -35,8 +37,10 @@ import (
 	"squatphi/internal/deltascan"
 	"squatphi/internal/dnsx"
 	"squatphi/internal/features"
+	"squatphi/internal/fsx"
 	"squatphi/internal/obs"
 	"squatphi/internal/retry"
+	"squatphi/internal/serve"
 	"squatphi/internal/simrand"
 	"squatphi/internal/squat"
 	"squatphi/internal/webworld"
@@ -61,6 +65,7 @@ func main() {
 	newPerRound := flag.Int("new", 400, "world registrations arriving per round (plus 50% random-noise names)")
 	scanWorkers := flag.Int("scan-workers", 0, "DNS scan/generation parallelism (0 = all cores, 1 = serial)")
 	deltaScan := flag.Bool("delta", false, "match via the incremental delta-scan engine: each round re-scans the whole zone but reuses unchanged shards and cached per-domain verdicts (same alerts, longitudinal cost)")
+	deltaState := flag.String("delta-state", "", "with -delta: delta-engine spill path, recovered on boot and saved atomically on exit (including SIGINT/SIGTERM)")
 	scoreWorkers := flag.Int("score-workers", 0, "classifier scoring parallelism (0 = all cores, 1 = serial)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /spans and pprof on this address (e.g. :6060)")
 	metricsPath := flag.String("metrics", "", "write the final metrics snapshot to this file (default <report>.metrics.json when -report is set)")
@@ -85,7 +90,15 @@ func main() {
 		log.Fatal(err)
 	}
 	defer p.Close()
-	ctx := obs.WithRecorder(context.Background(), p.Trace)
+
+	// SIGINT/SIGTERM cancel the monitor context; the round loop exits at
+	// the next stage boundary and the normal flush path (metrics
+	// snapshot, delta-engine spill) still runs — a monitor killed from
+	// the terminal leaves the same artifacts as one that ran to
+	// completion.
+	lc := serve.NewLifecycle()
+	ctx := lc.Watch(obs.WithRecorder(context.Background(), p.Trace),
+		os.Interrupt, syscall.SIGTERM)
 
 	if *debugAddr != "" {
 		dbg, err := obs.Serve(*debugAddr, reg, p.Trace)
@@ -142,7 +155,22 @@ func main() {
 	var engine *deltascan.Engine
 	if *deltaScan {
 		engine = deltascan.NewEngine()
+		if *deltaState != "" {
+			var recovered bool
+			var rerr error
+			engine, recovered, rerr = deltascan.Recover(*deltaState)
+			if rerr != nil {
+				log.Printf("delta state %s unreadable (%v); starting with a full scan", *deltaState, rerr)
+			} else if recovered {
+				log.Printf("delta state recovered from %s (epoch %d)", *deltaState, engine.Epoch())
+			}
+			lc.OnShutdown("delta-state", func(context.Context) error {
+				return engine.SaveFile(*deltaState)
+			})
+		}
 		engine.InstrumentMetrics(reg)
+	} else if *deltaState != "" {
+		log.Fatal("-delta-state needs -delta")
 	}
 
 	mRounds := reg.Counter("squatmond.rounds")
@@ -151,7 +179,11 @@ func main() {
 	mAlerts := reg.Counter("squatmond.alerts")
 	hRound := reg.Histogram("squatmond.round_ms", obs.MillisBuckets)
 
+monitor:
 	for round := 1; round <= *rounds; round++ {
+		if ctx.Err() != nil {
+			break
+		}
 		roundCtx, span := obs.StartSpan(ctx, "round")
 		span.SetAttr("round", strconv.Itoa(round))
 		start := time.Now()
@@ -181,6 +213,10 @@ func main() {
 		probeSpan.SetAttr("resolved", strconv.Itoa(len(records)))
 		probeSpan.EndWith(err)
 		if err != nil {
+			if ctx.Err() != nil { // interrupted mid-probe: flush, don't fatal
+				span.End()
+				break monitor
+			}
 			log.Fatal(err)
 		}
 
@@ -222,6 +258,10 @@ func main() {
 		// The crawler opens its own child span under the round.
 		results, err := c.Crawl(roundCtx, domains)
 		if err != nil {
+			if ctx.Err() != nil { // interrupted mid-crawl: flush, don't fatal
+				span.End()
+				break monitor
+			}
 			log.Fatal(err)
 		}
 
@@ -270,8 +310,14 @@ func main() {
 		}
 
 		if *interval > 0 && round < *rounds {
-			time.Sleep(*interval)
+			select {
+			case <-time.After(*interval):
+			case <-ctx.Done():
+			}
 		}
+	}
+	if sig := lc.Signal(); sig != nil {
+		log.Printf("received %v; flushing artifacts before exit", sig)
 	}
 
 	snap := reg.Snapshot()
@@ -286,18 +332,24 @@ func main() {
 		flushPath = *reportPath + ".metrics.json"
 	}
 	if flushPath != "" {
-		f, err := os.Create(flushPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		me := json.NewEncoder(f)
-		me.SetIndent("", "  ")
-		if err := me.Encode(snap); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := fsx.WriteFile(flushPath, func(w io.Writer) error {
+			me := json.NewEncoder(w)
+			me.SetIndent("", "  ")
+			return me.Encode(snap)
+		}); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("metrics snapshot written to %s", flushPath)
+	}
+
+	// Run the registered flush hooks (delta-engine spill) — the same
+	// path whether the monitor finished its rounds or was signalled.
+	shutCtx, cancel := context.WithTimeout(context.Background(), obs.ShutdownGrace)
+	defer cancel()
+	if err := lc.Shutdown(shutCtx); err != nil {
+		log.Fatal(err)
+	}
+	if *deltaState != "" {
+		log.Printf("delta state saved to %s", *deltaState)
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"squatphi/internal/core"
@@ -38,6 +39,7 @@ import (
 	"squatphi/internal/obs/trace"
 	"squatphi/internal/report"
 	"squatphi/internal/retry"
+	"squatphi/internal/serve"
 	"squatphi/internal/squat"
 	"squatphi/internal/webworld"
 )
@@ -92,7 +94,38 @@ func main() {
 		log.Fatal(err)
 	}
 	defer p.Close()
-	ctx := context.Background()
+
+	// SIGINT/SIGTERM cancel the pipeline context and flush what exists:
+	// the trace store and the crawler/prober stages all observe ctx, so
+	// an interrupted run still leaves its provenance on disk instead of
+	// dying with artifacts buffered in memory.
+	lc := serve.NewLifecycle()
+	ctx := lc.Watch(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if *traceOut != "" {
+		lc.OnShutdown("trace-store", func(context.Context) error {
+			if err := p.Prov.WriteStoreFile(*traceOut); err != nil {
+				return err
+			}
+			sampled, hits := p.Prov.ScanStats()
+			log.Printf("trace store written to %s (%d records, %d scans sampled, %d sampled hits)",
+				*traceOut, len(p.Prov.Records()), sampled, hits)
+			return nil
+		})
+	}
+	go func() {
+		<-ctx.Done()
+		sig := lc.Signal()
+		if sig == nil {
+			return
+		}
+		log.Printf("received %v; flushing partial artifacts", sig)
+		shutCtx, cancel := context.WithTimeout(context.Background(), obs.ShutdownGrace)
+		defer cancel()
+		if err := lc.Shutdown(shutCtx); err != nil {
+			log.Printf("flush: %v", err)
+		}
+		os.Exit(1)
+	}()
 
 	if *debugAddr != "" {
 		dbg, err := obs.Serve(*debugAddr, p.Obs, p.Trace,
@@ -187,13 +220,12 @@ func main() {
 			fmt.Print(rec.Render())
 		}
 	}
-	if *traceOut != "" {
-		if err := p.Prov.WriteStoreFile(*traceOut); err != nil {
-			log.Fatal(err)
-		}
-		sampled, hits := p.Prov.ScanStats()
-		log.Printf("trace store written to %s (%d records, %d scans sampled, %d sampled hits)",
-			*traceOut, len(p.Prov.Records()), sampled, hits)
+	// The trace store is written by the lifecycle hook — the same flush
+	// whether the run completed or was signalled.
+	shutCtx, cancel := context.WithTimeout(context.Background(), obs.ShutdownGrace)
+	defer cancel()
+	if err := lc.Shutdown(shutCtx); err != nil {
+		log.Fatal(err)
 	}
 
 	timings := p.StageTimings()

@@ -140,9 +140,15 @@ func TestEventNameFixture(t *testing.T) {
 }
 
 func TestTransportFixture(t *testing.T) {
-	diags := runFixture(t, Transport, "fetcher", "internal/dnsx")
+	diags := runFixture(t, Transport, "fetcher", "internal/dnsx", "listener", "internal/obs")
 	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/fetcher/fetch.go:15:9",
 		"direct net.Dial outside the transport layer; open connections through the dnsx/faultx/retry wrappers (e.g. faultx.DialTimeout or a component Dial hook)")
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/listener/listener.go:15:9",
+		"listening socket net.Listen outside the serving layer; bind through obs.Serve so every repo listener carries the hardened timeout and graceful-drain policy")
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/listener/listener.go:19:10",
+		"direct net/http.Server outside the serving layer; build servers with obs.NewServer/obs.Serve so header/read/idle timeouts and graceful shutdown apply")
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/listener/listener.go:21:6",
+		"direct net/http.ListenAndServe outside the serving layer; build servers with obs.NewServer/obs.Serve so header/read/idle timeouts and graceful shutdown apply")
 }
 
 func TestRetryConvFixture(t *testing.T) {

@@ -1,0 +1,27 @@
+// Package obs is a transport-analyzer fixture mirroring the import path
+// of the serving seam (.../internal/obs): owning the hardened listener
+// is its job, so its net.Listen and http.Server uses must not be
+// flagged. Outbound dial primitives are still forbidden here — obs is
+// the serving seam, not the transport layer.
+package obs
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// Serve binds and serves directly; obs owns the repo's listeners.
+func Serve(addr string, h http.Handler) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+	return srv.Serve(ln)
+}
+
+// Fetch still may not dial out.
+func Fetch(addr string) {
+	_, _ = net.Dial("tcp", addr) //want:transport
+}

@@ -1,0 +1,28 @@
+// Package listener is a transport-analyzer fixture for the serving-seam
+// rule: a component outside internal/obs that binds its own sockets and
+// builds its own servers. Every raw listener form must be flagged;
+// handler code (http.Handler values, ServeMux) must not.
+package listener
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// Bad exercises the forbidden listener primitives.
+func Bad(addr string, h http.Handler) {
+	_, _ = net.Listen("tcp", addr)       //want:transport
+	_, _ = net.ListenPacket("udp", addr) //want:transport
+	lc := net.ListenConfig{}             //want:transport
+	_ = lc
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: time.Second} //want:transport
+	_ = srv.ListenAndServe()
+	_ = http.ListenAndServe(addr, h) //want:transport
+}
+
+// Good builds handlers only; the listener comes from the obs seam.
+func Good(mux *http.ServeMux) http.Handler {
+	mux.HandleFunc("/x", func(w http.ResponseWriter, r *http.Request) {})
+	return mux
+}

@@ -6,7 +6,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"sort"
 
+	"squatphi/internal/fsx"
 	"squatphi/internal/squat"
 )
 
@@ -72,6 +75,12 @@ func fromWire(c candidate) squat.Candidate {
 // Load it and continue incrementally from the same epoch, provided the
 // matcher fingerprint still matches; otherwise the loaded engine degrades
 // to a full scan on first use, exactly like an in-memory config change.
+//
+// The byte stream is canonical: shards in index order, candidate lists in
+// their (deterministic) scan order, and cache entries sorted by domain.
+// Two Saves of identical engine state produce identical bytes, so spill
+// artifacts can be content-compared, deduplicated, and checked into golden
+// tests like every other deterministic output of the scan spine.
 func (e *Engine) Save(w io.Writer) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -92,7 +101,15 @@ func (e *Engine) Save(w io.Writer) error {
 		if err := enc.Encode(sl); err != nil {
 			return err
 		}
-		for dom, v := range sh.cache {
+		// Map iteration order is randomised per range; sort the cache
+		// domains so the spill is byte-deterministic.
+		doms := make([]string, 0, len(sh.cache))
+		for dom := range sh.cache {
+			doms = append(doms, dom)
+		}
+		sort.Strings(doms)
+		for _, dom := range doms {
+			v := sh.cache[dom]
 			el := entryLine{Kind: "entry", Shard: i, Domain: dom, Match: v.ok, Epoch: v.epoch}
 			if v.ok {
 				el.Type, el.Brand, el.TLD = int(v.cand.Type), v.cand.Brand.Name, v.cand.Brand.TLD
@@ -106,6 +123,14 @@ func (e *Engine) Save(w io.Writer) error {
 		return err
 	}
 	return gz.Close()
+}
+
+// SaveFile persists the spill to path atomically (temp file in the same
+// directory + fsync + rename, see internal/fsx): a crash mid-save leaves
+// the previous spill intact instead of a truncated gzip that would poison
+// the next Load.
+func (e *Engine) SaveFile(path string) error {
+	return fsx.WriteFile(path, e.Save)
 }
 
 // Load reconstructs an engine from a Save spill. The engine resumes at
@@ -185,4 +210,33 @@ func Load(r io.Reader) (*Engine, error) {
 		return nil, fmt.Errorf("deltascan: load: %w", err)
 	}
 	return e, nil
+}
+
+// LoadFile reads a spill written by SaveFile.
+func LoadFile(path string) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Recover is the restart entry point of a long-running process: it loads
+// the spill at path if it is present and intact, and otherwise returns a
+// fresh engine whose first Scan is a transparent full scan. A missing,
+// truncated, or corrupt spill therefore costs one full scan — never a
+// startup failure — mirroring how a fingerprint mismatch degrades. The
+// second result reports whether saved state was actually recovered; err
+// carries the load failure (nil when the file simply does not exist) so
+// callers can log why state was discarded.
+func Recover(path string) (e *Engine, recovered bool, err error) {
+	e, err = LoadFile(path)
+	if err == nil {
+		return e, true, nil
+	}
+	if os.IsNotExist(err) {
+		err = nil
+	}
+	return NewEngine(), false, err
 }

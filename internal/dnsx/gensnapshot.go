@@ -67,7 +67,7 @@ func GenerateSnapshot(spec SnapshotSpec) *Store {
 	// on the calling goroutine from its own sub-stream.
 	plantedRNG := base.Split("planted")
 	for i, d := range spec.Planted {
-		s.addAt(uint64(i), normalize(d), RandomIP(plantedRNG))
+		s.addAt(uint64(i), Normalize(d), RandomIP(plantedRNG))
 	}
 
 	// Noise records are striped into genStripes fixed sub-streams; workers
@@ -125,7 +125,7 @@ func StreamSnapshot(spec SnapshotSpec, fn func(domain string, ip [4]byte) bool) 
 	base := simrand.New(spec.Seed).Split("dns-snapshot")
 	plantedRNG := base.Split("planted")
 	for _, d := range spec.Planted {
-		if !fn(normalize(d), RandomIP(plantedRNG)) {
+		if !fn(Normalize(d), RandomIP(plantedRNG)) {
 			return
 		}
 	}

@@ -109,21 +109,31 @@ func NewShardedStore(n int) *Store {
 	return s
 }
 
-// shardOf hashes a normalised domain to its shard index (FNV-1a).
-func (s *Store) shardOf(domain string) *storeShard {
+// ShardIndex is the repository-wide domain-sharding convention: an FNV-1a
+// hash of the already-normalised domain, mod the shard count. The store,
+// the delta-scan engine's per-shard caches, and the serving layer's shard
+// workers (internal/serve) all partition the domain space with this exact
+// function, so "the shard a domain lives in" means the same thing in every
+// subsystem and state can be handed between them shard by shard.
+func ShardIndex(domain string, shards int) int {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(domain); i++ {
 		h ^= uint64(domain[i])
 		h *= 1099511628211
 	}
-	return &s.shards[h%uint64(len(s.shards))]
+	return int(h % uint64(shards))
+}
+
+// shardOf hashes a normalised domain to its shard (ShardIndex).
+func (s *Store) shardOf(domain string) *storeShard {
+	return &s.shards[ShardIndex(domain, len(s.shards))]
 }
 
 // Add inserts or overwrites a record. Domains are normalised to lower case
 // without a trailing dot. Add is safe for concurrent use with Lookup and
 // other Adds.
 func (s *Store) Add(domain string, ip [4]byte) {
-	s.addAt(s.seq.Add(1)-1, normalize(domain), ip)
+	s.addAt(s.seq.Add(1)-1, Normalize(domain), ip)
 }
 
 // addAt inserts an already-normalised domain under an explicit sequence
@@ -217,18 +227,12 @@ func (s *Store) Checksums() []uint64 {
 // per-shard state of their own (e.g. a delta-scan cache) can mirror the
 // store's partitioning exactly.
 func (s *Store) ShardOf(domain string) int {
-	d := normalize(domain)
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(d); i++ {
-		h ^= uint64(d[i])
-		h *= 1099511628211
-	}
-	return int(h % uint64(len(s.shards)))
+	return ShardIndex(Normalize(domain), len(s.shards))
 }
 
 // Lookup returns the address for a domain.
 func (s *Store) Lookup(domain string) ([4]byte, bool) {
-	d := normalize(domain)
+	d := Normalize(domain)
 	sh := s.shardOf(d)
 	sh.mu.RLock()
 	e := sh.records[d]
@@ -431,6 +435,8 @@ func parseIPv4(s string) ([4]byte, error) {
 	return ip, nil
 }
 
-func normalize(domain string) string {
+// Normalize is the canonical domain form every keyed structure in the
+// repository indexes by: lower case, no trailing dot.
+func Normalize(domain string) string {
 	return strings.ToLower(strings.TrimSuffix(domain, "."))
 }

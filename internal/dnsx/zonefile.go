@@ -86,6 +86,11 @@ func ParseZone(r io.Reader, origin string) ([]ZoneRecord, error) {
 
 		rec := ZoneRecord{TTL: defaultTTL, Class: ClassIN}
 		rec.Name = qualify(owner, origin)
+		if rec.Name == "" {
+			// A root owner "." (or "@" with no origin) qualifies to the
+			// empty name, which the store and matcher cannot represent.
+			return nil, fmt.Errorf("dnsx: zone line %d: empty owner name", lineNo)
+		}
 		prevOwner = owner
 
 		// Optional TTL and class, in either order, before the type.

@@ -1,0 +1,84 @@
+package fsx
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.gz")
+
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "first")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "first" {
+		t.Fatalf("content = %q, want %q", got, "first")
+	}
+
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "second")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "second" {
+		t.Fatalf("content = %q, want %q", got, "second")
+	}
+}
+
+// TestWriteFileFailureLeavesOldContent is the crash-safety contract: a
+// writer that fails mid-stream must leave the previous file intact and no
+// temp litter behind.
+func TestWriteFileFailureLeavesOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.gz")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "good")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("boom")
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "good" {
+		t.Fatalf("old content clobbered: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestWriteFilePermissions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out")
+	if err := WriteFile(path, func(w io.Writer) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o644 {
+		t.Fatalf("mode = %v, want 0644", info.Mode().Perm())
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestDebugEndpoints(t *testing.T) {
@@ -104,6 +105,82 @@ func TestServe(t *testing.T) {
 	getJSON(t, "http://"+d.Addr()+"/metrics", &snap)
 	if snap.Counters["x"] != 1 {
 		t.Errorf("served counters = %v", snap.Counters)
+	}
+}
+
+// TestServerTimeoutsSet pins the hardening: every listener built through
+// obs must carry the slowloris/read/idle bounds (the debug port used to
+// ship a zero-value http.Server).
+func TestServerTimeoutsSet(t *testing.T) {
+	srv := NewServer(http.NewServeMux())
+	if srv.ReadHeaderTimeout != ReadHeaderTimeout || srv.ReadHeaderTimeout <= 0 {
+		t.Errorf("ReadHeaderTimeout = %v", srv.ReadHeaderTimeout)
+	}
+	if srv.ReadTimeout != ReadTimeout || srv.ReadTimeout <= 0 {
+		t.Errorf("ReadTimeout = %v", srv.ReadTimeout)
+	}
+	if srv.IdleTimeout != IdleTimeout || srv.IdleTimeout <= 0 {
+		t.Errorf("IdleTimeout = %v", srv.IdleTimeout)
+	}
+	if srv.WriteTimeout != 0 {
+		t.Errorf("WriteTimeout = %v, want 0 (pprof streams)", srv.WriteTimeout)
+	}
+}
+
+// TestGracefulShutdownDrainsInFlight: a request already being served when
+// Shutdown begins must complete, not be dropped the way http.Server.Close
+// used to drop it.
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	d, err := Serve("127.0.0.1:0", NewRegistry(), nil, Route{
+		Pattern: "/slow",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			close(entered)
+			<-release
+			io.WriteString(w, "done")
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + d.Addr() + "/slow")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- result{body: string(b), err: err}
+	}()
+
+	<-entered
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- d.Shutdown(ctx)
+	}()
+	// Shutdown is now waiting on the in-flight handler; release it and
+	// both the request and the shutdown must succeed.
+	close(release)
+	if r := <-got; r.err != nil || r.body != "done" {
+		t.Fatalf("in-flight request dropped during shutdown: body=%q err=%v", r.body, r.err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("graceful shutdown failed: %v", err)
+	}
+
+	// The listener is gone: new connections must be refused.
+	if _, err := http.Get("http://" + d.Addr() + "/slow"); err == nil {
+		t.Fatal("server still accepting after Shutdown")
 	}
 }
 

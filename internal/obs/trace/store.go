@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"squatphi/internal/fsx"
 )
 
 // The trace store is gzip-compressed JSONL keyed by domain: a header
@@ -96,17 +98,12 @@ func (c *Collector) WriteStore(w io.Writer) error {
 	return zw.Close()
 }
 
-// WriteStoreFile writes the trace store to path (0644, truncating).
+// WriteStoreFile writes the trace store to path atomically (temp file +
+// fsync + rename, internal/fsx): ReadStore treats truncation as a hard
+// error, so a crash mid-write must leave the previous store intact rather
+// than a torn gzip a later squatexplain run would refuse to open.
 func (c *Collector) WriteStoreFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := c.WriteStore(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return fsx.WriteFile(path, c.WriteStore)
 }
 
 // ReadStore decodes a trace store written by WriteStore. Unknown

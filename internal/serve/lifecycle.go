@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+)
+
+// Lifecycle is the shared shutdown path of the repo's long-running
+// binaries (squatd, squatmond, squatphi): it turns SIGINT/SIGTERM into
+// context cancellation and runs registered flush hooks exactly once, in
+// LIFO order, so state written late (a deltascan spill, a trace store,
+// a metrics snapshot) is flushed before the resources it depends on are
+// torn down.
+//
+// The signal source is an injectable channel (Deliver), so tests drive
+// the full signal path deterministically without sending real signals
+// to the test process.
+type Lifecycle struct {
+	mu    sync.Mutex
+	hooks []hook
+	ran   bool
+	err   error
+
+	sig  chan os.Signal
+	got  os.Signal
+	done chan struct{} // closed once a signal (or Deliver) arrives
+}
+
+type hook struct {
+	name string
+	fn   func(context.Context) error
+}
+
+// NewLifecycle returns an unarmed lifecycle; call Watch to arm signal
+// handling and OnShutdown to register flush hooks.
+func NewLifecycle() *Lifecycle {
+	return &Lifecycle{
+		sig:  make(chan os.Signal, 1),
+		done: make(chan struct{}),
+	}
+}
+
+// OnShutdown registers fn to run during Shutdown. Hooks run in reverse
+// registration order (LIFO), mirroring defer: register a resource's
+// flush right after acquiring it.
+func (l *Lifecycle) OnShutdown(name string, fn func(context.Context) error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.hooks = append(l.hooks, hook{name: name, fn: fn})
+}
+
+// Watch arms signal handling: the returned context is cancelled when
+// any of sigs arrives (or parent is cancelled). The caller still runs
+// Shutdown itself — typically after its serve loop observes the
+// cancellation — so flushes happen on the main goroutine, not a signal
+// handler.
+func (l *Lifecycle) Watch(parent context.Context, sigs ...os.Signal) context.Context {
+	ctx, cancel := context.WithCancel(parent)
+	if len(sigs) > 0 {
+		signal.Notify(l.sig, sigs...)
+	}
+	go func() {
+		defer cancel()
+		select {
+		case s := <-l.sig:
+			l.mu.Lock()
+			l.got = s
+			l.mu.Unlock()
+			close(l.done)
+			signal.Stop(l.sig)
+		case <-parent.Done():
+			signal.Stop(l.sig)
+		}
+	}()
+	return ctx
+}
+
+// Deliver injects a signal as if the OS had sent it. Tests use it to
+// drive the Watch/Shutdown path deterministically; it is also how a
+// binary can request its own graceful exit.
+func (l *Lifecycle) Deliver(s os.Signal) {
+	select {
+	case l.sig <- s:
+	default: // a signal is already pending; one is enough to exit
+	}
+}
+
+// Signal returns the signal that triggered cancellation (nil if the
+// context fell for another reason or Watch was never armed).
+func (l *Lifecycle) Signal() os.Signal {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.got
+}
+
+// Shutdown runs the registered hooks once, newest first, each bounded
+// by ctx. Every hook runs even if an earlier one fails; the first
+// error is returned (and returned again by repeat calls).
+func (l *Lifecycle) Shutdown(ctx context.Context) error {
+	l.mu.Lock()
+	if l.ran {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	l.ran = true
+	hooks := make([]hook, len(l.hooks))
+	copy(hooks, l.hooks)
+	l.mu.Unlock()
+
+	var first error
+	for i := len(hooks) - 1; i >= 0; i-- {
+		if err := hooks[i].fn(ctx); err != nil && first == nil {
+			first = fmt.Errorf("serve: shutdown hook %s: %w", hooks[i].name, err)
+		}
+	}
+	l.mu.Lock()
+	l.err = first
+	l.mu.Unlock()
+	return first
+}

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestLifecycleSignalPath drives the full signal path with an injected
+// signal: Watch's context falls, the caller runs Shutdown, hooks run
+// LIFO exactly once.
+func TestLifecycleSignalPath(t *testing.T) {
+	l := NewLifecycle()
+	ctx := l.Watch(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+
+	var order []string
+	l.OnShutdown("first-registered", func(context.Context) error {
+		order = append(order, "first")
+		return nil
+	})
+	l.OnShutdown("second-registered", func(context.Context) error {
+		order = append(order, "second")
+		return nil
+	})
+
+	l.Deliver(syscall.SIGTERM)
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled after injected signal")
+	}
+	if got := l.Signal(); got != syscall.SIGTERM {
+		t.Fatalf("Signal() = %v, want SIGTERM", got)
+	}
+
+	if err := l.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "second" || order[1] != "first" {
+		t.Fatalf("hooks ran %v, want LIFO [second first]", order)
+	}
+
+	// Shutdown is idempotent: hooks do not run again.
+	if err := l.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 {
+		t.Fatalf("hooks re-ran on second Shutdown: %v", order)
+	}
+}
+
+// TestLifecycleHookErrors: every hook runs even when one fails; the
+// first (i.e. newest-registered) failure is reported, and repeat
+// Shutdown calls return the same error.
+func TestLifecycleHookErrors(t *testing.T) {
+	l := NewLifecycle()
+	boom := errors.New("flush failed")
+	ran := 0
+	l.OnShutdown("older", func(context.Context) error { ran++; return nil })
+	l.OnShutdown("newer", func(context.Context) error { ran++; return boom })
+
+	err := l.Shutdown(context.Background())
+	if !errors.Is(err, boom) {
+		t.Fatalf("Shutdown err = %v, want wrapped flush failure", err)
+	}
+	if ran != 2 {
+		t.Fatalf("ran %d hooks, want 2 (later hooks must still run)", ran)
+	}
+	if err2 := l.Shutdown(context.Background()); !errors.Is(err2, boom) {
+		t.Fatalf("second Shutdown err = %v, want the first error again", err2)
+	}
+}
+
+// TestLifecycleParentCancel: a cancelled parent tears the watch down
+// without a signal.
+func TestLifecycleParentCancel(t *testing.T) {
+	l := NewLifecycle()
+	parent, cancel := context.WithCancel(context.Background())
+	ctx := l.Watch(parent, syscall.SIGINT)
+	cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch context did not follow parent cancellation")
+	}
+	if l.Signal() != nil {
+		t.Fatalf("Signal() = %v, want nil (no signal arrived)", l.Signal())
+	}
+}
+
+// TestLifecycleDeliverNonBlocking: a second Deliver while one signal is
+// pending must not block (real SIGINT mashing).
+func TestLifecycleDeliverNonBlocking(t *testing.T) {
+	l := NewLifecycle()
+	done := make(chan struct{})
+	go func() {
+		l.Deliver(syscall.SIGINT)
+		l.Deliver(syscall.SIGINT)
+		l.Deliver(syscall.SIGTERM)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Deliver blocked with a pending signal")
+	}
+}

@@ -1,0 +1,379 @@
+// Package serve is SquatPhi's verdict-serving layer: the long-running
+// daemon half of the paper's deployment posture (§7). Where the scan
+// pipeline answers "which of these N hundred million records are
+// squatting domains" as a batch, serve answers "is THIS domain a
+// squatting domain" interactively, at lookup rates, from hot per-shard
+// state warmed out of a snapshot scan.
+//
+// The coordinator partitions the domain space into shards with the
+// repository-wide convention (dnsx.ShardIndex over the normalised
+// domain), the exact partition the store and the delta-scan engine use,
+// so a warmed shard corresponds one-to-one to a store shard and state
+// hands off between the systems shard by shard.
+//
+// Failure posture: each shard is fronted by a circuit breaker
+// (internal/retry). A lookup routed to a downed shard is never an
+// error — it degrades to a stateless matcher answer (the verdict is
+// still correct; what is lost is the "known in snapshot" bit and the
+// cached-epoch provenance), counted under core.degraded.serve exactly
+// like the pipeline's degraded stages. Once the breaker opens, lookups
+// fast-fail to the degraded path without touching the shard until the
+// cooldown admits a half-open probe.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"squatphi/internal/dnsx"
+	"squatphi/internal/obs"
+	"squatphi/internal/retry"
+	"squatphi/internal/squat"
+)
+
+// Verdict is one serving-layer answer.
+type Verdict struct {
+	// Domain is the normalised form the verdict applies to.
+	Domain string `json:"domain"`
+	// Known reports the domain is present in the warmed snapshot shard.
+	// Degraded answers cannot know this and leave it false.
+	Known bool `json:"known"`
+	// Matched reports the domain is a squatting candidate.
+	Matched bool `json:"matched"`
+	// Type/Brand/TLD describe the match (empty when !Matched).
+	Type  string `json:"type,omitempty"`
+	Brand string `json:"brand,omitempty"`
+	TLD   string `json:"tld,omitempty"`
+	// Shard is the shard the domain routes to (dnsx.ShardIndex).
+	Shard int `json:"shard"`
+	// Epoch is the warm epoch of the answering shard (0 for degraded
+	// answers: no shard state was consulted).
+	Epoch int `json:"epoch,omitempty"`
+	// Degraded marks a stateless fallback answer served while the
+	// domain's shard was down or its breaker open.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// Config configures a Coordinator.
+type Config struct {
+	// Shards is the shard count; it must equal the NumShards of every
+	// store warmed into the coordinator (<= 0 selects dnsx.DefaultShards).
+	Shards int
+	// Matcher answers both warmed and degraded lookups. Required.
+	Matcher *squat.Matcher
+	// Metrics receives serve.* and core.degraded.serve metrics (nil-tolerant).
+	Metrics *obs.Registry
+	// Breaker is the per-shard circuit policy (retry.Policy). A zero
+	// policy disables the breaker: downed shards are probed on every
+	// lookup. BreakerThreshold/BreakerCooldown/Now behave as in retry.
+	Breaker retry.Policy
+}
+
+// entry is one warmed verdict: the domain is in the snapshot, and it
+// either matched (cand set) or did not.
+type entry struct {
+	cand squat.Candidate
+	ok   bool
+}
+
+// shard is one lock domain of hot verdict state. A shard being "down"
+// models its worker having died (chaos) or being mid-handoff; the
+// coordinator answers for it statelessly until it is restarted.
+type shard struct {
+	mu       sync.RWMutex
+	verdicts map[string]entry
+	up       bool
+	epoch    int
+}
+
+// Coordinator routes lookups and updates to per-shard hot state.
+// All methods are safe for concurrent use.
+type Coordinator struct {
+	shards  []*shard
+	matcher *squat.Matcher
+	breaker *retry.Retrier
+
+	mu    sync.Mutex  // guards store
+	store *dnsx.Store // source of truth for updates; set by Warm
+
+	lookups, bulk, updates, degraded *obs.Counter
+	lookupUS, bulkMS, updateUS       *obs.Histogram
+}
+
+// New builds a Coordinator with all shards down; call Warm to bring
+// them up from a scanned store.
+func New(cfg Config) *Coordinator {
+	if cfg.Matcher == nil {
+		panic("serve: Config.Matcher is required")
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = dnsx.DefaultShards
+	}
+	reg := cfg.Metrics
+	c := &Coordinator{
+		shards:   make([]*shard, n),
+		matcher:  cfg.Matcher,
+		breaker:  retry.New(cfg.Breaker, "serve", reg),
+		lookups:  reg.Counter("serve.lookups"),
+		bulk:     reg.Counter("serve.lookups.bulk"),
+		updates:  reg.Counter("serve.updates"),
+		degraded: reg.Counter("core.degraded.serve"),
+		lookupUS: reg.Histogram("serve.lookup_us", obs.MicrosBuckets),
+		bulkMS:   reg.Histogram("serve.bulk_ms", obs.MillisBuckets),
+		updateUS: reg.Histogram("serve.update_us", obs.MicrosBuckets),
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{}
+	}
+	return c
+}
+
+// NumShards returns the coordinator's shard count.
+func (c *Coordinator) NumShards() int { return len(c.shards) }
+
+// ShardFor returns the shard a domain routes to: the repository-wide
+// convention, dnsx.ShardIndex over the normalised domain.
+func (c *Coordinator) ShardFor(domain string) int {
+	return dnsx.ShardIndex(dnsx.Normalize(domain), len(c.shards))
+}
+
+// shardHost is the breaker key for shard i.
+func shardHost(i int) string { return fmt.Sprintf("shard-%d", i) }
+
+// Warm loads hot state for every shard from a store and its scan
+// result (e.g. deltascan.Engine.Scan or core.ScanStore output — the
+// two are byte-identical). The store's shard partition must equal the
+// coordinator's. Warm is the reload path too: each shard's replacement
+// map is built off-lock and swapped in under the write lock, so
+// in-flight readers drain on the RWMutex and the handoff is atomic per
+// shard — a reader sees entirely old or entirely new state, never a mix.
+func (c *Coordinator) Warm(store *dnsx.Store, cands []squat.Candidate) error {
+	if store.NumShards() != len(c.shards) {
+		return fmt.Errorf("serve: store has %d shards, coordinator %d; the shard partitions must agree for handoff",
+			store.NumShards(), len(c.shards))
+	}
+	c.mu.Lock()
+	c.store = store
+	c.mu.Unlock()
+	byShard := make([][]squat.Candidate, len(c.shards))
+	for _, cand := range cands {
+		i := dnsx.ShardIndex(cand.Domain, len(c.shards))
+		byShard[i] = append(byShard[i], cand)
+	}
+	for i := range c.shards {
+		c.warmShard(i, store, byShard[i])
+	}
+	return nil
+}
+
+// warmShard rebuilds shard i's verdict map from the store shard and the
+// candidates that hash to it, then swaps it live.
+func (c *Coordinator) warmShard(i int, store *dnsx.Store, cands []squat.Candidate) {
+	m := make(map[string]entry)
+	store.RangeShard(i, func(r dnsx.Record) bool {
+		m[r.Domain] = entry{}
+		return true
+	})
+	for _, cand := range cands {
+		m[cand.Domain] = entry{cand: cand, ok: true}
+	}
+	sh := c.shards[i]
+	sh.mu.Lock()
+	sh.verdicts = m
+	sh.up = true
+	sh.epoch++
+	sh.mu.Unlock()
+}
+
+// StopShard marks shard i down, as if its worker died. Lookups routed
+// to it degrade; its breaker opens after the policy's threshold.
+func (c *Coordinator) StopShard(i int) {
+	sh := c.shards[i]
+	sh.mu.Lock()
+	sh.up = false
+	sh.verdicts = nil
+	sh.mu.Unlock()
+}
+
+// RestartShard rewarms shard i from the coordinator's store (the source
+// of truth, which keeps absorbing updates while the shard is down) and
+// brings it back up. The next admitted lookup is the breaker's
+// half-open probe; its success closes the circuit.
+func (c *Coordinator) RestartShard(i int) error {
+	c.mu.Lock()
+	store := c.store
+	c.mu.Unlock()
+	if store == nil {
+		return fmt.Errorf("serve: RestartShard(%d) before Warm: no store to rewarm from", i)
+	}
+	// Re-derive the shard's candidates statelessly: the store shard is
+	// the authority, the matcher is deterministic.
+	var cands []squat.Candidate
+	store.RangeShard(i, func(r dnsx.Record) bool {
+		if cand, ok := c.matcher.Match(r.Domain); ok {
+			cands = append(cands, cand)
+		}
+		return true
+	})
+	c.warmShard(i, store, cands)
+	return nil
+}
+
+// Lookup answers for one domain. It never fails: a downed or
+// breaker-open shard yields a degraded (stateless) answer.
+func (c *Coordinator) Lookup(domain string) Verdict {
+	sw := obs.StartStopwatch()
+	c.lookups.Inc()
+	d := dnsx.Normalize(domain)
+	v := c.lookup(d)
+	c.lookupUS.Observe(sw.Micros())
+	return v
+}
+
+func (c *Coordinator) lookup(d string) Verdict {
+	i := dnsx.ShardIndex(d, len(c.shards))
+	host := shardHost(i)
+	if err := c.breaker.Allow(host); err != nil {
+		// Open circuit: fast-fail to the stateless path without
+		// touching the shard (retry counts this under
+		// serve.breaker.rejected).
+		return c.degradedAnswer(i, d)
+	}
+	sh := c.shards[i]
+	sh.mu.RLock()
+	up := sh.up
+	e, known := sh.verdicts[d]
+	epoch := sh.epoch
+	sh.mu.RUnlock()
+	if !up {
+		c.breaker.Report(host, false)
+		return c.degradedAnswer(i, d)
+	}
+	c.breaker.Report(host, true)
+	v := Verdict{Domain: d, Known: known, Shard: i, Epoch: epoch}
+	if !known {
+		// Not in the snapshot: answer Matched statelessly, the same way
+		// the degraded path and Apply do, so a domain's Matched bit never
+		// depends on which path answered or whether its shard was up.
+		e.cand, e.ok = c.matcher.Match(d)
+	}
+	if e.ok {
+		v.Matched = true
+		v.Type = e.cand.Type.String()
+		v.Brand = e.cand.Brand.Name
+		v.TLD = e.cand.Brand.TLD
+	}
+	return v
+}
+
+// degradedAnswer is the stateless fallback: run the matcher directly.
+// The verdict is correct (the matcher is the same one that warmed the
+// shards); what is lost is Known and the epoch provenance.
+func (c *Coordinator) degradedAnswer(i int, d string) Verdict {
+	c.degraded.Inc()
+	v := Verdict{Domain: d, Shard: i, Degraded: true}
+	if cand, ok := c.matcher.Match(d); ok {
+		v.Matched = true
+		v.Type = cand.Type.String()
+		v.Brand = cand.Brand.Name
+		v.TLD = cand.Brand.TLD
+	}
+	return v
+}
+
+// LookupBatch answers for many domains in input order.
+func (c *Coordinator) LookupBatch(domains []string) []Verdict {
+	sw := obs.StartStopwatch()
+	c.bulk.Inc()
+	out := make([]Verdict, len(domains))
+	for i, d := range domains {
+		c.lookups.Inc()
+		out[i] = c.lookup(dnsx.Normalize(d))
+	}
+	c.bulkMS.Observe(sw.Millis())
+	return out
+}
+
+// Apply absorbs one streaming record update (a new registration or a
+// changed resolution). The store — the source of truth — is always
+// updated, so a later rewarm recovers the record even if its shard is
+// down right now; the hot shard state is updated only when the shard is
+// up (a downed shard counts the miss under core.degraded.serve and its
+// breaker, and RestartShard reconciles it from the store).
+func (c *Coordinator) Apply(domain string, ip [4]byte) Verdict {
+	sw := obs.StartStopwatch()
+	c.updates.Inc()
+	d := dnsx.Normalize(domain)
+	c.mu.Lock()
+	store := c.store
+	c.mu.Unlock()
+	if store != nil {
+		store.Add(d, ip)
+	}
+	i := dnsx.ShardIndex(d, len(c.shards))
+	host := shardHost(i)
+	v := Verdict{Domain: d, Known: true, Shard: i}
+	cand, ok := c.matcher.Match(d)
+	if ok {
+		v.Matched = true
+		v.Type = cand.Type.String()
+		v.Brand = cand.Brand.Name
+		v.TLD = cand.Brand.TLD
+	}
+	if err := c.breaker.Allow(host); err != nil {
+		c.degraded.Inc()
+		v.Known, v.Degraded = false, true
+		c.updateUS.Observe(sw.Micros())
+		return v
+	}
+	sh := c.shards[i]
+	sh.mu.Lock()
+	up := sh.up
+	if up {
+		sh.verdicts[d] = entry{cand: cand, ok: ok}
+		v.Epoch = sh.epoch
+	}
+	sh.mu.Unlock()
+	c.breaker.Report(host, up)
+	if !up {
+		c.degraded.Inc()
+		v.Known, v.Degraded = false, true
+	}
+	c.updateUS.Observe(sw.Micros())
+	return v
+}
+
+// Candidates sweeps all shards and returns the warmed squatting
+// candidates sorted by domain — the same order core.ScanStore and
+// deltascan.Engine.Scan produce, so a post-recovery sweep can be
+// compared byte-for-byte against a cold scan of the store.
+func (c *Coordinator) Candidates() []squat.Candidate {
+	var out []squat.Candidate
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		for _, e := range sh.verdicts {
+			if e.ok {
+				out = append(out, e.cand)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	return out
+}
+
+// Down returns the indices of downed shards (empty = all up).
+func (c *Coordinator) Down() []int {
+	var down []int
+	for i, sh := range c.shards {
+		sh.mu.RLock()
+		up := sh.up
+		sh.mu.RUnlock()
+		if !up {
+			down = append(down, i)
+		}
+	}
+	return down
+}
