@@ -98,12 +98,14 @@ fuzz-smoke:
 	$(GO) test -fuzz '^FuzzFold$$' -fuzztime 30s ./internal/confusables/
 	$(GO) test -fuzz '^FuzzSkeletonParity$$' -fuzztime 30s ./internal/confusables/
 	$(GO) test -fuzz '^FuzzMatchBytesParity$$' -fuzztime 30s ./internal/squat/
+	$(GO) test -fuzz '^FuzzScoreBytes$$' -fuzztime 30s ./internal/domlm/
+	$(GO) test -fuzz '^FuzzModelDecode$$' -fuzztime 30s ./internal/domlm/
 	$(GO) test -fuzz '^FuzzOpenBytes$$' -fuzztime 30s ./internal/snapfmt/
 
 # Per-package coverage with a floor: the detection spine (dnsx store +
 # codec, squat matcher, core pipeline, deltascan cache) and the squatvet
 # analysis driver must each keep at least COVER_FLOOR% statement coverage.
-COVER_PKGS = ./internal/dnsx ./internal/squat ./internal/core ./internal/deltascan ./internal/analysis
+COVER_PKGS = ./internal/dnsx ./internal/squat ./internal/core ./internal/deltascan ./internal/analysis ./internal/domlm
 COVER_FLOOR = 60
 
 cover:

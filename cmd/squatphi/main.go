@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"squatphi/internal/core"
+	"squatphi/internal/domlm"
 	"squatphi/internal/features"
 	"squatphi/internal/obs"
 	"squatphi/internal/obs/trace"
@@ -61,12 +62,26 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the provenance trace store (gzip+JSONL, readable with squatexplain) to this file")
 	eventsOut := flag.String("events", "", "write the structured JSONL event log to this file (- for stderr)")
 	traceSample := flag.Int("trace-sample", 0, "head-sample 1-in-N scanned domains into the trace store (0 = default 64, negative disables)")
+	useDomLM := flag.Bool("domlm", false, "train the brand-language model over the brand universe and attach it to the matcher (generated-squat detection) and the classifier features")
+	domlmThreshold := flag.Float64("domlm-threshold", 0, "brand-likeness score above which an unmatched domain is flagged as a generated squat (0 = default)")
+	domlmSave := flag.String("domlm-save", "", "write the trained brand-language model (versioned binary, self-fingerprinting) to this file")
+	domlmLoad := flag.String("domlm-load", "", "score a few sample domains with a saved model and exit (decode smoke check)")
+	genSquats := flag.Int("gen-squats", 0, "plant this many machine-generated squats that defeat the five rule types (requires -domlm to detect them)")
 	pol := retry.RegisterFlags(nil) // -retry-* and -breaker-*
 	flag.Parse()
 
+	if *domlmLoad != "" {
+		if err := inspectModel(*domlmLoad); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	cfg := core.Config{
-		World:            webworld.Config{SquattingDomains: *domains, NonSquattingPhish: *phish, Seed: *seed},
+		World:            webworld.Config{SquattingDomains: *domains, NonSquattingPhish: *phish, GeneratedSquats: *genSquats, Seed: *seed},
 		DNSNoiseRecords:  *noise,
+		DomLM:            *useDomLM,
+		DomLMThreshold:   *domlmThreshold,
 		ForestTrees:      *trees,
 		ScanWorkers:      *scanWorkers,
 		ScoreWorkers:     *scoreWorkers,
@@ -139,6 +154,16 @@ func main() {
 	}
 
 	log.Printf("world: %d squatting domains, %d brands", len(p.World.SquattingDomains), len(p.World.Brands.Brands))
+	if p.LM != nil {
+		log.Printf("domlm: model %016x over %d brands (%d generated squats planted)",
+			p.LM.Fingerprint(), len(p.World.Brands.Brands), len(p.World.GeneratedSquats))
+		if *domlmSave != "" {
+			if err := p.LM.WriteFile(*domlmSave); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("domlm: model written to %s", *domlmSave)
+		}
+	}
 
 	cands := p.ScanDNS()
 	log.Printf("DNS scan: %d records -> %d squatting candidates (%.0f records/sec)",
@@ -152,7 +177,10 @@ func main() {
 	for _, c := range cands {
 		counts[c.Type]++
 	}
-	for _, t := range squat.AllTypes {
+	for _, t := range squat.MatchTypes {
+		if t == squat.Generated && p.LM == nil {
+			continue // type 6 only exists with the language model attached
+		}
 		log.Printf("  %-10s %6d", t, counts[t])
 	}
 
@@ -238,4 +266,19 @@ func main() {
 	for _, name := range stages {
 		log.Printf("  %-14s %s", name, timings[name].Round(time.Millisecond))
 	}
+}
+
+// inspectModel decodes a saved brand-language model (verifying its
+// embedded fingerprint) and scores a few probe labels, so a persisted
+// model can be sanity-checked without running the pipeline.
+func inspectModel(path string) error {
+	m, err := domlm.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model %016x (order %d)\n", m.Fingerprint(), m.Config().Order)
+	for _, probe := range []string{"paypal.com", "paypa1-login.net", "secure-account.online", "qzxvwkjh.biz"} {
+		fmt.Printf("  %-24s %.4f\n", probe, m.Score(probe))
+	}
+	return nil
 }

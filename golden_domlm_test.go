@@ -1,0 +1,67 @@
+package squatphi
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"squatphi/internal/experiments"
+)
+
+const goldenDomLMPath = "testdata/golden_domlm.json"
+
+// TestGoldenDomLM pins the generated-squat evaluation (experiments
+// Table 14): per scenario, precision/recall of the five-type matcher
+// alone versus matcher+domlm, plus the model-score AUC. The numbers are
+// fully deterministic, so any drift means the model, the generator
+// family, or the matcher integration changed semantics. Regenerate with:
+// go test -run TestGoldenDomLM -update .
+func TestGoldenDomLM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario worlds are slow")
+	}
+	var results []experiments.DomLMResult
+	for _, sc := range experiments.DefaultDomLMScenarios() {
+		results = append(results, experiments.EvalDomLMScenario(sc))
+	}
+
+	// The acceptance bar holds regardless of the pinned bytes: attaching
+	// the model must strictly improve recall at equal-or-better precision.
+	for _, res := range results {
+		if res.MatcherLM.Recall <= res.MatcherOnly.Recall {
+			t.Errorf("%s: matcher+domlm recall %.4f does not improve on %.4f",
+				res.Name, res.MatcherLM.Recall, res.MatcherOnly.Recall)
+		}
+		if res.MatcherLM.Precision < res.MatcherOnly.Precision {
+			t.Errorf("%s: matcher+domlm precision %.4f below matcher-only %.4f",
+				res.Name, res.MatcherLM.Precision, res.MatcherOnly.Precision)
+		}
+		if res.AUC < 0.95 {
+			t.Errorf("%s: model-score AUC %.4f, want >= 0.95 (generated squats must rank far above noise)",
+				res.Name, res.AUC)
+		}
+	}
+
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append(buf, '\n')
+
+	if *updateGolden {
+		if err := os.WriteFile(goldenDomLMPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d scenarios)", goldenDomLMPath, len(results))
+	}
+
+	want, err := os.ReadFile(goldenDomLMPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("domlm evaluation diverged from %s:\n%s\n(run with -update to regenerate)",
+			goldenDomLMPath, firstDiff(want, got))
+	}
+}

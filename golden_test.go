@@ -67,11 +67,16 @@ type goldenProvenance struct {
 }
 
 // goldenConfig is the tiny fixed world every variant runs against. Backoff
-// is disabled so no wall-clock timing can reach the captures.
+// is disabled so no wall-clock timing can reach the captures. DomLM is on,
+// with generated squats planted and brand-noise hard negatives in the
+// snapshot, so every variant proves the language-model score path is
+// byte-identical across serial, parallel, and delta scans too.
 func goldenConfig(scanWorkers int, incremental bool) core.Config {
 	return core.Config{
-		World:           webworld.Config{SquattingDomains: 400, NonSquattingPhish: 100, Seed: 11},
+		World:           webworld.Config{SquattingDomains: 400, NonSquattingPhish: 100, GeneratedSquats: 80, Seed: 11},
 		DNSNoiseRecords: 1200,
+		DomLM:           true,
+		DNSBrandNoise:   200,
 		ForestTrees:     10,
 		ScanWorkers:     scanWorkers,
 		ScoreWorkers:    1,

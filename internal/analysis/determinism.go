@@ -9,7 +9,10 @@ import (
 // equivalence suites (PR 2/4). Code in these packages must not observe
 // the wall clock or unseeded randomness: any such read could leak into a
 // verdict, a sort order or a cache key and silently break equivalence.
-var determinismScope = []string{"squat", "core", "deltascan", "ml"}
+// domlm joined in PR 9: its trained model bytes and fingerprint are pinned
+// by the property suite and folded into the matcher fingerprint, so any
+// nondeterminism there invalidates delta-scan caches at random.
+var determinismScope = []string{"squat", "core", "deltascan", "ml", "domlm"}
 
 // globalRandFuncs are the math/rand package-level functions that draw
 // from the process-global, unseeded source.
@@ -26,8 +29,8 @@ var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: "forbid wall-clock reads (time.Now/time.Since), time.Sleep and unseeded " +
 		"math/rand in the deterministic scan/score packages (internal/squat, " +
-		"internal/core, internal/deltascan, internal/ml); metric timing goes " +
-		"through obs.Stopwatch and randomness through internal/simrand",
+		"internal/core, internal/deltascan, internal/ml, internal/domlm); metric " +
+		"timing goes through obs.Stopwatch and randomness through internal/simrand",
 	Run: runDeterminism,
 }
 

@@ -118,7 +118,7 @@ func runFixture(t *testing.T, a *Analyzer, dirs ...string) []Diagnostic {
 }
 
 func TestDeterminismFixture(t *testing.T) {
-	diags := runFixture(t, Determinism, "internal/core", "unscoped")
+	diags := runFixture(t, Determinism, "internal/core", "internal/domlm", "unscoped")
 	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/internal/core/clock.go:14:11",
 		"wall-clock read time.Now in deterministic scan path; time metric observations must go through obs.Stopwatch")
 	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/internal/core/clock.go:15:2",

@@ -1,0 +1,25 @@
+// Package domlm is a determinism-analyzer fixture mirroring the import
+// path shape of the real brand-language model (.../internal/domlm): its
+// trained model bytes and fingerprint are pinned by property tests and
+// folded into the matcher fingerprint, so wall-clock reads and unseeded
+// randomness must be flagged here just like the scan packages.
+package domlm
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BadTrain exercises the forbidden call forms inside a training path.
+func BadTrain(labels []string) uint64 {
+	seed := time.Now().UnixNano()                //want:determinism
+	_ = rand.Int63()                             //want:determinism
+	rand.Shuffle(len(labels), func(i, j int) {}) //want:determinism
+	return uint64(seed)
+}
+
+// GoodTrain shows the sanctioned form: an explicitly seeded stream.
+func GoodTrain(labels []string) int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(len(labels) + 1)
+}

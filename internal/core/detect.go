@@ -84,7 +84,7 @@ func (p *Pipeline) detectInWild(ctx context.Context, clf *Classifier, snapshot i
 		for pi, cap := range [2]crawler.Capture{results[i].Web, results[i].Mobile} {
 			scores[i][pi] = -1
 			if cap.Live && !cap.Redirected() {
-				scores[i][pi] = ClassifyCapture(clf, cap)
+				scores[i][pi] = ClassifySample(clf, p.sampleFor(results[i].Domain, cap))
 			}
 		}
 	})
@@ -120,9 +120,22 @@ func (p *Pipeline) detectInWild(ctx context.Context, clf *Classifier, snapshot i
 	return det, nil
 }
 
-// ClassifyCapture scores one capture with a trained classifier.
+// ClassifySample scores one feature sample with a trained classifier.
+func ClassifySample(clf *Classifier, s features.Sample) float64 {
+	return clf.Model.PredictProba(clf.Extractor.Vector(s))
+}
+
+// ClassifyCapture scores one capture with a trained classifier. It carries
+// no domain-model score; pipeline scan paths use sampleFor so the LMScore
+// feature is populated when Config.DomLM is on.
 func ClassifyCapture(clf *Classifier, cap crawler.Capture) float64 {
-	return clf.Model.PredictProba(clf.Extractor.Vector(features.Sample{HTML: cap.HTML, Shot: cap.Shot}))
+	return ClassifySample(clf, features.Sample{HTML: cap.HTML, Shot: cap.Shot})
+}
+
+// sampleFor builds the feature sample of one capture, including the
+// brand-language-model score of its domain when the model is attached.
+func (p *Pipeline) sampleFor(domain string, cap crawler.Capture) features.Sample {
+	return features.Sample{HTML: cap.HTML, Shot: cap.Shot, LMScore: p.LMScore(domain)}
 }
 
 // MonitorLiveness re-crawls the confirmed phishing domains at each
@@ -143,8 +156,8 @@ func (p *Pipeline) MonitorLiveness(ctx context.Context, clf *Classifier, confirm
 		live := make([][2]bool, len(results))
 		p.scoreParallel(len(results), func(i int) {
 			r := results[i]
-			live[i][0] = r.Web.Live && !r.Web.Redirected() && ClassifyCapture(clf, r.Web) >= 0.5
-			live[i][1] = r.Mobile.Live && !r.Mobile.Redirected() && ClassifyCapture(clf, r.Mobile) >= 0.5
+			live[i][0] = r.Web.Live && !r.Web.Redirected() && ClassifySample(clf, p.sampleFor(r.Domain, r.Web)) >= 0.5
+			live[i][1] = r.Mobile.Live && !r.Mobile.Redirected() && ClassifySample(clf, p.sampleFor(r.Domain, r.Mobile)) >= 0.5
 		})
 		for _, l := range live {
 			if l[0] {

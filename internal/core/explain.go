@@ -87,12 +87,13 @@ func (p *Pipeline) cacheEvidence(domain string) *trace.CacheEvidence {
 	return ce
 }
 
-// mlEvidence scores cap and explains the prediction: ensemble score,
-// per-tree vote margin for forests, and the sparse feature vector. The
-// score path is exactly ClassifyCapture's, so the reported score equals
-// the one the verdict used.
-func mlEvidence(clf *Classifier, cap crawler.Capture) *trace.MLEvidence {
-	vec := clf.Extractor.Vector(features.Sample{HTML: cap.HTML, Shot: cap.Shot})
+// mlEvidence scores one feature sample and explains the prediction:
+// ensemble score, per-tree vote margin for forests, and the sparse
+// feature vector. The score path is exactly the detection scan's
+// (ClassifySample over sampleFor), so the reported score equals the one
+// the verdict used.
+func mlEvidence(clf *Classifier, s features.Sample) *trace.MLEvidence {
+	vec := clf.Extractor.Vector(s)
 	ev := &trace.MLEvidence{Dim: len(vec)}
 	if rf, ok := clf.Model.(*ml.RandomForest); ok {
 		d := rf.PredictVotes(vec)
@@ -138,7 +139,7 @@ func (p *Pipeline) explainRecord(domain string, ec *explainCtx) *trace.Record {
 			}
 			verdict := &trace.VerdictEvidence{}
 			if ec.clf != nil && cap.Live && !cap.Redirected() {
-				pe.ML = mlEvidence(ec.clf, cap)
+				pe.ML = mlEvidence(ec.clf, p.sampleFor(ex.Domain, cap))
 				verdict.Score = pe.ML.Score
 				verdict.Flagged = pe.ML.Score >= 0.5
 			}

@@ -84,7 +84,7 @@ func (p *Pipeline) buildGroundTruth(ctx context.Context, maxBenignSquat int) (*G
 		sampled[r.Domain] = true
 		gt.Samples = append(gt.Samples, LabeledSample{
 			Domain:   r.Domain,
-			Sample:   features.Sample{HTML: cap.HTML, Shot: cap.Shot},
+			Sample:   features.Sample{HTML: cap.HTML, Shot: cap.Shot, LMScore: p.LMScore(r.Domain)},
 			Phishing: label,
 		})
 	}
@@ -117,7 +117,7 @@ func (p *Pipeline) buildGroundTruth(ctx context.Context, maxBenignSquat int) (*G
 			}
 			gt.Samples = append(gt.Samples, LabeledSample{
 				Domain:   res.Domain,
-				Sample:   features.Sample{HTML: res.Web.HTML, Shot: res.Web.Shot},
+				Sample:   features.Sample{HTML: res.Web.HTML, Shot: res.Web.Shot, LMScore: p.LMScore(res.Domain)},
 				Phishing: false,
 			})
 		}
@@ -165,6 +165,9 @@ func (p *Pipeline) forestFactory() func() ml.Classifier {
 func (p *Pipeline) TrainClassifier(gt *GroundTruth, opts features.Options) *Classifier {
 	_, done := p.stageSpan(context.Background(), "train")
 	defer done(nil)
+	if p.LM != nil {
+		opts.UseDomLM = true
+	}
 	corpus := make([]features.Sample, len(gt.Samples))
 	for i, s := range gt.Samples {
 		corpus[i] = s.Sample
@@ -182,6 +185,9 @@ func (p *Pipeline) TrainClassifier(gt *GroundTruth, opts features.Options) *Clas
 // EvaluateModels cross-validates all three model families on the ground
 // truth (the full Table 7 / Figure 10).
 func (p *Pipeline) EvaluateModels(gt *GroundTruth, opts features.Options) map[string]ml.Evaluation {
+	if p.LM != nil {
+		opts.UseDomLM = true
+	}
 	corpus := make([]features.Sample, len(gt.Samples))
 	for i, s := range gt.Samples {
 		corpus[i] = s.Sample

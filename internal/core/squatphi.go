@@ -24,6 +24,7 @@ import (
 	"squatphi/internal/crawler"
 	"squatphi/internal/deltascan"
 	"squatphi/internal/dnsx"
+	"squatphi/internal/domlm"
 	"squatphi/internal/obs"
 	"squatphi/internal/obs/trace"
 	"squatphi/internal/phishtank"
@@ -54,6 +55,22 @@ type Config struct {
 	// liveness monitoring, and feature extraction (<= 0 means GOMAXPROCS;
 	// 1 forces serial scoring). Results are identical for every value.
 	ScoreWorkers int
+	// DomLM trains a brand-language model (internal/domlm) over the
+	// monitored brand universe and attaches it to the matcher: scan
+	// misses are scored for brand-likeness and promoted to the Generated
+	// squatting type at domlm.DefaultThreshold. The score also joins the
+	// classifier feature vector (features.Options.UseDomLM) and every
+	// Explain/provenance record. Off by default: the paper's five-type
+	// system is the baseline configuration.
+	DomLM bool
+	// DomLMThreshold overrides the generated-squat promotion threshold
+	// when DomLM is on (<= 0 means domlm.DefaultThreshold).
+	DomLMThreshold float64
+	// DNSBrandNoise mixes this many brand-adjacent hard negatives into
+	// the DNS snapshot when DomLM is on (dnsx.SnapshotSpec.BrandNoise):
+	// benign registrations scored just below the promotion threshold,
+	// pressuring the precision of generated-squat detection. 0 = none.
+	DNSBrandNoise int
 	// Incremental routes the DNS scan through a persistent delta-scan
 	// engine (internal/deltascan): successive scans of an evolving
 	// snapshot skip unchanged store shards wholesale and answer repeated
@@ -109,6 +126,9 @@ type Pipeline struct {
 	Feed       *phishtank.Feed
 	Matcher    *squat.Matcher
 	Blacklists *blacklist.Service
+	// LM is the brand-language model attached to the matcher (nil unless
+	// Config.DomLM). It is immutable and shared by every scan worker.
+	LM *domlm.Model
 
 	// Obs is the metrics registry all pipeline components report to and
 	// Trace the ring-buffer recorder of recent stage-span trees; both are
@@ -173,6 +193,14 @@ func New(cfg Config) (*Pipeline, error) {
 		Events:     cfg.Events,
 		crawls:     map[int][]crawler.Result{},
 		stageDur:   map[string]time.Duration{},
+	}
+	if cfg.DomLM {
+		// Train deterministically over the brand universe and attach
+		// before any instrumentation or sharing: AttachLM folds the model
+		// fingerprint into the matcher fingerprint, which deltascan and
+		// the provenance records key on.
+		p.LM = domlm.Train(world.Brands.Names(), domlm.DefaultConfig())
+		p.Matcher.AttachLM(p.LM, cfg.DomLMThreshold)
 	}
 	p.Matcher.InstrumentMetrics(reg)
 	p.Matcher.InstrumentTrace(p.Prov)
@@ -255,12 +283,17 @@ func (p *Pipeline) scoreWorkers() int {
 func (p *Pipeline) DNSSnapshot() *dnsx.Store {
 	if p.snapshot == nil {
 		_, done := p.stageSpan(context.Background(), "dns_snapshot")
-		p.snapshot = dnsx.GenerateSnapshot(dnsx.SnapshotSpec{
+		spec := dnsx.SnapshotSpec{
 			Planted:      p.World.DNSDomains(),
 			NoiseRecords: p.Cfg.DNSNoiseRecords,
 			Seed:         p.Cfg.Seed,
 			Workers:      p.scanWorkers(),
-		})
+		}
+		if p.LM != nil && p.Cfg.DNSBrandNoise > 0 {
+			spec.BrandNoise = p.LM
+			spec.BrandNoiseRecords = p.Cfg.DNSBrandNoise
+		}
+		p.snapshot = dnsx.GenerateSnapshot(spec)
 		p.Obs.Gauge("core.dns_snapshot.records").Set(float64(p.snapshot.Len()))
 		done(nil)
 	}
@@ -458,6 +491,18 @@ func (p *Pipeline) RescanDNS() []squat.Candidate {
 // Config.Incremental), for callers that drive their own snapshot stores
 // (cmd/squatmond's zone monitor) or want per-epoch Stats.
 func (p *Pipeline) DeltaEngine() *deltascan.Engine { return p.delta }
+
+// LMScore returns the brand-language-model score of a domain's
+// registrable label in [0, 1], or 0 when Config.DomLM is off. It is the
+// feature-extraction entry (features.Sample.LMScore): unlike the matcher
+// hot path it splits the effective TLD itself.
+func (p *Pipeline) LMScore(domain string) float64 {
+	if p.LM == nil {
+		return 0
+	}
+	label, _ := squat.SplitETLD(domain)
+	return p.LM.ScoreLabel(label)
+}
 
 // CandidateDomains returns just the domain names from ScanDNS.
 func (p *Pipeline) CandidateDomains() []string {

@@ -1,0 +1,65 @@
+package deltascan
+
+import (
+	"reflect"
+	"testing"
+
+	"squatphi/internal/domlm"
+	"squatphi/internal/simrand"
+)
+
+// TestLMChangeInvalidatesCache pins the fingerprint contract of the
+// brand-language model: attaching a model (or changing its training set
+// or threshold) alters the matcher fingerprint, so a warm delta-scan
+// cache built without it degrades to a full re-scan instead of serving
+// five-type verdicts for domains the model would now promote.
+func TestLMChangeInvalidatesCache(t *testing.T) {
+	rng := simrand.New(29)
+	model := seedModel(rng, 200)
+	s := buildStore(model, rng.Split("a"))
+	e := NewEngine()
+
+	plain := testMatcher()
+	e.Scan(s, plain, 2)
+	if st := e.LastStats(); !st.FullScan {
+		t.Fatalf("cold scan stats = %+v, want a full scan", st)
+	}
+
+	// Same brand universe, same rules — only the language model differs.
+	lm := testMatcher()
+	lm.AttachLM(domlm.Train([]string{"paypal", "facebook", "google"}, domlm.DefaultConfig()), 0)
+	if plain.Fingerprint() == lm.Fingerprint() {
+		t.Fatal("attaching the language model left the matcher fingerprint unchanged")
+	}
+	got := e.Scan(s, lm, 2)
+	if st := e.LastStats(); !st.FullScan || !st.Invalidated {
+		t.Fatalf("post-attach stats = %+v, want an invalidated full scan", st)
+	}
+	if !reflect.DeepEqual(got, fullScan(s, lm)) {
+		t.Fatal("post-invalidation scan diverged from full scan with the LM matcher")
+	}
+
+	// A threshold change alone re-invalidates: the cache must never mix
+	// verdicts across promotion thresholds.
+	strict := testMatcher()
+	strict.AttachLM(domlm.Train([]string{"paypal", "facebook", "google"}, domlm.DefaultConfig()), 0.95)
+	if strict.Fingerprint() == lm.Fingerprint() {
+		t.Fatal("threshold change left the matcher fingerprint unchanged")
+	}
+	e.Scan(s, strict, 2)
+	if st := e.LastStats(); !st.FullScan || !st.Invalidated {
+		t.Fatalf("post-threshold-change stats = %+v, want an invalidated full scan", st)
+	}
+
+	// Re-scanning with the identical model is a cache hit again: the
+	// fingerprint fold is a pure function of model bytes and threshold.
+	same := testMatcher()
+	same.AttachLM(domlm.Train([]string{"paypal", "facebook", "google"}, domlm.DefaultConfig()), 0.95)
+	if same.Fingerprint() != strict.Fingerprint() {
+		t.Fatal("identical model+threshold produced a different matcher fingerprint")
+	}
+	e.Scan(s, same, 2)
+	if st := e.LastStats(); st.FullScan || st.Invalidated || st.ShardsRescanned != 0 {
+		t.Fatalf("unchanged LM re-scan stats = %+v, want every shard skipped", st)
+	}
+}

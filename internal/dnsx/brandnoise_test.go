@@ -1,0 +1,96 @@
+package dnsx
+
+import (
+	"strings"
+	"testing"
+
+	"squatphi/internal/domlm"
+)
+
+func brandNoiseSpec(records int) SnapshotSpec {
+	model := domlm.Train([]string{
+		"paypal", "facebook", "google", "microsoft", "amazon", "netflix",
+		"dropbox", "linkedin", "spotify", "airbnb", "coinbase", "chase",
+		"wellsfargo", "santander", "alibaba", "youtube", "whatsapp",
+		"instagram", "telegram", "shopify",
+	}, domlm.DefaultConfig())
+	return SnapshotSpec{
+		Planted:           []string{"paypal.com"},
+		NoiseRecords:      2000,
+		BrandNoise:        model,
+		BrandNoiseRecords: records,
+		Seed:              91,
+	}
+}
+
+// TestBrandNoiseBelowThreshold pins the hard-negative contract: every
+// brand-noise label scores strictly below the generated-squat promotion
+// threshold, so the family pressures precision without ever crossing into
+// detection range.
+func TestBrandNoiseBelowThreshold(t *testing.T) {
+	spec := brandNoiseSpec(500)
+	s := GenerateSnapshot(spec)
+	if want := len(spec.Planted) + spec.BrandNoiseRecords + spec.NoiseRecords; s.Len() > want {
+		t.Fatalf("store holds %d records, want at most %d", s.Len(), want)
+	}
+	// The brand-noise range sits right after the planted set in order.
+	domains := s.Domains()[len(spec.Planted) : len(spec.Planted)+spec.BrandNoiseRecords]
+	over := 0
+	for _, d := range domains {
+		label := d[:strings.IndexByte(d, '.')]
+		if score := spec.BrandNoise.ScoreLabel(label); score >= domlm.DefaultThreshold {
+			over++
+			t.Errorf("brand-noise domain %s scores %.3f, at or above the threshold %.2f",
+				d, score, domlm.DefaultThreshold)
+		}
+	}
+	if over > 0 {
+		t.Fatalf("%d/%d brand-noise records cross the threshold", over, len(domains))
+	}
+}
+
+// TestBrandNoiseDeterministic pins that the family is part of the spec's
+// deterministic output: same spec → same records, and the stream path
+// delivers the identical population.
+func TestBrandNoiseDeterministic(t *testing.T) {
+	spec := brandNoiseSpec(300)
+	a, b := GenerateSnapshot(spec), GenerateSnapshot(spec)
+	ad, bd := a.Domains(), b.Domains()
+	if len(ad) != len(bd) {
+		t.Fatalf("sizes differ: %d vs %d", len(ad), len(bd))
+	}
+	for i := range ad {
+		if ad[i] != bd[i] {
+			t.Fatalf("iteration order differs at %d: %q vs %q", i, ad[i], bd[i])
+		}
+	}
+
+	got := NewStore()
+	streamed := 0
+	StreamSnapshot(spec, func(domain string, ip [4]byte) bool {
+		got.Add(domain, ip)
+		streamed++
+		return true
+	})
+	if want := len(spec.Planted) + spec.BrandNoiseRecords + spec.NoiseRecords; streamed != want {
+		t.Fatalf("streamed %d records, want %d", streamed, want)
+	}
+	if got.Len() != a.Len() {
+		t.Fatalf("stream-built store holds %d records, generate built %d", got.Len(), a.Len())
+	}
+	for i, cs := range a.Checksums() {
+		if got.ShardChecksum(i) != cs {
+			t.Fatalf("shard %d checksum differs between stream and generate", i)
+		}
+	}
+
+	// Worker count must not leak into the population.
+	spec1, spec4 := spec, spec
+	spec1.Workers, spec4.Workers = 1, 4
+	w1, w4 := GenerateSnapshot(spec1), GenerateSnapshot(spec4)
+	for i, cs := range w1.Checksums() {
+		if w4.ShardChecksum(i) != cs {
+			t.Fatalf("shard %d checksum differs between 1 and 4 workers", i)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"squatphi/internal/domlm"
 	"squatphi/internal/simrand"
 )
 
@@ -17,6 +18,18 @@ type SnapshotSpec struct {
 	Planted []string
 	// NoiseRecords is the number of unrelated background domains.
 	NoiseRecords int
+	// BrandNoise, when non-nil, mixes in BrandNoiseRecords brand-adjacent
+	// hard negatives: benign registrations sampled from the brand-language
+	// model but accepted only below BrandNoiseMax, so they crowd the score
+	// region just under the generated-squat promotion threshold without
+	// crossing it. They stress the matcher+model precision measurement the
+	// way organic brand-flavoured registrations do in a real zone file.
+	BrandNoise *domlm.Model
+	// BrandNoiseRecords is the number of brand-noise records (0 = none).
+	BrandNoiseRecords int
+	// BrandNoiseMax is the exclusive score ceiling for brand-noise labels;
+	// <= 0 means domlm.DefaultThreshold - 0.02.
+	BrandNoiseMax float64
 	// Seed drives all randomness.
 	Seed uint64
 	// Workers is the generation parallelism (<= 0 means GOMAXPROCS). The
@@ -70,9 +83,21 @@ func GenerateSnapshot(spec SnapshotSpec) *Store {
 		s.addAt(uint64(i), Normalize(d), RandomIP(plantedRNG))
 	}
 
+	// Brand-noise hard negatives sit between the planted set and the bulk
+	// noise in sequence order. Like the planted set they are generated on
+	// the calling goroutine from their own sub-stream: the population is
+	// small, and rejection sampling consumes a data-dependent number of
+	// draws that striping could not keep worker-invariant.
+	bnRNG := base.Split("brandnoise")
+	bnCount := spec.brandNoiseCount()
+	bnMax := spec.brandNoiseMax()
+	for i := 0; i < bnCount; i++ {
+		s.addAt(uint64(len(spec.Planted)+i), brandNoiseDomain(bnRNG, spec.BrandNoise, bnMax), RandomIP(bnRNG))
+	}
+
 	// Noise records are striped into genStripes fixed sub-streams; workers
 	// claim whole stripes. Record i keeps global sequence number
-	// len(Planted)+i whichever worker generates it.
+	// len(Planted)+brandNoise+i whichever worker generates it.
 	workers := spec.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -81,7 +106,7 @@ func GenerateSnapshot(spec SnapshotSpec) *Store {
 		workers = genStripes
 	}
 	noiseRNG := base.Split("noise")
-	plantedCount := len(spec.Planted)
+	plantedCount := len(spec.Planted) + bnCount
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -129,6 +154,13 @@ func StreamSnapshot(spec SnapshotSpec, fn func(domain string, ip [4]byte) bool) 
 			return
 		}
 	}
+	bnRNG := base.Split("brandnoise")
+	bnMax := spec.brandNoiseMax()
+	for i := 0; i < spec.brandNoiseCount(); i++ {
+		if !fn(brandNoiseDomain(bnRNG, spec.BrandNoise, bnMax), RandomIP(bnRNG)) {
+			return
+		}
+	}
 	noiseRNG := base.Split("noise")
 	for g := 0; g < genStripes; g++ {
 		r := noiseRNG.SplitN(uint64(g))
@@ -140,6 +172,37 @@ func StreamSnapshot(spec SnapshotSpec, fn func(domain string, ip [4]byte) bool) 
 			}
 		}
 	}
+}
+
+// brandNoiseCount returns the effective brand-noise population size.
+func (spec SnapshotSpec) brandNoiseCount() int {
+	if spec.BrandNoise == nil || spec.BrandNoiseRecords <= 0 {
+		return 0
+	}
+	return spec.BrandNoiseRecords
+}
+
+// brandNoiseMax returns the effective brand-noise score ceiling.
+func (spec SnapshotSpec) brandNoiseMax() float64 {
+	if spec.BrandNoiseMax > 0 {
+		return spec.BrandNoiseMax
+	}
+	return domlm.DefaultThreshold - 0.02
+}
+
+// brandNoiseDomain mints one brand-adjacent hard negative: a model sample
+// that scores below max. Rejection is bounded — a model whose every
+// sample clears max (tiny training sets) falls back to ordinary noise
+// rather than looping.
+func brandNoiseDomain(r *simrand.RNG, m *domlm.Model, max float64) string {
+	for try := 0; try < 64; try++ {
+		label := m.SampleLabel(r)
+		if m.ScoreLabel(label) >= max {
+			continue
+		}
+		return label + "." + simrand.Pick(r, noiseTLDs)
+	}
+	return noiseDomain(r)
 }
 
 // noiseDomain mints one background domain name (already normalised:

@@ -1,0 +1,157 @@
+package domlm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"squatphi/internal/fsx"
+)
+
+// Binary model layout (all integers little-endian):
+//
+//	magic   [6]byte  "SQDLM\x01"          (the trailing byte is ModelVersion)
+//	order   uint8
+//	pad     uint8    (zero)
+//	addK    uint64   (IEEE-754 bits of the smoothing constant)
+//	brands  uint32   (distinct training labels)
+//	setHash uint64   (order-invariant brand-set hash)
+//	counts  order × (uint32 length + length × uint32 cells)
+//	fp      uint64   (FNV-1a over every preceding byte)
+//
+// The layout is canonical: dense count arrays in order-ascending order,
+// no maps, no floats except the smoothing constant's bit pattern. Two
+// models over the same brand set and config serialize byte-identically,
+// and the trailing fingerprint doubles as both an integrity check on
+// Decode and the model identity the matcher folds into its own
+// fingerprint.
+
+var magic = [6]byte{'S', 'Q', 'D', 'L', 'M', ModelVersion}
+
+// headerSize is the byte offset of the first count array.
+const headerSize = 6 + 1 + 1 + 8 + 4 + 8
+
+// encodedSize returns the total encoding size for an order.
+func encodedSize(order int) int {
+	n := headerSize
+	for k := 1; k <= order; k++ {
+		n += 4 + 4*ctxSize(k)*numEmit
+	}
+	return n + 8
+}
+
+// fnv1aBytes extends an FNV-1a state over b.
+func fnv1aBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// appendEncoded serializes the model without its trailing fingerprint.
+func appendEncoded(dst []byte, m *Model) []byte {
+	dst = append(dst, magic[:]...)
+	dst = append(dst, byte(m.cfg.Order), 0)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(m.cfg.AddK))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.brandCount))
+	dst = binary.LittleEndian.AppendUint64(dst, m.brandSetHash)
+	for _, cs := range m.counts {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(cs)))
+		for _, c := range cs {
+			dst = binary.LittleEndian.AppendUint32(dst, c)
+		}
+	}
+	return dst
+}
+
+// fingerprintOf computes the model fingerprint: FNV-1a over the canonical
+// encoding. Computed once at Train/Decode time.
+func fingerprintOf(m *Model) uint64 {
+	return fnv1aBytes(14695981039346656037, appendEncoded(make([]byte, 0, encodedSize(m.cfg.Order)-8), m))
+}
+
+// Encode serializes the model to its canonical binary form, fingerprint
+// included. Byte-identical for equal models regardless of how (or with
+// how many workers) they were trained.
+func (m *Model) Encode() []byte {
+	b := appendEncoded(make([]byte, 0, encodedSize(m.cfg.Order)), m)
+	return binary.LittleEndian.AppendUint64(b, m.fp)
+}
+
+// Decode reconstructs a model from Encode bytes. Corrupt, truncated or
+// version-mismatched input returns an error — never a panic and never a
+// silently wrong model: the trailing fingerprint is recomputed over the
+// payload and must match (FuzzModelDecode pins this).
+func Decode(b []byte) (*Model, error) {
+	if len(b) < headerSize+8 {
+		return nil, fmt.Errorf("domlm: decode: %d bytes, want at least %d", len(b), headerSize+8)
+	}
+	var mg [6]byte
+	copy(mg[:], b)
+	if mg != magic {
+		return nil, fmt.Errorf("domlm: decode: bad magic/version %q (want %q)", mg[:], magic[:])
+	}
+	order := int(b[6])
+	if order < minOrder || order > maxOrder {
+		return nil, fmt.Errorf("domlm: decode: order %d out of range [%d, %d]", order, minOrder, maxOrder)
+	}
+	if b[7] != 0 {
+		return nil, fmt.Errorf("domlm: decode: nonzero pad byte %#x", b[7])
+	}
+	if len(b) != encodedSize(order) {
+		return nil, fmt.Errorf("domlm: decode: %d bytes, want %d for order %d", len(b), encodedSize(order), order)
+	}
+	addK := math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+	if !(addK > 0) || math.IsInf(addK, 0) {
+		return nil, fmt.Errorf("domlm: decode: smoothing constant %v out of range", addK)
+	}
+	m := &Model{
+		cfg:          Config{Order: order, AddK: addK},
+		brandCount:   int(binary.LittleEndian.Uint32(b[16:])),
+		brandSetHash: binary.LittleEndian.Uint64(b[20:]),
+	}
+	off := headerSize
+	m.counts = make([][]uint32, order)
+	for k := 1; k <= order; k++ {
+		want := ctxSize(k) * numEmit
+		got := int(binary.LittleEndian.Uint32(b[off:]))
+		if got != want {
+			return nil, fmt.Errorf("domlm: decode: order-%d count array has %d cells, want %d", k, got, want)
+		}
+		off += 4
+		cs := make([]uint32, want)
+		for i := range cs {
+			cs[i] = binary.LittleEndian.Uint32(b[off:])
+			off += 4
+		}
+		m.counts[k-1] = cs
+	}
+	fp := binary.LittleEndian.Uint64(b[off:])
+	if want := fnv1aBytes(14695981039346656037, b[:off]); fp != want {
+		return nil, fmt.Errorf("domlm: decode: fingerprint %016x does not match payload hash %016x", fp, want)
+	}
+	m.fp = fp
+	m.buildDerived()
+	return m, nil
+}
+
+// WriteFile persists the encoded model atomically (temp file + fsync +
+// rename, the repo's fsx convention).
+func (m *Model) WriteFile(path string) error {
+	return fsx.WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(m.Encode())
+		return err
+	})
+}
+
+// ReadFile loads a model written by WriteFile.
+func ReadFile(path string) (*Model, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(b)
+}

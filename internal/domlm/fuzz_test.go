@@ -1,0 +1,67 @@
+package domlm
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzScoreBytes pins three score-path invariants for arbitrary input
+// bytes: never panic, score ∈ [0, 1], and the zero-allocation byte path
+// is bit-identical to the string path.
+func FuzzScoreBytes(f *testing.F) {
+	f.Add([]byte("paypal.com"))
+	f.Add([]byte("PAYPAL.COM."))
+	f.Add([]byte(""))
+	f.Add([]byte("."))
+	f.Add([]byte("xn--pypal-4ve.co.uk"))
+	f.Add([]byte("a-b-c-9.\xff\x00weird"))
+
+	m := Train(corpus, DefaultConfig())
+	small := Train(corpus[:3], Config{Order: 2, AddK: 1})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var s Scratch
+		for _, mod := range []*Model{m, small} {
+			got := mod.ScoreBytes(b, &s)
+			if math.IsNaN(got) || got < 0 || got > 1 {
+				t.Fatalf("ScoreBytes(%q) = %v, out of [0,1]", b, got)
+			}
+			if want := mod.Score(string(b)); got != want {
+				t.Fatalf("ScoreBytes(%q) = %v, Score = %v", b, got, want)
+			}
+		}
+	})
+}
+
+// FuzzModelDecode pins that Decode tolerates arbitrary bytes: corrupt or
+// truncated input yields an error, never a panic, and anything it does
+// accept re-encodes canonically and scores within range.
+func FuzzModelDecode(f *testing.F) {
+	// Seed with a real (tiny, order-2) model plus near-miss corruptions so
+	// the fuzzer starts at the interesting boundaries.
+	enc := Train([]string{"paypal", "google", "chase"}, Config{Order: 2, AddK: 0.5}).Encode()
+	f.Add(enc)
+	f.Add(enc[:len(enc)-1])
+	f.Add(enc[:headerSize])
+	bad := append([]byte(nil), enc...)
+	bad[len(bad)-1] ^= 1
+	f.Add(bad)
+	f.Add([]byte("SQDLM\x01"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Decode(b)
+		if err != nil {
+			return
+		}
+		if got := m.ScoreLabel("paypal"); math.IsNaN(got) || got < 0 || got > 1 {
+			t.Fatalf("decoded model scores out of range: %v", got)
+		}
+		re := m.Encode()
+		if len(re) != len(b) {
+			t.Fatalf("re-encode changed size: %d -> %d", len(b), len(re))
+		}
+		if _, err := Decode(re); err != nil {
+			t.Fatalf("re-encode of accepted model no longer decodes: %v", err)
+		}
+	})
+}

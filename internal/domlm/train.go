@@ -1,0 +1,172 @@
+package domlm
+
+import (
+	"sort"
+	"sync"
+)
+
+// labelKey lowercases a training label the way symTable folds input, so
+// "PayPal" and "paypal" train the same n-grams and hash identically.
+func labelKey(name string) string {
+	needFold := false
+	for i := 0; i < len(name); i++ {
+		if c := name[i]; 'A' <= c && c <= 'Z' {
+			needFold = true
+			break
+		}
+	}
+	if !needFold {
+		return name
+	}
+	b := []byte(name)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// dedupe returns the sorted distinct fold of names. Training is defined
+// over the label *set*: duplicates and ordering never change the model.
+func dedupe(names []string) []string {
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[labelKey(n)] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fnv1a hashes one string FNV-1a.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix64 finalizes a hash SplitMix64-style so the commutative sum below
+// still has avalanche behaviour per element.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// setHash computes the order-invariant brand-set hash: the wrapping sum
+// of the mixed per-label hashes. Addition commutes, so any permutation of
+// the same label set hashes identically — and the set is deduplicated
+// first, so repeated labels cannot cancel or double.
+func setHash(labels []string) uint64 {
+	var h uint64
+	for _, l := range labels {
+		h += mix64(fnv1a(l))
+	}
+	return h
+}
+
+// countInto accumulates the n-gram emission counts of one label into cs
+// (cs[k-1] laid out as [ctx*numEmit+emit]). Pure integer accumulation:
+// commutative across labels, which is what makes training input-order and
+// worker-count invariant.
+func countInto(cs [][]uint32, order int, label string) {
+	var ctx [maxOrder]uint32
+	for k := 1; k <= order; k++ {
+		ctx[k-1] = startCtx(k)
+	}
+	n := len(label)
+	if n > maxLabelSz {
+		n = maxLabelSz
+	}
+	for i := 0; i <= n; i++ {
+		sym := uint32(symEnd)
+		if i < n {
+			sym = uint32(symTable[label[i]])
+		}
+		for k := 1; k <= order; k++ {
+			cs[k-1][int(ctx[k-1])*numEmit+int(sym)]++
+		}
+		for k := 2; k <= order; k++ {
+			ctx[k-1] = (ctx[k-1]%ctxMod[k-1])*symBase + sym
+		}
+	}
+}
+
+// newCounts allocates the dense count arrays for an order.
+func newCounts(order int) [][]uint32 {
+	cs := make([][]uint32, order)
+	for k := 1; k <= order; k++ {
+		cs[k-1] = make([]uint32, ctxSize(k)*numEmit)
+	}
+	return cs
+}
+
+// Train builds a model from the registrable labels of the brand universe.
+// The input is treated as a set: duplicates, ordering and case never
+// affect the result, and the returned model's Encode bytes are identical
+// for any permutation of the same labels (the determinism property tests
+// pin this).
+func Train(names []string, cfg Config) *Model {
+	return TrainParallel(names, cfg, 1)
+}
+
+// TrainParallel is Train with the counting fanned out over workers.
+// Output is byte-identical for every worker count: each worker
+// accumulates into private dense arrays and the per-cell sums are
+// reduced with commutative integer addition.
+func TrainParallel(names []string, cfg Config, workers int) *Model {
+	cfg = cfg.normalized()
+	labels := dedupe(names)
+	m := &Model{cfg: cfg, brandCount: len(labels), brandSetHash: setHash(labels)}
+
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(labels) && len(labels) > 0 {
+		workers = len(labels)
+	}
+	if workers <= 1 {
+		m.counts = newCounts(cfg.Order)
+		for _, l := range labels {
+			countInto(m.counts, cfg.Order, l)
+		}
+	} else {
+		locals := make([][][]uint32, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				cs := newCounts(cfg.Order)
+				for i := w; i < len(labels); i += workers {
+					countInto(cs, cfg.Order, labels[i])
+				}
+				locals[w] = cs
+			}(w)
+		}
+		wg.Wait()
+		m.counts = locals[0]
+		for w := 1; w < workers; w++ {
+			for k := range m.counts {
+				dst, src := m.counts[k], locals[w][k]
+				for i := range dst {
+					dst[i] += src[i]
+				}
+			}
+		}
+	}
+
+	m.buildDerived()
+	m.fp = fingerprintOf(m)
+	return m
+}

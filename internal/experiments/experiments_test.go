@@ -63,8 +63,8 @@ func TestAllExperimentsRun(t *testing.T) {
 			}
 		})
 	}
-	if len(ids) != 29 {
-		t.Errorf("ran %d experiments, want 29 (every paper table and figure)", len(ids))
+	if len(ids) != 30 {
+		t.Errorf("ran %d experiments, want 30 (every paper table and figure, plus the Table 14 domlm extension)", len(ids))
 	}
 }
 

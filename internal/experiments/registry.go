@@ -39,5 +39,6 @@ func All() []Driver {
 		{"Table 11", "Evasion squat vs non-squat", ExpTable11},
 		{"Table 12", "Blacklist coverage", ExpTable12},
 		{"Table 13", "Per-domain liveness timeline", ExpTable13},
+		{"Table 14", "Generated-squat detection (domlm)", ExpTable14},
 	}
 }

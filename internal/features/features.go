@@ -29,6 +29,11 @@ type Options struct {
 	UseForms bool
 	// Spellcheck corrects OCR output against the dictionary.
 	Spellcheck bool
+	// UseDomLM appends the domain's brand-language-model score
+	// (Sample.LMScore) as one extra numeric feature. Off by default so the
+	// paper's original 987-dimension embedding — and every golden pinned to
+	// it — is unchanged unless the pipeline runs with Config.DomLM.
+	UseDomLM bool
 }
 
 // AllFeatures enables everything (the paper's full classifier).
@@ -77,6 +82,9 @@ const NumExtras = 7
 type Sample struct {
 	HTML string
 	Shot *render.Raster
+	// LMScore is the brand-language-model score of the page's domain in
+	// [0, 1] (core.Pipeline.LMScore). Only embedded when Options.UseDomLM.
+	LMScore float64
 }
 
 // NewExtractor builds an extractor whose vocabulary merges the frequent
@@ -161,7 +169,7 @@ func (e *Extractor) Extras(s Sample, tokens []string) []float64 {
 			brandTokens++
 		}
 	}
-	return []float64{
+	extras := []float64{
 		float64(len(page.Forms)),
 		float64(inputs),
 		hasPw,
@@ -170,6 +178,10 @@ func (e *Extractor) Extras(s Sample, tokens []string) []float64 {
 		float64(len(page.LinkHrefs)),
 		float64(brandTokens),
 	}
+	if e.Opts.UseDomLM {
+		extras = append(extras, s.LMScore)
+	}
+	return extras
 }
 
 // Vector embeds one page as a feature vector (keyword frequencies plus
@@ -180,4 +192,10 @@ func (e *Extractor) Vector(s Sample) []float64 {
 }
 
 // Dim returns the feature-vector dimensionality.
-func (e *Extractor) Dim() int { return e.Vocab.Size() + NumExtras }
+func (e *Extractor) Dim() int {
+	d := e.Vocab.Size() + NumExtras
+	if e.Opts.UseDomLM {
+		d++
+	}
+	return d
+}

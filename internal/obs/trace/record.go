@@ -9,7 +9,10 @@ import (
 
 // SchemaVersion versions the Record wire format (see DESIGN.md §9). Bump
 // it on any field change so stored trace files remain interpretable.
-const SchemaVersion = 1
+//
+// v2: MatcherEvidence gained the brand-language-model fields (lm_score,
+// lm_model) backing the "generated" squatting type.
+const SchemaVersion = 2
 
 // Record is the full evidence trail behind one domain's verdict. Every
 // field is deterministic for a given world and configuration — records
@@ -53,6 +56,13 @@ type MatcherEvidence struct {
 	// EditDistance is the Levenshtein distance between the (decoded)
 	// label and the matched brand name; -1 when unmatched.
 	EditDistance int `json:"edit_distance"`
+	// LMScore and LMModel carry the brand-language-model evidence when a
+	// model was attached to the matcher: the label's brand-likeness score
+	// and the scoring model's fingerprint (fixed-width hex). Absent
+	// entirely for model-less configurations, keeping v1-era records
+	// byte-stable.
+	LMScore float64 `json:"lm_score,omitempty"`
+	LMModel string  `json:"lm_model,omitempty"`
 }
 
 // CacheEvidence explains a verdict's scan provenance under incremental
@@ -158,7 +168,11 @@ func (r *Record) Render() string {
 		if m.BrandSkeleton != "" {
 			fmt.Fprintf(&b, " brand_skeleton=%s", m.BrandSkeleton)
 		}
-		fmt.Fprintf(&b, " edit_distance=%d\n", m.EditDistance)
+		fmt.Fprintf(&b, " edit_distance=%d", m.EditDistance)
+		if m.LMModel != "" {
+			fmt.Fprintf(&b, " lm_score=%s lm_model=%s", ftoa(m.LMScore), m.LMModel)
+		}
+		b.WriteByte('\n')
 	}
 	if c := r.Cache; c != nil {
 		fmt.Fprintf(&b, "cache: source=%s epoch=%d fingerprint=%s\n", c.Source, c.Epoch, c.Fingerprint)

@@ -1,6 +1,7 @@
 package squat
 
 import (
+	"fmt"
 	"strings"
 
 	"squatphi/internal/confusables"
@@ -18,6 +19,7 @@ const (
 	RuleBitsEdit       = "bits.edit_table"
 	RuleTypoEdit       = "typo.edit_table"
 	RuleBrandSubstring = "combo.brand_substring"
+	RuleGenerated      = "generated.lm_score"
 	RuleNone           = "none"
 )
 
@@ -50,6 +52,13 @@ type Explanation struct {
 	// EditDistance is the Levenshtein distance between the (decoded)
 	// label and the matched brand's name; -1 when unmatched.
 	EditDistance int
+	// LMScore is the brand-language-model score of the label (0 when no
+	// model is attached); LMModel the scoring model's fingerprint in
+	// fixed-width hex ("" when no model is attached). Present on every
+	// explanation — not just Generated hits — so analysts can see how
+	// close a rule-matched or unmatched label sat to the threshold.
+	LMScore float64
+	LMModel string
 }
 
 // Explain classifies domain like Match and returns the full evidence
@@ -73,12 +82,18 @@ func (m *Matcher) Explain(domain string) Explanation {
 		ex.Unicode = uni
 	}
 	ex.Skeleton = confusables.Skeleton(uni)
+	if m.lm != nil {
+		ex.LMScore = m.lm.ScoreLabel(uni)
+		ex.LMModel = fmt.Sprintf("%016x", m.lm.Fingerprint())
+	}
 	if !ok {
 		return ex
 	}
 	ex.Type, ex.Brand = c.Type, c.Brand
-	ex.BrandSkeleton = confusables.Skeleton(c.Brand.Name)
-	ex.EditDistance = levenshtein(uni, c.Brand.Name)
+	if c.Brand.Name != "" {
+		ex.BrandSkeleton = confusables.Skeleton(c.Brand.Name)
+		ex.EditDistance = levenshtein(uni, c.Brand.Name)
+	}
 	switch c.Type {
 	case WrongTLD:
 		ex.Rule = RuleExactName
@@ -90,6 +105,8 @@ func (m *Matcher) Explain(domain string) Explanation {
 		ex.Rule = RuleTypoEdit
 	case Combo:
 		ex.Rule = RuleBrandSubstring
+	case Generated:
+		ex.Rule = RuleGenerated
 	}
 	return ex
 }
@@ -105,8 +122,10 @@ func (ex Explanation) Evidence() *trace.MatcherEvidence {
 		Skeleton:      ex.Skeleton,
 		BrandSkeleton: ex.BrandSkeleton,
 		EditDistance:  ex.EditDistance,
+		LMScore:       ex.LMScore,
+		LMModel:       ex.LMModel,
 	}
-	if ex.Matched {
+	if ex.Matched && ex.Brand.Name != "" {
 		ev.Brand = ex.Brand.Domain()
 	}
 	return ev

@@ -1,9 +1,11 @@
 package squat
 
 import (
+	"math"
 	"sync/atomic"
 
 	"squatphi/internal/confusables"
+	"squatphi/internal/domlm"
 	"squatphi/internal/obs"
 	"squatphi/internal/obs/trace"
 )
@@ -44,6 +46,12 @@ type Matcher struct {
 	// provenance marks (1-in-N by domain hash, worker-count invariant).
 	trace *trace.Collector
 
+	// lm is the attached brand-language model (nil until AttachLM). When
+	// present, labels that miss all five rule-based types are scored for
+	// brand-likeness and promoted to Generated at lmThreshold.
+	lm          *domlm.Model
+	lmThreshold float64
+
 	// brandHash and fp are computed once at construction; see BrandHash
 	// and Fingerprint.
 	brandHash uint64
@@ -81,10 +89,10 @@ func (m *Matcher) InstrumentMetrics(reg *obs.Registry) {
 	met := &matcherMetrics{
 		scanned: reg.Counter("squat.match.scanned"),
 		hits:    reg.Counter("squat.match.candidates"),
-		byType:  make(map[Type]*obs.Counter, len(AllTypes)),
+		byType:  make(map[Type]*obs.Counter, len(MatchTypes)),
 		scanUS:  reg.Histogram("squat.match.scan_us", obs.MicrosBuckets),
 	}
-	for _, t := range AllTypes {
+	for _, t := range MatchTypes {
 		met.byType[t] = reg.Counter("squat.match.candidates." + t.String())
 	}
 	m.met = met
@@ -161,11 +169,39 @@ func NewMatcher(brands []Brand) *Matcher {
 func (m *Matcher) BrandHash() uint64 { return m.brandHash }
 
 // Fingerprint identifies the matcher's full classification configuration:
-// the brand universe plus the derived match indexes and the rules version.
-// Caches of Match results (internal/deltascan) key their validity on it —
-// a differing fingerprint means cached verdicts may be stale and the cache
-// must degrade to a full re-scan.
+// the brand universe plus the derived match indexes, the rules version,
+// and — once AttachLM has run — the attached language model and its
+// promotion threshold. Caches of Match results (internal/deltascan) key
+// their validity on it — a differing fingerprint means cached verdicts
+// may be stale and the cache must degrade to a full re-scan.
 func (m *Matcher) Fingerprint() uint64 { return m.fp }
+
+// AttachLM attaches a brand-language model: labels missing all five
+// rule-based types are scored for brand-likeness and classified Generated
+// at or above threshold (<= 0 means domlm.DefaultThreshold). Call before
+// sharing the matcher across goroutines — like the instrumentation hooks,
+// attachment is construction-time configuration, not runtime state.
+//
+// The model fingerprint and the threshold bits are folded into the
+// matcher fingerprint, so attaching a model — or attaching a retrained
+// or re-thresholded one — changes Fingerprint exactly like a brand-set
+// change does: deltascan verdict caches degrade to a full re-scan
+// instead of serving verdicts computed under a different model.
+func (m *Matcher) AttachLM(model *domlm.Model, threshold float64) {
+	if threshold <= 0 {
+		threshold = domlm.DefaultThreshold
+	}
+	m.lm = model
+	m.lmThreshold = threshold
+	if model != nil {
+		m.fp ^= model.Fingerprint() * 0x2545f4914f6cdd1d
+		m.fp ^= math.Float64bits(threshold) * 0x9e3779b97f4a7c15
+	}
+}
+
+// LM returns the attached brand-language model and its promotion
+// threshold (nil, 0 when none is attached).
+func (m *Matcher) LM() (*domlm.Model, float64) { return m.lm, m.lmThreshold }
 
 // addEdit records a generated label unless it collides with a real brand
 // name (e.g. the omission typo of "apples" would be "apple") or an existing

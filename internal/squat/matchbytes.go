@@ -7,6 +7,7 @@ import (
 	"unicode/utf8"
 
 	"squatphi/internal/confusables"
+	"squatphi/internal/domlm"
 	"squatphi/internal/obs"
 	"squatphi/internal/punycode"
 )
@@ -22,6 +23,7 @@ import (
 type Scratch struct {
 	norm []byte // normalized domain: lowercase, no trailing dot
 	skel []byte // confusable skeleton of the registrable label
+	lm   domlm.Scratch
 }
 
 // scratchPool backs the scratch-less convenience entry points (Match,
@@ -305,7 +307,7 @@ func (m *Matcher) classifyBytes(norm []byte, clean bool, d1, d2 int, s *Scratch)
 				}
 			}
 		}
-		return m.combo(norm, label)
+		return m.comboOrLM(norm, label, s)
 	}
 
 	// Dirty path: the label carries case-folds, confusable bytes, pair
@@ -333,7 +335,7 @@ func (m *Matcher) classifyBytes(norm []byte, clean bool, d1, d2 int, s *Scratch)
 	if e, ok := m.edits[string(label)]; ok {
 		return m.hit(norm, e.typ, e.brand)
 	}
-	return m.combo(norm, label)
+	return m.comboOrLM(norm, label, s)
 }
 
 // combo applies the final rule: a hyphenated label containing a brand
@@ -348,6 +350,34 @@ func (m *Matcher) combo(norm, label []byte) (Candidate, bool) {
 		return m.hit(norm, Combo, int(best))
 	}
 	return Candidate{}, false
+}
+
+// comboOrLM is the shared tail of both classification paths: the combo
+// rule, then — when a brand-language model is attached — the Generated
+// promotion for labels the five rule-based types all missed. The model
+// scores into the worker's scratch, so the (overwhelmingly common) miss
+// outcome stays at zero allocations (BenchmarkMatchMissLM and the
+// bench-check gate pin this).
+//
+//squat:hot
+func (m *Matcher) comboOrLM(norm, label []byte, s *Scratch) (Candidate, bool) {
+	if c, ok := m.combo(norm, label); ok {
+		return c, ok
+	}
+	if m.lm != nil && len(label) >= domlm.MinLabelLen {
+		if m.lm.ScoreLabelBytes(label, &s.lm) >= m.lmThreshold {
+			return m.lmHit(norm)
+		}
+	}
+	return Candidate{}, false
+}
+
+// lmHit materializes a Generated candidate (hit time, like hit — the
+// conversion allocation is deferred off the miss path). Generated hits
+// carry no brand attribution: the model scores against the whole brand
+// universe, not any one name.
+func (m *Matcher) lmHit(norm []byte) (Candidate, bool) {
+	return Candidate{Domain: string(norm), Type: Generated}, true
 }
 
 // hit materializes a Candidate — the only allocation of the match path,

@@ -26,9 +26,15 @@ const (
 	Typo
 	Combo
 	WrongTLD
+	// Generated marks a domain flagged by the attached brand-language
+	// model (internal/domlm): statistically brand-charged names that match
+	// none of the paper's five rule-based types. It exists only when a
+	// model is attached (Matcher.AttachLM) and carries no single brand
+	// attribution — the model scores against the whole brand universe.
+	Generated
 )
 
-var typeNames = [...]string{"none", "homograph", "bits", "typo", "combo", "wrongTLD"}
+var typeNames = [...]string{"none", "homograph", "bits", "typo", "combo", "wrongTLD", "generated"}
 
 func (t Type) String() string {
 	if t < 0 || int(t) >= len(typeNames) {
@@ -37,8 +43,16 @@ func (t Type) String() string {
 	return typeNames[t]
 }
 
-// AllTypes lists the five squatting types in presentation order (Figure 2).
+// AllTypes lists the five squatting types from the paper in presentation
+// order (Figure 2). Generated is deliberately absent: the paper's
+// measurement categories are the five rule-based types, and the
+// experiments that iterate AllTypes pin that universe.
 var AllTypes = []Type{Homograph, Bits, Typo, Combo, WrongTLD}
+
+// MatchTypes lists every type the matcher can emit: the five paper types
+// plus Generated (only produced when a brand-language model is
+// attached). Instrumentation and verdict logging iterate this set.
+var MatchTypes = []Type{Homograph, Bits, Typo, Combo, WrongTLD, Generated}
 
 // Brand is a protected target: a registrable domain an attacker may
 // impersonate. Name is the registrable label ("facebook"), TLD the

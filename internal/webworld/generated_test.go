@@ -1,0 +1,101 @@
+package webworld
+
+import (
+	"testing"
+
+	"squatphi/internal/domlm"
+	"squatphi/internal/squat"
+)
+
+func generatedWorld(t testing.TB) *World {
+	t.Helper()
+	return Build(Config{SquattingDomains: 800, NonSquattingPhish: 100, GeneratedSquats: 200, Seed: 7})
+}
+
+// TestGeneratedSquatsDefeatMatcher pins the family's defining property:
+// every planted generated squat misses all five rule-based types, but a
+// matcher with the brand-language model attached flags each one as
+// Generated at the default threshold.
+func TestGeneratedSquatsDefeatMatcher(t *testing.T) {
+	w := generatedWorld(t)
+	if got := len(w.GeneratedSquats); got < w.Cfg.GeneratedSquats*9/10 {
+		t.Fatalf("only %d/%d generated squats planted", got, w.Cfg.GeneratedSquats)
+	}
+
+	var sb []squat.Brand
+	var names []string
+	for _, b := range w.Brands.Brands {
+		sb = append(sb, b.Brand)
+		names = append(names, b.Name)
+	}
+	plain := squat.NewMatcher(sb)
+	lm := squat.NewMatcher(sb)
+	lm.AttachLM(domlm.Train(names, domlm.DefaultConfig()), 0)
+
+	for _, d := range w.GeneratedSquats {
+		site := w.Sites[d]
+		if site == nil || site.SquatType != squat.Generated {
+			t.Fatalf("generated squat %s has ground truth %+v, want SquatType generated", d, site)
+		}
+		if c, ok := plain.Match(d); ok {
+			t.Errorf("five-type matcher caught generated squat %s as %s", d, c.Type)
+		}
+		if c, ok := lm.Match(d); !ok || c.Type != squat.Generated {
+			t.Errorf("matcher+LM verdict for %s = (%+v, %v), want a Generated hit", d, c, ok)
+		}
+	}
+}
+
+// TestGeneratedSquatsPopulation pins the family's bookkeeping: disjoint
+// from the five-type squatting population, deterministic across builds,
+// phishing-heavy, and part of the DNS universe.
+func TestGeneratedSquatsPopulation(t *testing.T) {
+	w := generatedWorld(t)
+	inSquatting := map[string]bool{}
+	for _, d := range w.SquattingDomains {
+		inSquatting[d] = true
+	}
+	phishing := 0
+	dns := map[string]bool{}
+	for _, d := range w.DNSDomains() {
+		dns[d] = true
+	}
+	for _, d := range w.GeneratedSquats {
+		if inSquatting[d] {
+			t.Errorf("generated squat %s also listed in SquattingDomains", d)
+		}
+		if !dns[d] {
+			t.Errorf("generated squat %s missing from DNSDomains", d)
+		}
+		if w.Sites[d].Kind == Phishing {
+			phishing++
+		}
+	}
+	if n := len(w.GeneratedSquats); phishing < n*2/5 {
+		t.Errorf("only %d/%d generated squats are phishing, want a phishing-heavy mix", phishing, n)
+	}
+
+	again := generatedWorld(t)
+	if len(again.GeneratedSquats) != len(w.GeneratedSquats) {
+		t.Fatalf("generated populations differ across identical builds: %d vs %d",
+			len(again.GeneratedSquats), len(w.GeneratedSquats))
+	}
+	for i := range w.GeneratedSquats {
+		if w.GeneratedSquats[i] != again.GeneratedSquats[i] {
+			t.Fatalf("generated squat %d differs across identical builds: %q vs %q",
+				i, w.GeneratedSquats[i], again.GeneratedSquats[i])
+		}
+	}
+
+	// A world with the family disabled plants none and is unchanged by the
+	// feature existing.
+	off := Build(Config{SquattingDomains: 800, NonSquattingPhish: 100, Seed: 7})
+	if len(off.GeneratedSquats) != 0 {
+		t.Fatalf("GeneratedSquats=0 still planted %d domains", len(off.GeneratedSquats))
+	}
+	for _, d := range w.SquattingDomains {
+		if off.Sites[d] == nil {
+			t.Fatalf("enabling generated squats changed the squatting population (%s missing)", d)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 
 	"squatphi/internal/brands"
 	"squatphi/internal/dnsx"
+	"squatphi/internal/domlm"
 	"squatphi/internal/simrand"
 	"squatphi/internal/squat"
 )
@@ -146,6 +147,13 @@ type Config struct {
 	// NonSquattingPhish is the size of the PhishTank-style population
 	// (paper: 6,755 URLs; default 600).
 	NonSquattingPhish int
+	// GeneratedSquats is the size of the generated-squat population:
+	// domains minted by a brand-language model (internal/domlm) trained on
+	// the same brand universe the matcher monitors. They are rejection-
+	// sampled to defeat all five rule-based squatting types while scoring
+	// above the model's promotion threshold — the adversary PhishReplicant
+	// (ACSAC '23) documents. 0 (the default) plants none.
+	GeneratedSquats int
 	// Seed drives all generation.
 	Seed uint64
 }
@@ -167,6 +175,11 @@ type World struct {
 
 	// SquattingDomains lists the squatting population in generation order.
 	SquattingDomains []string
+	// GeneratedSquats lists the generated-squat population in generation
+	// order. It is deliberately not part of SquattingDomains: the five-type
+	// matcher cannot (by construction) match these, and the experiments
+	// that assert matcher coverage of SquattingDomains pin that contract.
+	GeneratedSquats []string
 	// NonSquattingPhish lists the PhishTank-style population.
 	NonSquattingPhish []string
 	// Marketplaces lists the domain-marketplace hosts.
@@ -211,8 +224,76 @@ func Build(cfg Config) *World {
 	w.buildMarketplaces(root.Split("markets"))
 	w.buildOriginals(root.Split("originals"))
 	w.buildSquatting(root.Split("squatting"))
+	w.buildGeneratedSquats(root.Split("generated"))
 	w.buildNonSquattingPhish(root.Split("nonsquat"))
 	return w
+}
+
+// buildGeneratedSquats plants the generated-squat population. Each
+// domain is drawn from a brand-language model trained over the monitored
+// brand universe, then rejection-sampled until it (a) scores with margin
+// above domlm.DefaultThreshold — the attacker optimizes for brand flavour
+// — and (b) misses all five rule-based squatting types, so only a
+// matcher with the model attached can flag it. The population is
+// phishing-heavy: these are purpose-built attack domains, not the mixed
+// parked/resale economy of ordinary squatting.
+func (w *World) buildGeneratedSquats(r *simrand.RNG) {
+	if w.Cfg.GeneratedSquats <= 0 {
+		return
+	}
+	universe := w.Brands.Brands
+	names := make([]string, len(universe))
+	sb := make([]squat.Brand, len(universe))
+	for i, b := range universe {
+		names[i] = b.Name
+		sb[i] = b.Brand
+	}
+	model := domlm.Train(names, domlm.DefaultConfig())
+	matcher := squat.NewMatcher(sb)
+	// Margin above the promotion threshold: every planted domain is
+	// detectable by matcher+model at the default threshold, making recall
+	// on this family exactly measurable (cmd/paperbench).
+	const minScore = domlm.DefaultThreshold + 0.015
+	tlds := []string{"com", "com", "com", "net", "org", "io", "online", "xyz"}
+
+	for g := 0; g < w.Cfg.GeneratedSquats; g++ {
+		var domain string
+		for try := 0; try < 400; try++ {
+			label := model.SampleLabel(r)
+			if len(label) < domlm.MinLabelLen || model.ScoreLabel(label) < minScore {
+				continue
+			}
+			d := label + "." + simrand.Pick(r, tlds)
+			if w.Sites[d] != nil {
+				continue
+			}
+			if _, hit := matcher.Match(d); hit {
+				continue // one of the five types would catch it: not "generated"
+			}
+			domain = d
+			break
+		}
+		if domain == "" {
+			continue // deterministic shortfall; callers size populations loosely
+		}
+		b := universe[r.Intn(len(universe))]
+		site := &Site{Domain: domain, Brand: b, SquatType: squat.Generated,
+			IP: dnsx.RandomIP(r), Registrar: pickRegistrar(r)}
+		switch x := r.Float64(); {
+		case x < 0.60:
+			w.makePhishing(r, site, true)
+		case x < 0.85:
+			site.Kind = Parked
+			site.Alive = allAlive()
+			site.RegYear = 2014 + r.Intn(5)
+		default:
+			site.Kind = Benign
+			site.Alive = allAlive()
+			site.RegYear = 2014 + r.Intn(5)
+		}
+		w.Sites[domain] = site
+		w.GeneratedSquats = append(w.GeneratedSquats, domain)
+	}
 }
 
 func (w *World) buildMarketplaces(r *simrand.RNG) {
