@@ -1,7 +1,11 @@
 // Command squatvet runs the repository's static-analysis suite
 // (internal/analysis): stdlib-only go/parser + go/types checks that
-// enforce the determinism, metric-naming, transport, retry-convention
-// and lock-hygiene invariants the correctness story rests on.
+// enforce the determinism, metric-naming, transport, retry-convention,
+// lock-hygiene, hot-path allocation, goroutine-lifecycle and error-flow
+// invariants the correctness story rests on. Analyzers that declare
+// NeedsCallGraph (hotpath, lifecycleleak) additionally see a whole-load
+// call graph built once over every analyzed package, so their rules hold
+// transitively across package boundaries.
 //
 // Usage:
 //
@@ -11,19 +15,28 @@
 // (default ./...). Exit status is 0 when every finding is covered by the
 // baseline, 1 when fresh findings exist, 2 on load/usage errors.
 //
+// Loading and checking are parallel (-workers, default GOMAXPROCS);
+// output is byte-identical at any worker count. When a package fails to
+// type-check the run degrades rather than dying: the broken package is
+// reported as a warning, call-graph analyzers are skipped (a graph with
+// holes would silently under-approximate), and the intraprocedural
+// analyzers still run over everything that loaded.
+//
 // The baseline workflow: `squatvet ./...` fails on any finding not in
 // the committed squatvet.baseline at the module root. Intentional
 // exemptions are added there (one justification comment per entry) and
 // burned down over time; `-write-baseline` regenerates the file from the
-// current findings so the diff can be reviewed.
+// current findings so the diff can be reviewed. Stale-entry warnings are
+// scoped to the packages and analyzers that actually ran.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"time"
 
 	"squatphi/internal/analysis"
 )
@@ -42,6 +55,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		list          = fs.Bool("list", false, "list analyzers and exit")
 		names         = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 		noTests       = fs.Bool("no-tests", false, "skip _test.go files")
+		workers       = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel load/check workers (1 = serial)")
+		showTime      = fs.Bool("time", false, "print per-analyzer wall time and package count to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -53,7 +68,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	if *list {
 		for _, a := range analyzers {
-			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -69,20 +84,36 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 	loader.Tests = !*noTests
+	loader.Workers = *workers
 
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := loader.Load(patterns...)
+	pkgs, broken, err := loader.LoadAll(patterns...)
 	if err != nil {
 		fmt.Fprintln(stderr, "squatvet:", err)
 		return 2
 	}
-	diags, err := analysis.Run(pkgs, analyzers)
+	if len(broken) > 0 {
+		for _, b := range broken {
+			fmt.Fprintf(stderr, "squatvet: %s failed to load: %v\n", b.ImportPath, b.Err)
+		}
+		if dropped := len(analyzers) - len(analysis.Intraprocedural(analyzers)); dropped > 0 {
+			fmt.Fprintf(stderr, "squatvet: degrading to intraprocedural analysis (%d call-graph analyzer(s) skipped; a partial graph would under-report)\n", dropped)
+		}
+		analyzers = analysis.Intraprocedural(analyzers)
+	}
+	diags, timings, err := analysis.RunTimed(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(stderr, "squatvet:", err)
 		return 2
+	}
+	if *showTime {
+		fmt.Fprintf(stderr, "squatvet: %d package(s), %d worker(s)\n", len(pkgs), *workers)
+		for _, t := range timings {
+			fmt.Fprintf(stderr, "squatvet:   %-14s %s\n", t.Name, t.Duration.Round(10*time.Microsecond))
+		}
 	}
 
 	if *writeBaseline {
@@ -112,16 +143,21 @@ func run(args []string, stdout, stderr *os.File) int {
 			return 2
 		}
 		// Stale entries are only meaningful for files that were actually
-		// analyzed this run; a partial invocation must not flag entries
-		// for packages it never looked at.
+		// analyzed this run by an analyzer that actually ran; a partial
+		// invocation (path subset or -analyzers subset) must not flag
+		// entries it never looked for.
 		analyzedDirs := map[string]bool{}
 		for _, p := range pkgs {
 			if rel, err := filepath.Rel(root, p.Dir); err == nil {
 				analyzedDirs[filepath.ToSlash(rel)] = true
 			}
 		}
-		inScope := func(path string) bool {
-			return analyzedDirs[filepath.ToSlash(filepath.Dir(path))]
+		ranAnalyzer := map[string]bool{}
+		for _, a := range analyzers {
+			ranAnalyzer[a.Name] = true
+		}
+		inScope := func(analyzer, path string) bool {
+			return ranAnalyzer[analyzer] && analyzedDirs[filepath.ToSlash(filepath.Dir(path))]
 		}
 		var stale []string
 		fresh, stale = baseline.FilterScoped(diags, inScope)
@@ -131,19 +167,13 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		if fresh == nil {
-			fresh = []analysis.Diagnostic{}
-		}
-		if err := enc.Encode(fresh); err != nil {
+		if err := analysis.RenderJSON(stdout, fresh); err != nil {
 			fmt.Fprintln(stderr, "squatvet:", err)
 			return 2
 		}
-	} else {
-		for _, d := range fresh {
-			fmt.Fprintln(stdout, d.String())
-		}
+	} else if err := analysis.RenderText(stdout, fresh); err != nil {
+		fmt.Fprintln(stderr, "squatvet:", err)
+		return 2
 	}
 	if len(fresh) > 0 {
 		fmt.Fprintf(stderr, "squatvet: %d finding(s) not covered by baseline\n", len(fresh))

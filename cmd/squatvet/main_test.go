@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCapture invokes run() with stdout/stderr redirected to temp files.
+func runCapture(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	dir := t.TempDir()
+	outF, err := os.Create(filepath.Join(dir, "stdout"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer outF.Close()
+	errF, err := os.Create(filepath.Join(dir, "stderr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer errF.Close()
+	code = run(args, outF, errF)
+	ob, _ := os.ReadFile(outF.Name())
+	eb, _ := os.ReadFile(errF.Name())
+	return code, string(ob), string(eb)
+}
+
+func TestListAnalyzers(t *testing.T) {
+	code, out, _ := runCapture(t, "-list")
+	if code != 0 {
+		t.Fatalf("run(-list) = %d, want 0", code)
+	}
+	for _, name := range []string{"determinism", "hotalloc", "hotpath", "lifecycleleak", "errflow"} {
+		if !strings.Contains(out, name+" ") {
+			t.Errorf("-list output missing %s", name)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 10 {
+		t.Errorf("-list printed %d lines, want 10", lines)
+	}
+}
+
+// TestAnalyzerSubsetStalenessScoped: running a single analyzer over one
+// directory must not flag the other analyzers' baseline entries as
+// stale.
+func TestAnalyzerSubsetStalenessScoped(t *testing.T) {
+	code, _, stderr := runCapture(t, "-analyzers", "errflow", ".")
+	if code != 0 {
+		t.Fatalf("run = %d, want 0; stderr:\n%s", code, stderr)
+	}
+	if strings.Contains(stderr, "stale") {
+		t.Errorf("subset run reported stale entries:\n%s", stderr)
+	}
+}
+
+// TestBrokenPackageDegrades: a type-check failure downgrades the run to
+// the intraprocedural analyzers instead of aborting.
+func TestBrokenPackageDegrades(t *testing.T) {
+	code, _, stderr := runCapture(t, "-baseline", "",
+		filepath.Join("..", "..", "internal", "analysis", "testdata", "analysis", "broken", "brokenpkg"))
+	if code != 0 {
+		t.Fatalf("run = %d, want 0 (no findings, degraded); stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "failed to load") || !strings.Contains(stderr, "degrading to intraprocedural") {
+		t.Errorf("missing degrade warnings:\n%s", stderr)
+	}
+}

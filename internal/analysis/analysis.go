@@ -19,13 +19,18 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"io"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
+
+	"squatphi/internal/analysis/callgraph"
 )
 
 // Diagnostic is one finding: an analyzer, a position, and a message. Path
@@ -60,6 +65,11 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of the invariant the analyzer
 	// guards and where that invariant comes from.
 	Doc string
+	// NeedsCallGraph marks analyzers that consult Pass.Graph. The driver
+	// builds the whole-load call graph once, before any such analyzer
+	// runs; on a partial (degraded) load these analyzers are skipped,
+	// because a graph missing packages would silently under-approximate.
+	NeedsCallGraph bool
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass) error
 }
@@ -72,6 +82,9 @@ type Pass struct {
 	Pkg        *types.Package
 	Info       *types.Info
 	ImportPath string
+	// Graph is the whole-load call graph; non-nil only for analyzers
+	// that declare NeedsCallGraph.
+	Graph *callgraph.Graph
 
 	root   string
 	report func(Diagnostic)
@@ -100,7 +113,21 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 
 // All returns every analyzer squatvet ships, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, MetricName, EventName, Transport, RetryConv, LockCheck, HotAlloc}
+	return []*Analyzer{Determinism, MetricName, EventName, Transport, RetryConv, LockCheck, HotAlloc,
+		HotPath, LifecycleLeak, ErrFlow}
+}
+
+// Intraprocedural filters out analyzers that need the whole-load call
+// graph; it is the set the driver degrades to when some package failed
+// to load.
+func Intraprocedural(analyzers []*Analyzer) []*Analyzer {
+	var out []*Analyzer
+	for _, a := range analyzers {
+		if !a.NeedsCallGraph {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // ByName resolves a comma-separated analyzer list ("" selects all).
@@ -126,7 +153,43 @@ func ByName(names string) ([]*Analyzer, error) {
 // Run executes the given analyzers over the loaded packages and returns
 // the findings sorted by position then analyzer name.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunTimed(pkgs, analyzers)
+	return diags, err
+}
+
+// Timing is one per-analyzer wall-time entry from RunTimed. The
+// synthetic "callgraph" entry reports the one-time graph construction.
+type Timing struct {
+	Name     string
+	Duration time.Duration
+}
+
+// RunTimed is Run plus per-analyzer wall times, in analyzer order. When
+// any analyzer declares NeedsCallGraph the whole-load call graph is
+// built once, up front, and handed to those analyzers through the pass.
+func RunTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Timing, error) {
+	var timings []Timing
+	var graph *callgraph.Graph
+	needsGraph := false
+	for _, a := range analyzers {
+		needsGraph = needsGraph || a.NeedsCallGraph
+	}
+	if needsGraph && len(pkgs) > 0 {
+		start := time.Now()
+		var units []*callgraph.Unit
+		for _, pkg := range pkgs {
+			units = append(units, &callgraph.Unit{
+				ImportPath: pkg.ImportPath,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				Info:       pkg.Info,
+			})
+		}
+		graph = callgraph.Build(pkgs[0].loader.fset, units)
+		timings = append(timings, Timing{Name: "callgraph", Duration: time.Since(start)})
+	}
 	var diags []Diagnostic
+	elapsed := make(map[string]time.Duration, len(analyzers))
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -139,10 +202,19 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				root:       pkg.loader.Root,
 				report:     func(d Diagnostic) { diags = append(diags, d) },
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			if a.NeedsCallGraph {
+				pass.Graph = graph
+			}
+			start := time.Now()
+			err := a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
 			}
 		}
+	}
+	for _, a := range analyzers {
+		timings = append(timings, Timing{Name: a.Name, Duration: elapsed[a.Name]})
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -160,7 +232,30 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Message < b.Message
 	})
-	return diags, nil
+	return diags, timings, nil
+}
+
+// RenderText writes diagnostics one per line in the conventional
+// file:line:col form. Output is a pure function of the (sorted) input,
+// so it is byte-identical at any loader worker count.
+func RenderText(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderJSON writes diagnostics as an indented JSON array (never null,
+// so consumers can range over the result unconditionally).
+func RenderJSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diags)
 }
 
 // pathHasInternal reports whether the import path contains the segment
@@ -171,6 +266,18 @@ func pathHasInternal(importPath, name string) bool {
 	segs := strings.Split(importPath, "/")
 	for i := 0; i+1 < len(segs); i++ {
 		if segs[i] == "internal" && segs[i+1] == name {
+			return true
+		}
+	}
+	return false
+}
+
+// pathHasSegment reports whether the import path contains seg as a whole
+// path segment (used to scope cmd/* binaries, including fixture trees
+// whose import paths embed a mirrored cmd/ segment).
+func pathHasSegment(importPath, seg string) bool {
+	for _, s := range strings.Split(importPath, "/") {
+		if s == seg {
 			return true
 		}
 	}

@@ -80,12 +80,13 @@ func (b *Baseline) Filter(diags []Diagnostic) (fresh []Diagnostic, stale []strin
 	return b.FilterScoped(diags, nil)
 }
 
-// FilterScoped is Filter with a scope predicate over baseline entry
-// paths: stale entries outside the scope are suppressed. A partial run
-// (squatvet ./internal/obs) produces no findings for other packages, so
-// without scoping every entry for an unanalyzed file would be falsely
-// reported as stale. nil means everything is in scope.
-func (b *Baseline) FilterScoped(diags []Diagnostic, inScope func(path string) bool) (fresh []Diagnostic, stale []string) {
+// FilterScoped is Filter with a scope predicate over baseline entries:
+// stale entries outside the scope are suppressed. A partial run
+// (squatvet ./internal/obs, or -analyzers errflow) produces no findings
+// for other packages or other analyzers, so without scoping every entry
+// for an unanalyzed file — or an analyzer that did not run — would be
+// falsely reported as stale. nil means everything is in scope.
+func (b *Baseline) FilterScoped(diags []Diagnostic, inScope func(analyzer, path string) bool) (fresh []Diagnostic, stale []string) {
 	remaining := make(map[string]int, len(b.counts))
 	for k, v := range b.counts {
 		remaining[k] = v
@@ -100,7 +101,7 @@ func (b *Baseline) FilterScoped(diags []Diagnostic, inScope func(path string) bo
 	for k, v := range remaining {
 		if v > 0 {
 			parts := strings.SplitN(k, "\t", 3)
-			if inScope != nil && !inScope(parts[1]) {
+			if inScope != nil && !inScope(parts[0], parts[1]) {
 				continue
 			}
 			stale = append(stale, fmt.Sprintf("%s: [%s] %s (%d unmatched)", parts[1], parts[0], parts[2], v))

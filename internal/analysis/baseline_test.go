@@ -63,7 +63,7 @@ func TestBaselineFilterScoped(t *testing.T) {
 	}
 	// Only directory "a" was analyzed: the unmatched a/b.go entry is
 	// stale, but the c/d.go entry is out of scope and must be silent.
-	fresh, stale := b.FilterScoped(nil, func(path string) bool {
+	fresh, stale := b.FilterScoped(nil, func(analyzer, path string) bool {
 		return strings.HasPrefix(path, "a/")
 	})
 	if len(fresh) != 0 {
@@ -71,6 +71,14 @@ func TestBaselineFilterScoped(t *testing.T) {
 	}
 	if len(stale) != 1 || !strings.Contains(stale[0], "a/b.go") {
 		t.Fatalf("stale = %v, want only the in-scope a/b.go entry", stale)
+	}
+	// Only the transport analyzer ran: the metricname entry must be
+	// silent even though its directory was analyzed.
+	_, stale = b.FilterScoped(nil, func(analyzer, path string) bool {
+		return analyzer == "transport"
+	})
+	if len(stale) != 1 || !strings.Contains(stale[0], "c/d.go") {
+		t.Fatalf("stale = %v, want only the transport c/d.go entry", stale)
 	}
 }
 

@@ -181,6 +181,128 @@ func TestLockCheckFixture(t *testing.T) {
 		"by-value parameter type carries sync.Mutex; a lock must not be copied, pass a pointer")
 }
 
+func TestHotPathFixture(t *testing.T) {
+	diags := runFixture(t, HotPath, "hotroot", "hotpath")
+	// The allocating helper sits two frames below the //squat:hot root
+	// (scan → helperA → helperB): exactly the gap hotalloc cannot see.
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/hotroot/hotroot.go:38:6",
+		"hotroot.helperB is reachable from //squat:hot root hotroot.helperA but carries neither //squat:hot nor //squat:cold; annotate it so the hot-path contract stays explicit")
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/hotroot/hotroot.go:39:7",
+		"allocating conversion string([]byte) in hotroot.helperB, reachable from //squat:hot root hotroot.helperA; push it behind a //squat:cold boundary or use the byte helpers")
+	// Interface dispatch reaches the concrete method, whose lock is not
+	// held at the root.
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/hotroot/hotroot.go:60:2",
+		"sync Lock acquired in hotroot.worker.do, reachable from //squat:hot root hotroot.scan and not held at the root; per-record locking breaks the scan hot loop, move it behind a //squat:cold boundary")
+	// The address-taken function value resolves by signature, and I/O in
+	// it is a finding.
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/hotroot/hotroot.go:72:15",
+		"os.ReadFile called in hotroot.logAndCount, reachable from //squat:hot root hotroot.scan; I/O and logging do not belong on the per-record scan path, move them behind a //squat:cold boundary")
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/hotpath/hotpath.go:37:6",
+		"hotpath.label is reachable from //squat:hot root hotpath.classify but carries neither //squat:hot nor //squat:cold; annotate it so the hot-path contract stays explicit")
+}
+
+// TestHotPathRealRepo is the transitive proof the hotalloc baseline used
+// to assert by hand: loading the real matcher and everything its hot
+// roots can reach, the MatchBytes miss path — and every other
+// //squat:hot root in these packages — reaches no allocating, locking or
+// I/O-performing callee outside a //squat:cold boundary.
+func TestHotPathRealRepo(t *testing.T) {
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("../squat", "../confusables", "../punycode", "../domlm", "../obs", "../obs/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkgs, []*Analyzer{HotPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("hot path not clean: %s", d.String())
+	}
+}
+
+func TestLifecycleLeakFixture(t *testing.T) {
+	diags := runFixture(t, LifecycleLeak, "internal/serve", "cmd/leakcmd")
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/internal/serve/leak.go:23:2",
+		"goroutine is not join-able (no sync.WaitGroup signal, <-ctx.Done() wait, channel range, or serve.Lifecycle hook in its body); tie it to the component lifecycle so shutdown can drain it")
+	// A named spawn is resolved through the call graph to its body.
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/internal/serve/leak.go:77:2",
+		"goroutine leakyWorker is not join-able (no sync.WaitGroup signal, <-ctx.Done() wait, channel range, or serve.Lifecycle hook in its body); tie it to the component lifecycle so shutdown can drain it")
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/internal/serve/leak.go:83:2",
+		"goroutine calls through a function value, which cannot be proven join-able; spawn a named worker tied to the component lifecycle so shutdown can drain it")
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/internal/serve/leak.go:88:2",
+		"goroutine body Gosched is outside the analyzed packages; wrap the spawn in a join-able worker so shutdown can drain it")
+}
+
+func TestErrFlowFixture(t *testing.T) {
+	diags := runFixture(t, ErrFlow, "internal/fsx")
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/internal/fsx/errs.go:12:2",
+		"statement discards the error from os.Remove; handle it, return it, or route it through a sanctioned sink (core.degraded counter, log, explicit _ = with justification upstream)")
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/internal/fsx/errs.go:22:5",
+		"error result of os.Open assigned to _; handle it, return it, or route it through a sanctioned sink")
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/internal/fsx/errs.go:28:8",
+		"deferred call discards the error from os.Remove; handle it, return it, or route it through a sanctioned sink (core.degraded counter, log, explicit _ = with justification upstream)")
+}
+
+// workerFixtureDirs keeps the determinism test off the heavyweight
+// net/http-importing fixtures: these dirs exercise every analyzer that
+// has cross-package state while importing only small stdlib packages.
+var workerFixtureDirs = []string{
+	"hotroot", "hotpath", "internal/serve", "internal/fsx", "cmd/leakcmd", "constrained", "locker",
+}
+
+// TestWorkersByteIdentical runs the full pipeline — load, call graph,
+// every analyzer, render — at 1 and 8 workers with fresh loaders and
+// requires byte-identical text and JSON output.
+func TestWorkersByteIdentical(t *testing.T) {
+	render := func(workers int) (string, string) {
+		t.Helper()
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := NewLoader(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Workers = workers
+		var patterns []string
+		for _, d := range workerFixtureDirs {
+			patterns = append(patterns, filepath.Join("testdata", "analysis", "src", d))
+		}
+		pkgs, err := l.Load(patterns...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags, err := Run(pkgs, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var text, js strings.Builder
+		if err := RenderText(&text, diags); err != nil {
+			t.Fatal(err)
+		}
+		if err := RenderJSON(&js, diags); err != nil {
+			t.Fatal(err)
+		}
+		return text.String(), js.String()
+	}
+	text1, js1 := render(1)
+	text8, js8 := render(8)
+	if text1 != text8 {
+		t.Errorf("text output differs between 1 and 8 workers:\n-- 1:\n%s-- 8:\n%s", text1, text8)
+	}
+	if js1 != js8 {
+		t.Errorf("JSON output differs between 1 and 8 workers")
+	}
+	if text1 == "" {
+		t.Error("determinism test rendered no findings; fixture set is too weak")
+	}
+}
+
 // assertPosition requires a diagnostic at exactly path:line:col with the
 // given message.
 func assertPosition(t *testing.T, diags []Diagnostic, pos, message string) {
@@ -271,8 +393,11 @@ func TestExpandSkipsTestdataAndHidden(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 7 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 7", len(all), err)
+	if err != nil || len(all) != 10 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 10", len(all), err)
+	}
+	if intra := Intraprocedural(all); len(intra) != 8 {
+		t.Fatalf("Intraprocedural(All()) = %d analyzers, want 8 (hotpath and lifecycleleak dropped)", len(intra))
 	}
 	sub, err := ByName("determinism, lockcheck")
 	if err != nil || len(sub) != 2 || sub[0] != Determinism || sub[1] != LockCheck {

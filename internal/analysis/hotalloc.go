@@ -49,12 +49,19 @@ func runHotAlloc(pass *Pass) error {
 // isHotMarked reports whether the function's doc comment carries the
 // //squat:hot directive. Directives survive in Doc.List even though
 // go/doc strips them from the rendered text.
-func isHotMarked(fd *ast.FuncDecl) bool {
+func isHotMarked(fd *ast.FuncDecl) bool { return hasDirective(fd, "//squat:hot") }
+
+// isColdMarked reports the //squat:cold directive: a deliberate hot-path
+// boundary (hit-time, error-path or sampled code) where rare-path
+// allocation is accepted and hotpath's transitive traversal stops.
+func isColdMarked(fd *ast.FuncDecl) bool { return hasDirective(fd, "//squat:cold") }
+
+func hasDirective(fd *ast.FuncDecl, directive string) bool {
 	if fd.Doc == nil {
 		return false
 	}
 	for _, c := range fd.Doc.List {
-		if c.Text == "//squat:hot" {
+		if c.Text == directive {
 			return true
 		}
 	}

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"squatphi/internal/analysis/callgraph"
+)
+
+// HotPath is the interprocedural half of the zero-allocation contract.
+// hotalloc checks the bodies of //squat:hot functions; hotpath walks the
+// whole-repo call graph from those roots and checks everything they can
+// reach, so an allocating helper two frames below a hot root — or a
+// lock, a log call, or I/O anywhere under it — is a finding even though
+// the root's own body is clean. //squat:cold marks a deliberate boundary
+// (hit-time, error-path or sampled code) where traversal stops.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc: "walk the call graph from every //squat:hot root and report, in " +
+		"reachable repo functions: allocation patterns (string<->[]byte " +
+		"conversions, fmt.*, allocating strings helpers) in unannotated " +
+		"functions, sync lock acquisition, and I/O or logging calls; also " +
+		"report reachable functions carrying neither //squat:hot nor " +
+		"//squat:cold, so the annotation set stays honest. Traversal stops " +
+		"at //squat:cold boundaries and test files",
+	NeedsCallGraph: true,
+	Run:            runHotPath,
+}
+
+// hotPathIOPkgs are packages whose calls have no business on a
+// per-record scan path.
+var hotPathIOPkgs = map[string]bool{
+	"os": true, "net": true, "net/http": true, "log": true, "syscall": true,
+}
+
+// hotPathFinding is one finding attributed to the package that owns the
+// offending function, so each per-package pass reports only its own.
+type hotPathFinding struct {
+	pkg *types.Package
+	pos token.Pos
+	msg string
+}
+
+func runHotPath(pass *Pass) error {
+	if pass.Graph == nil {
+		return nil // degraded load: the driver skipped graph construction
+	}
+	for _, f := range hotPathClosure(pass.Graph) {
+		if f.pkg == pass.Pkg {
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+	return nil
+}
+
+// hotPathClosure computes (once per graph, memoized across the driver's
+// per-package passes) the transitive closure of //squat:hot roots and
+// every finding in it, in deterministic node order.
+func hotPathClosure(g *callgraph.Graph) []hotPathFinding {
+	if cached, ok := g.Memo["hotpath"]; ok {
+		return cached.([]hotPathFinding)
+	}
+	// BFS from all roots at once, in node order; the first root to reach
+	// a function becomes its reported representative, deterministically.
+	rootOf := map[*callgraph.Node]*callgraph.Node{}
+	var queue []*callgraph.Node
+	for _, n := range g.Nodes {
+		if n.Decl != nil && isHotMarked(n.Decl) && !g.InTestFile(n) {
+			rootOf[n] = n
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			c := e.Callee
+			if _, seen := rootOf[c]; seen {
+				continue
+			}
+			if g.InTestFile(c) {
+				continue
+			}
+			if c.Decl != nil && isColdMarked(c.Decl) {
+				continue
+			}
+			rootOf[c] = rootOf[n]
+			queue = append(queue, c)
+		}
+	}
+	var out []hotPathFinding
+	report := func(n *callgraph.Node, pos token.Pos, format string, args ...any) {
+		out = append(out, hotPathFinding{pkg: n.Unit.Pkg, pos: pos, msg: fmt.Sprintf(format, args...)})
+	}
+	for _, n := range g.Nodes {
+		root, reached := rootOf[n]
+		if !reached {
+			continue
+		}
+		annotated := n.Decl != nil && isHotMarked(n.Decl)
+		if !annotated && n.Decl != nil {
+			report(n, n.Pos(), "%s is reachable from //squat:hot root %s but carries neither //squat:hot nor //squat:cold; annotate it so the hot-path contract stays explicit", n.Name, root.Name)
+		}
+		body := n.Body()
+		if body == nil {
+			continue
+		}
+		scanHotBody(n, root, annotated, root == n, report)
+	}
+	g.Memo["hotpath"] = out
+	return out
+}
+
+// scanHotBody pattern-scans one reachable function body. Nested function
+// literals are separate graph nodes and are not descended into. The
+// allocation patterns are only checked in unannotated functions —
+// hotalloc already owns them inside //squat:hot bodies, and a //squat:hot
+// mark is the author's explicit claim that the body honors the contract —
+// while locks and I/O are checked in every reachable non-root function.
+func scanHotBody(n, root *callgraph.Node, annotated, isRoot bool, report func(*callgraph.Node, token.Pos, string, ...any)) {
+	info := n.Unit.Info
+	var stack []ast.Node
+	ast.Inspect(n.Body(), func(x ast.Node) bool {
+		if x == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, isLit := x.(*ast.FuncLit); isLit {
+			return false // its own node; scanned when (and only if) reached
+		}
+		stack = append(stack, x)
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !annotated {
+			if conv, isConv := allocConversion(info, call); isConv && !allocFreeContext(stack, call) {
+				report(n, call.Pos(), "allocating conversion %s in %s, reachable from //squat:hot root %s; push it behind a //squat:cold boundary or use the byte helpers", conv, n.Name, root.Name)
+				return true
+			}
+			if pkgPath, selName, _, ok := qualifiedSel(info, call.Fun); ok {
+				switch {
+				case pkgPath == "fmt":
+					report(n, call.Pos(), "fmt.%s in %s, reachable from //squat:hot root %s, allocates on every call; format off the hot path", selName, n.Name, root.Name)
+					return true
+				case pkgPath == "strings" && hotAllocStrings[selName]:
+					report(n, call.Pos(), "strings.%s in %s, reachable from //squat:hot root %s, allocates its result; use the append-style byte helpers", selName, n.Name, root.Name)
+					return true
+				}
+			}
+		}
+		if isRoot {
+			return true // the root's own locks are held at the root by definition
+		}
+		if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+			switch fn.Name() {
+			case "Lock", "RLock":
+				report(n, call.Pos(), "sync %s acquired in %s, reachable from //squat:hot root %s and not held at the root; per-record locking breaks the scan hot loop, move it behind a //squat:cold boundary", fn.Name(), n.Name, root.Name)
+				return true
+			}
+		}
+		if pkgPath, selName, _, ok := qualifiedSel(info, call.Fun); ok && hotPathIOPkgs[pkgPath] {
+			report(n, call.Pos(), "%s.%s called in %s, reachable from //squat:hot root %s; I/O and logging do not belong on the per-record scan path, move them behind a //squat:cold boundary", pkgPath, selName, n.Name, root.Name)
+		}
+		return true
+	})
+}
+
+// calleeFunc resolves a call's callee to its function object, nil for
+// dynamic calls, builtins and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -12,6 +12,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Package is one loaded, type-checked package (or the external _test
@@ -47,9 +49,53 @@ type Loader struct {
 	// Tests selects whether _test.go files are loaded (driver default:
 	// true).
 	Tests bool
+	// Workers bounds the number of directories parsed and type-checked
+	// concurrently (<= 1 means serial). Results are merged in directory
+	// order, so the loaded package list — and every diagnostic derived
+	// from it — is byte-identical at any worker count.
+	Workers int
 
 	fset *token.FileSet
-	imp  types.Importer
+	imp  *lockedImporter
+}
+
+// lockedImporter serializes a types.Importer and consults the loader's
+// own already-checked packages first. The first half makes the parallel
+// loader sound (the go/importer source importer memoizes per-path results
+// but is not safe for concurrent use, while token.FileSet and concurrent
+// types.Config.Check calls for *different* packages are). The second half
+// is what makes the call graph possible: when squat imports obs, the
+// importer returns the *same* *types.Package the driver loaded for obs,
+// so a *types.Func seen at a call site in squat is pointer-identical to
+// the one defined in obs and cross-package edges resolve — and each
+// module package is type-checked exactly once instead of once per
+// importer.
+type lockedImporter struct {
+	mu      sync.Mutex
+	imp     types.Importer
+	checked map[string]*types.Package
+}
+
+func (li *lockedImporter) register(path string, pkg *types.Package) {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	li.checked[path] = pkg
+}
+
+func (li *lockedImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *lockedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	if pkg := li.checked[path]; pkg != nil {
+		return pkg, nil
+	}
+	if from, ok := li.imp.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, dir, mode)
+	}
+	return li.imp.Import(path)
 }
 
 // NewLoader builds a loader for the module rooted at root (a directory
@@ -69,7 +115,10 @@ func NewLoader(root string) (*Loader, error) {
 		Module: mod,
 		Tests:  true,
 		fset:   fset,
-		imp:    importer.ForCompiler(fset, "source", nil),
+		imp: &lockedImporter{
+			imp:     importer.ForCompiler(fset, "source", nil),
+			checked: map[string]*types.Package{},
+		},
 	}, nil
 }
 
@@ -110,27 +159,164 @@ func modulePath(file string) (string, error) {
 // Fset returns the loader's shared file set.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
 
+// Broken records a directory that failed to parse or type-check during a
+// tolerant load, so the driver can degrade instead of dying.
+type Broken struct {
+	// Dir is the absolute directory that failed.
+	Dir string
+	// ImportPath is the directory's import path ("" when even that could
+	// not be derived).
+	ImportPath string
+	// Err is the parse or type-check failure.
+	Err error
+}
+
 // Load expands the given package patterns (a directory, or a directory
 // followed by /... for the subtree rooted there; both relative to the
 // process working directory) and returns the type-checked packages.
 // Directories named testdata, vendor, or starting with "." or "_" are
 // skipped during subtree expansion but are honoured when named
 // explicitly, so fixture trees can be loaded on purpose without ever
-// polluting a ./... run.
+// polluting a ./... run. Any parse or type-check failure aborts the load.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
-	dirs, err := l.expand(patterns)
+	pkgs, broken, err := l.LoadAll(patterns...)
 	if err != nil {
 		return nil, err
 	}
-	var pkgs []*Package
-	for _, dir := range dirs {
-		loaded, err := l.loadDir(dir)
-		if err != nil {
-			return nil, err
-		}
-		pkgs = append(pkgs, loaded...)
+	if len(broken) > 0 {
+		return nil, broken[0].Err
 	}
 	return pkgs, nil
+}
+
+// LoadAll is the tolerant form of Load: directories that fail to parse
+// or type-check are returned as Broken entries instead of aborting, so
+// the caller can still run intraprocedural analyzers over the healthy
+// packages (the whole-repo call graph, by contrast, needs every package
+// and must be skipped on a partial load).
+//
+// Loading runs in two phases over a pool of Workers goroutines. First
+// every directory is parsed (concurrently — token.FileSet is safe) and
+// its module-internal imports collected; then directories are
+// type-checked in dependency waves, so that by the time a package is
+// checked every module package it imports has already been checked and
+// registered with the importer. That ordering is what gives the whole
+// load a single type universe (see lockedImporter). Results are merged
+// in directory order, so the package list — and every diagnostic derived
+// from it — is identical at any worker count.
+func (l *Loader) LoadAll(patterns ...string) ([]*Package, []Broken, error) {
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(dirs)
+	workers := l.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	runPool := func(count int, task func(int)) {
+		if workers <= 1 || count <= 1 {
+			for i := 0; i < count; i++ {
+				task(i)
+			}
+			return
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= count {
+						return
+					}
+					task(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Phase 1: parse everything.
+	parsed := make([]parsedDir, n)
+	runPool(n, func(i int) { parsed[i] = l.parseDir(dirs[i]) })
+
+	// Dependency edges among the loaded directories (imports of packages
+	// outside the load go through the source importer as before).
+	idxByPath := make(map[string]int, n)
+	for i := range parsed {
+		if parsed[i].err == nil {
+			idxByPath[parsed[i].importPath] = i
+		}
+	}
+	unmet := make([]map[int]bool, n)
+	dependents := make([][]int, n)
+	for i := range parsed {
+		unmet[i] = map[int]bool{}
+		for p := range parsed[i].deps {
+			if j, ok := idxByPath[p]; ok && j != i {
+				unmet[i][j] = true
+			}
+		}
+	}
+	for i := range parsed {
+		for j := range unmet[i] {
+			dependents[j] = append(dependents[j], i)
+		}
+	}
+
+	// Phase 2: type-check in waves (Kahn's algorithm, one parallel pool
+	// per wave). A wave is every not-yet-checked directory whose loaded
+	// dependencies are all done; module dependency chains are shallow, so
+	// the big leaf wave carries most of the parallelism.
+	loaded := make([][]*Package, n)
+	errs := make([]error, n)
+	checked := make([]bool, n)
+	for {
+		var wave []int
+		for i := range parsed {
+			if !checked[i] && len(unmet[i]) == 0 {
+				wave = append(wave, i)
+			}
+		}
+		if len(wave) == 0 {
+			break
+		}
+		runPool(len(wave), func(k int) {
+			i := wave[k]
+			loaded[i], errs[i] = l.checkDir(parsed[i])
+		})
+		for _, i := range wave {
+			checked[i] = true
+			for _, j := range dependents[i] {
+				delete(unmet[j], i)
+			}
+		}
+	}
+	// Import cycles cannot occur in valid Go, but a broken tree might
+	// contain one: check the leftovers serially rather than deadlocking.
+	for i := range parsed {
+		if !checked[i] {
+			loaded[i], errs[i] = l.checkDir(parsed[i])
+		}
+	}
+
+	var pkgs []*Package
+	var broken []Broken
+	for i, dir := range dirs {
+		if errs[i] != nil {
+			importPath, _ := l.importPathFor(dir)
+			broken = append(broken, Broken{Dir: dir, ImportPath: importPath, Err: errs[i]})
+			continue
+		}
+		pkgs = append(pkgs, loaded[i]...)
+	}
+	return pkgs, broken, nil
 }
 
 func (l *Loader) expand(patterns []string) ([]string, error) {
@@ -217,19 +403,31 @@ func (l *Loader) importPathFor(dir string) (string, error) {
 	return l.Module + "/" + filepath.ToSlash(rel), nil
 }
 
-// loadDir parses and type-checks one directory. It returns the primary
-// package (non-test files plus in-package test files) and, when present,
-// the external _test package as a second Package.
-func (l *Loader) loadDir(dir string) ([]*Package, error) {
-	importPath, err := l.importPathFor(dir)
-	if err != nil {
-		return nil, err
+// parsedDir is one directory after the parse phase: its files split into
+// the primary package (non-test files plus in-package test files) and
+// the external _test package, and the set of module-internal packages
+// they import.
+type parsedDir struct {
+	dir        string
+	importPath string
+	prim       []*ast.File
+	xtest      []*ast.File
+	deps       map[string]bool
+	err        error
+}
+
+// parseDir parses one directory's files, honouring build constraints.
+func (l *Loader) parseDir(dir string) parsedDir {
+	pd := parsedDir{dir: dir}
+	pd.importPath, pd.err = l.importPathFor(dir)
+	if pd.err != nil {
+		return pd
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		pd.err = err
+		return pd
 	}
-	var prim, xtest []*ast.File
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
@@ -244,30 +442,54 @@ func (l *Loader) loadDir(dir string) ([]*Package, error) {
 		// e.g. snapfmt's mmap_linux.go / mmap_other.go pair must never be
 		// type-checked together.
 		if match, err := build.Default.MatchFile(dir, name); err != nil {
-			return nil, err
+			pd.err = err
+			return pd
 		} else if !match {
 			continue
 		}
 		file, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			pd.err = err
+			return pd
 		}
 		if isTest && strings.HasSuffix(file.Name.Name, "_test") {
-			xtest = append(xtest, file)
+			pd.xtest = append(pd.xtest, file)
 		} else {
-			prim = append(prim, file)
+			pd.prim = append(pd.prim, file)
 		}
 	}
+	pd.deps = map[string]bool{}
+	for _, files := range [][]*ast.File{pd.prim, pd.xtest} {
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if p == l.Module || strings.HasPrefix(p, l.Module+"/") {
+					pd.deps[p] = true
+				}
+			}
+		}
+	}
+	return pd
+}
+
+// checkDir type-checks one parsed directory: the primary package (which
+// is then registered with the importer, so later packages see this exact
+// *types.Package) and, when present, the external _test package.
+func (l *Loader) checkDir(pd parsedDir) ([]*Package, error) {
+	if pd.err != nil {
+		return nil, pd.err
+	}
 	var pkgs []*Package
-	if len(prim) > 0 {
-		p, err := l.check(dir, importPath, prim)
+	if len(pd.prim) > 0 {
+		p, err := l.check(pd.dir, pd.importPath, pd.prim)
 		if err != nil {
 			return nil, err
 		}
+		l.imp.register(pd.importPath, p.Types)
 		pkgs = append(pkgs, p)
 	}
-	if len(xtest) > 0 {
-		p, err := l.check(dir, importPath, xtest)
+	if len(pd.xtest) > 0 {
+		p, err := l.check(pd.dir, pd.importPath, pd.xtest)
 		if err != nil {
 			return nil, err
 		}

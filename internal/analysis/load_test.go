@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/build"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadBuildConstraints: files excluded by a //go:build tag or a
+// GOOS filename suffix must not be parsed or type-checked. Both excluded
+// fixtures reference an undefined symbol, so including either fails the
+// load loudly.
+func TestLoadBuildConstraints(t *testing.T) {
+	if build.Default.GOOS == "windows" {
+		t.Skip("fixture assumes a non-windows GOOS")
+	}
+	pkgs := loadFixture(t, "constrained")
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if len(p.Files) != 1 {
+		t.Fatalf("loaded %d files, want only ok.go", len(p.Files))
+	}
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name := filepath.Base(l.Fset().Position(p.Files[0].Pos()).Filename); name != "ok.go" {
+		t.Errorf("loaded file = %s, want ok.go", name)
+	}
+	scope := p.Types.Scope()
+	if scope.Lookup("Here") == nil {
+		t.Error("ok.go's Here missing from the package scope")
+	}
+	if scope.Lookup("Tagged") != nil {
+		t.Error("tagged.go was loaded despite its build tag")
+	}
+	if scope.Lookup("OnWindows") != nil {
+		t.Error("ok_windows.go was loaded despite its GOOS suffix")
+	}
+}
+
+// TestLoadAllBrokenDegrades: a package that fails to type-check becomes
+// a Broken entry while the rest of the load succeeds; the strict Load
+// entry point turns the same situation into an error.
+func TestLoadAllBrokenDegrades(t *testing.T) {
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, broken, err := l.LoadAll(
+		filepath.Join("testdata", "analysis", "broken")+"/...",
+		filepath.Join("testdata", "analysis", "src", "constrained"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) != 1 || !strings.HasSuffix(broken[0].ImportPath, "brokenpkg") || broken[0].Err == nil {
+		t.Fatalf("broken = %+v, want exactly the brokenpkg entry with its type error", broken)
+	}
+	if !strings.Contains(broken[0].Err.Error(), "type-check") {
+		t.Errorf("broken error %q does not mention type-check", broken[0].Err)
+	}
+	if len(pkgs) != 1 || filepath.Base(pkgs[0].Dir) != "constrained" {
+		t.Fatalf("pkgs = %v, want just the healthy constrained package", pkgs)
+	}
+	if _, err := l.Load(filepath.Join("testdata", "analysis", "broken") + "/..."); err == nil {
+		t.Fatal("strict Load must fail on a broken package")
+	}
+}
+
+// TestLoadAllSharedTypeUniverse: when one loaded package imports
+// another, the importer must hand back the *same* *types.Package the
+// loader checked — pointer identity is what makes cross-package call
+// graph edges resolve.
+func TestLoadAllSharedTypeUniverse(t *testing.T) {
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, broken, err := l.LoadAll("../squat", "../confusables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) != 0 {
+		t.Fatalf("broken = %+v", broken)
+	}
+	var squatPkg, confPkg *Package
+	for _, p := range pkgs {
+		switch filepath.Base(p.Dir) {
+		case "squat":
+			squatPkg = p
+		case "confusables":
+			confPkg = p
+		}
+	}
+	if squatPkg == nil || confPkg == nil {
+		t.Fatalf("missing loaded packages: %v", pkgs)
+	}
+	found := false
+	for _, imp := range squatPkg.Types.Imports() {
+		if imp.Path() == confPkg.ImportPath {
+			found = true
+			if imp != confPkg.Types {
+				t.Error("squat's confusables import is a different *types.Package than the loaded one; the type universes are split")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("squat does not import confusables; the fixture premise broke")
+	}
+}

@@ -1,0 +1,9 @@
+// Package brokenpkg fails to type-check on purpose: the loader must
+// degrade to a Broken entry for it instead of dying mid-load.
+package brokenpkg
+
+// Bad assigns an untyped int to a string.
+func Bad() string {
+	var s string = 42
+	return s
+}

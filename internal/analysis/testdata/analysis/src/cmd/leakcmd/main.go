@@ -1,0 +1,17 @@
+// Command leakcmd exercises lifecycleleak's cmd/* scoping: binaries own
+// process shutdown, so their goroutines must be join-able too.
+package main
+
+import "sync"
+
+func main() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	go func() { //want:lifecycleleak
+		println("background")
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,6 @@
+// Package constrained exercises the loader's build-constraint handling:
+// only this file survives on a default linux/darwin build.
+package constrained
+
+// Here is the only symbol the loader should see.
+func Here() int { return 1 }

@@ -1,0 +1,6 @@
+// This file is excluded on any non-windows GOOS by its filename suffix;
+// like tagged.go, it fails the type check loudly if ever included.
+package constrained
+
+// OnWindows must never be loaded by this repo's test runs.
+func OnWindows() int { return undefinedOnPurpose }

@@ -1,0 +1,8 @@
+//go:build neverbuildme
+
+// This file is excluded by its build tag; if the loader ever includes
+// it, the undefined symbol below fails the type check loudly.
+package constrained
+
+// Tagged must never be loaded.
+func Tagged() int { return undefinedOnPurpose }

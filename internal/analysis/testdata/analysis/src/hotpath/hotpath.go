@@ -31,8 +31,10 @@ func classify(b []byte) int {
 	return 0
 }
 
-// label is not marked hot: the same patterns are fine here.
-func label(b []byte) string {
-	s := strings.ToLower(string(b))
-	return fmt.Sprintf("%s.", strings.Split(s, ".")[0])
+// label is not marked hot, so hotalloc ignores it — but hotpath sees it
+// reachable from the hot root classify and flags both the missing
+// annotation and every allocation pattern inside.
+func label(b []byte) string { //want:hotpath
+	s := strings.ToLower(string(b))                     //want:hotpath //want:hotpath
+	return fmt.Sprintf("%s.", strings.Split(s, ".")[0]) //want:hotpath //want:hotpath
 }

@@ -1,0 +1,77 @@
+// Package hotroot exercises the hotpath analyzer: reachability from a
+// //squat:hot root across static calls, interface dispatch and
+// address-taken function values, with //squat:cold as the sanctioned
+// boundary where traversal stops.
+package hotroot
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+var mu sync.Mutex
+
+// scan is the hot root. Its own body is clean; everything it can reach
+// is the analyzer's business.
+//
+//squat:hot
+func scan(rec []byte, d doer) int {
+	n := helperA(rec)
+	n += d.do(rec)
+	f := pick()
+	return n + f(rec)
+}
+
+// helperA is annotated and clean; the offense sits one frame further
+// down.
+//
+//squat:hot
+func helperA(rec []byte) int {
+	if len(rec) == 0 {
+		return len(spill(rec))
+	}
+	return helperB(rec)
+}
+
+// helperB allocates two frames below the root and carries no annotation.
+func helperB(rec []byte) int { //want:hotpath
+	s := string(rec) //want:hotpath
+	return len(s)
+}
+
+// spill is a deliberate boundary: traversal stops here, so the fmt call
+// inside is not a finding.
+//
+//squat:cold
+func spill(rec []byte) string {
+	return fmt.Sprintf("%x", rec)
+}
+
+// doer dispatches through an interface; the analyzer links the call to
+// every same-name, same-signature concrete method.
+type doer interface {
+	do(rec []byte) int
+}
+
+type worker struct{}
+
+func (worker) do(rec []byte) int { //want:hotpath
+	mu.Lock() //want:hotpath
+	defer mu.Unlock()
+	return len(rec)
+}
+
+// pick hands back an address-taken function; the dynamic call in scan
+// resolves to logAndCount by signature.
+func pick() func([]byte) int { //want:hotpath
+	return logAndCount
+}
+
+func logAndCount(rec []byte) int { //want:hotpath
+	data, err := os.ReadFile("counts") //want:hotpath
+	if err != nil {
+		return len(rec)
+	}
+	return len(data)
+}

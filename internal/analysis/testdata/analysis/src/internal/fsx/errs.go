@@ -1,0 +1,44 @@
+// Package fsx exercises the errflow analyzer: discarded errors in the
+// storage layer are findings unless the callee is a sanctioned sink.
+package fsx
+
+import (
+	"bytes"
+	"os"
+)
+
+// drop discards os.Remove's error as a bare statement.
+func drop(path string) {
+	os.Remove(path) //want:errflow
+}
+
+// blank discards it via the blank identifier.
+func blank(path string) {
+	_ = os.Remove(path) //want:errflow
+}
+
+// blankPair discards only the error half of a multi-value result.
+func blankPair(path string) *os.File {
+	f, _ := os.Open(path) //want:errflow
+	return f
+}
+
+// deferred discards a deferred, non-sanctioned error.
+func deferred(path string) {
+	defer os.Remove(path) //want:errflow
+}
+
+// sanctioned exercises the accepted sinks: teardown idiom names, the
+// never-failing bytes writers, and calls with no error result at all.
+func sanctioned(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var buf bytes.Buffer
+	buf.WriteString("header")
+	buf.Write(data)
+	f.Sync()
+	return nil
+}

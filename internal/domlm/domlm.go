@@ -220,6 +220,8 @@ func (m *Model) buildDerived() {
 }
 
 // startCtx returns the all-start context value for order k.
+//
+//squat:hot
 func startCtx(k int) uint32 {
 	v := uint32(0)
 	for i := 1; i < k; i++ {

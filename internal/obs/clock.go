@@ -19,9 +19,13 @@ type Stopwatch struct {
 }
 
 // StartStopwatch begins timing now.
+//
+//squat:hot
 func StartStopwatch() Stopwatch { return Stopwatch{start: time.Now()} }
 
 // Elapsed returns the wall time since the stopwatch started.
+//
+//squat:hot
 func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.start) }
 
 // Seconds returns the elapsed time in seconds (throughput gauges).
@@ -33,4 +37,6 @@ func (s Stopwatch) Millis() float64 { return float64(s.Elapsed()) / float64(time
 
 // Micros returns the elapsed time in microseconds; pair with
 // MicrosBuckets histograms.
+//
+//squat:hot
 func (s Stopwatch) Micros() float64 { return float64(s.Elapsed()) / float64(time.Microsecond) }

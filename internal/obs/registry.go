@@ -34,6 +34,8 @@ type Counter struct {
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Inc increments the counter by one.
+//
+//squat:hot
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Value returns the current count.
@@ -46,6 +48,8 @@ type atomicFloat struct {
 
 func (f *atomicFloat) load() float64   { return math.Float64frombits(f.bits.Load()) }
 func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+//squat:hot
 func (f *atomicFloat) add(delta float64) {
 	for {
 		old := f.bits.Load()
@@ -105,6 +109,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one value.
+//
+//squat:hot
 func (h *Histogram) Observe(v float64) {
 	if i := sort.SearchFloat64s(h.bounds, v); i < len(h.buckets) {
 		h.buckets[i].Add(1)

@@ -84,6 +84,8 @@ func (c *Collector) SampleEvery() int {
 }
 
 // fnv1a hashes s with 64-bit FNV-1a.
+//
+//squat:hot
 func fnv1a(s string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(s); i++ {
@@ -109,6 +111,8 @@ func (c *Collector) Sampled(domain string) bool {
 // mask (power-of-two rates, including the default) or one modulo — no
 // locks, no allocation. This sits inside Matcher.Match on the DNS-scan
 // hot path, so the unsampled cost is what the <5% overhead budget buys.
+//
+//squat:hot
 func (c *Collector) ObserveScan(domain string, matched bool) {
 	if c == nil || c.sampleEvery == 0 {
 		return
@@ -126,6 +130,8 @@ func (c *Collector) ObserveScan(domain string, matched bool) {
 
 // fnv1aBytes is fnv1a over a byte view — same hash, so ObserveScanBytes
 // samples exactly the domains ObserveScan would.
+//
+//squat:hot
 func fnv1aBytes(b []byte) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(b); i++ {
@@ -153,10 +159,22 @@ func (c *Collector) ObserveScanBytes(domain []byte, matched bool) {
 	} else if h%c.sampleEvery != 0 {
 		return
 	}
+	c.recordMarkBytes(domain, matched)
+}
+
+// recordMarkBytes is ObserveScanBytes' sampled slow path; the string
+// conversion happens here, behind the cold boundary, so the unsampled
+// hot path stays allocation-free by construction.
+//
+//squat:cold
+func (c *Collector) recordMarkBytes(domain []byte, matched bool) {
 	c.recordMark(string(domain), matched)
 }
 
-// recordMark is ObserveScan's sampled slow path.
+// recordMark is ObserveScan's sampled slow path: atomics plus a short
+// critical section, 1-in-N events by construction.
+//
+//squat:cold
 func (c *Collector) recordMark(domain string, matched bool) {
 	c.scansSampled.Add(1)
 	if matched {

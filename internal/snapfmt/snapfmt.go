@@ -72,6 +72,10 @@ const (
 // snapshot file, from a bad magic to a non-monotonic offsets column.
 var ErrCorrupt = errors.New("snapfmt: corrupt snapshot")
 
+// corruptf is error-path only: reaching it means the scan is already
+// aborting, so its fmt allocations never price into the hot loop.
+//
+//squat:cold
 func corruptf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
 }

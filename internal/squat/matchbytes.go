@@ -46,6 +46,8 @@ type fastEntry struct {
 
 // lenBit maps a label length to its bit in the fastLens mask (lengths
 // beyond 63 share the top bit).
+//
+//squat:hot
 func lenBit(n int) uint64 {
 	if n > 63 {
 		n = 63
@@ -180,6 +182,8 @@ func prescan[T string | []byte](domain T) (needNorm, clean bool, d1, d2 int) {
 
 // lastTwoDots recomputes the dot positions prescan could not carry across
 // normalization.
+//
+//squat:hot
 func lastTwoDots(norm []byte) (d1, d2 int) {
 	d1 = bytes.LastIndexByte(norm, '.')
 	if d1 < 0 {
@@ -319,12 +323,8 @@ func (m *Matcher) classifyBytes(norm []byte, clean bool, d1, d2 int, s *Scratch)
 		return m.hit(norm, WrongTLD, bi)
 	}
 	if isACELabel(label) {
-		// IDN homograph: decode and re-split through the string path.
-		// ACE labels are rare in a snapshot; the allocations here are
-		// off the 0-allocs/op miss budget by construction.
-		uni, _ := SplitETLD(punycode.ToUnicode(string(norm)))
-		if bi, ok := m.bySkeleton[confusables.Skeleton(uni)]; ok {
-			return m.hit(norm, Homograph, bi)
+		if c, ok := m.aceHomograph(norm); ok {
+			return c, ok
 		}
 	} else {
 		s.skel = confusables.AppendSkeleton(s.skel[:0], label)
@@ -336,6 +336,22 @@ func (m *Matcher) classifyBytes(norm []byte, clean bool, d1, d2 int, s *Scratch)
 		return m.hit(norm, e.typ, e.brand)
 	}
 	return m.comboOrLM(norm, label, s)
+}
+
+// aceHomograph applies the IDN homograph rule to an ACE (xn--) label:
+// decode and re-split through the string path. ACE labels are
+// ~per-million events in a real snapshot, so this is a deliberate hot-path
+// boundary — the punycode/skeleton string machinery behind it allocates,
+// and that cost is off the 0-allocs/op miss budget by construction
+// (TestMatchMissZeroAlloc and make bench-check gate it dynamically).
+//
+//squat:cold
+func (m *Matcher) aceHomograph(norm []byte) (Candidate, bool) {
+	uni, _ := SplitETLD(punycode.ToUnicode(string(norm)))
+	if bi, ok := m.bySkeleton[confusables.Skeleton(uni)]; ok {
+		return m.hit(norm, Homograph, bi)
+	}
+	return Candidate{}, false
 }
 
 // combo applies the final rule: a hyphenated label containing a brand
@@ -376,12 +392,16 @@ func (m *Matcher) comboOrLM(norm, label []byte, s *Scratch) (Candidate, bool) {
 // conversion allocation is deferred off the miss path). Generated hits
 // carry no brand attribution: the model scores against the whole brand
 // universe, not any one name.
+//
+//squat:cold
 func (m *Matcher) lmHit(norm []byte) (Candidate, bool) {
 	return Candidate{Domain: string(norm), Type: Generated}, true
 }
 
 // hit materializes a Candidate — the only allocation of the match path,
 // deferred to hit time (hits are ~per-million events in a real snapshot).
+//
+//squat:cold
 func (m *Matcher) hit(norm []byte, t Type, brand int) (Candidate, bool) {
 	return Candidate{Domain: string(norm), Type: t, Brand: m.brands[brand]}, true
 }
@@ -413,6 +433,8 @@ func appendNormalized[T string | []byte](dst []byte, domain T) []byte {
 // appendLowerRunes is appendNormalized's non-ASCII tail: rune-by-rune
 // Unicode lowering, mirroring strings.ToLower (invalid UTF-8 decodes to
 // RuneError exactly as strings.Map replaces it).
+//
+//squat:hot
 func appendLowerRunes(dst []byte, rest string) []byte {
 	for _, r := range rest {
 		dst = utf8.AppendRune(dst, unicode.ToLower(r))
