@@ -103,6 +103,10 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintf(stderr, "squatvet: degrading to intraprocedural analysis (%d call-graph analyzer(s) skipped; a partial graph would under-report)\n", dropped)
 		}
 		analyzers = analysis.Intraprocedural(analyzers)
+		if len(analyzers) == 0 {
+			fmt.Fprintln(stderr, "squatvet: every requested analyzer needs the call graph; refusing to report a clean run having checked nothing")
+			return 2
+		}
 	}
 	diags, timings, err := analysis.RunTimed(pkgs, analyzers)
 	if err != nil {

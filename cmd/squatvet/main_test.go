@@ -67,3 +67,19 @@ func TestBrokenPackageDegrades(t *testing.T) {
 		t.Errorf("missing degrade warnings:\n%s", stderr)
 	}
 }
+
+// TestBrokenPackageWithOnlyCallGraphAnalyzers: when degrading drops every
+// requested analyzer, the run must fail (exit 2) instead of going green
+// having checked nothing.
+func TestBrokenPackageWithOnlyCallGraphAnalyzers(t *testing.T) {
+	for _, names := range []string{"hotpath", "hotpath,lifecycleleak"} {
+		code, _, stderr := runCapture(t, "-baseline", "", "-analyzers", names,
+			filepath.Join("..", "..", "internal", "analysis", "testdata", "analysis", "broken", "brokenpkg"))
+		if code != 2 {
+			t.Errorf("run(-analyzers %s, broken pkg) = %d, want 2; stderr:\n%s", names, code, stderr)
+		}
+		if !strings.Contains(stderr, "refusing to report a clean run") {
+			t.Errorf("-analyzers %s: missing empty-set refusal message:\n%s", names, stderr)
+		}
+	}
+}

@@ -235,7 +235,8 @@ func Build(fset *token.FileSet, units []*Unit) *Graph {
 					if fd.Body == nil {
 						continue
 					}
-					if root := g.byObj[u.Info.Defs[fd.Name].(*types.Func)]; root != nil {
+					obj, _ := u.Info.Defs[fd.Name].(*types.Func)
+					if root := g.byObj[obj]; root != nil {
 						b.walk(u, root, fd.Body)
 					}
 					continue
@@ -333,7 +334,11 @@ func (b *builder) walk(u *Unit, root *Node, body ast.Node) {
 			b.deferCalls[x.Call] = true
 		case *ast.FuncLit:
 			ln := b.newLitNode(u, cur[len(cur)-1], x)
-			if ctx, ok := b.invokedLits[x]; ok {
+			// A package-level IIFE (`var x = func() ... ()`) is invoked with
+			// no caller node; mark it address-taken so it stays a
+			// conservative dynamic-call candidate instead of adding an edge
+			// from a nil caller.
+			if ctx, ok := b.invokedLits[x]; ok && ctx.caller != nil {
 				addEdge(ctx, ln, Static)
 			} else {
 				ln.AddrTaken = true

@@ -161,6 +161,38 @@ func TestBuildEdges(t *testing.T) {
 	}
 }
 
+// TestPackageLevelIIFE: a package-level immediately-invoked function
+// literal has no caller node; Build must not panic on it, and the
+// literal must stay a conservative dynamic-call candidate.
+func TestPackageLevelIIFE(t *testing.T) {
+	g, _ := buildSingle(t, `package fix
+
+var x = func() int { return 1 }()
+
+var y = func() func() int {
+	inner := func() int { return 2 }
+	return inner
+}()
+`)
+	var lits []*Node
+	for _, n := range g.Nodes {
+		if n.IsLit() {
+			lits = append(lits, n)
+		}
+	}
+	if len(lits) != 3 {
+		t.Fatalf("got %d literal nodes, want 3", len(lits))
+	}
+	for _, n := range lits {
+		if !n.AddrTaken {
+			t.Errorf("package-level literal %s must be address-taken (no caller node to edge from)", n.Name)
+		}
+		if len(n.In) != 0 {
+			t.Errorf("package-level literal %s has %d in-edges, want 0", n.Name, len(n.In))
+		}
+	}
+}
+
 func TestBuildTestFileDetection(t *testing.T) {
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "fix_test.go", "package fix\nfunc h() {}\n", parser.ParseComments)

@@ -239,12 +239,21 @@ func TestLifecycleLeakFixture(t *testing.T) {
 
 func TestErrFlowFixture(t *testing.T) {
 	diags := runFixture(t, ErrFlow, "internal/fsx")
-	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/internal/fsx/errs.go:12:2",
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/internal/fsx/errs.go:13:2",
 		"statement discards the error from os.Remove; handle it, return it, or route it through a sanctioned sink (core.degraded counter, log, explicit _ = with justification upstream)")
-	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/internal/fsx/errs.go:22:5",
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/internal/fsx/errs.go:23:5",
 		"error result of os.Open assigned to _; handle it, return it, or route it through a sanctioned sink")
-	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/internal/fsx/errs.go:28:8",
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/internal/fsx/errs.go:29:8",
 		"deferred call discards the error from os.Remove; handle it, return it, or route it through a sanctioned sink (core.degraded counter, log, explicit _ = with justification upstream)")
+	// The fmt exemption is Fprint-scoped: Sscanf's parse error is a
+	// finding, Fprintf to an in-process writer is not.
+	assertPosition(t, diags, "internal/analysis/testdata/analysis/src/internal/fsx/errs.go:53:2",
+		"statement discards the error from fmt.Sscanf; handle it, return it, or route it through a sanctioned sink (core.degraded counter, log, explicit _ = with justification upstream)")
+	for _, d := range diags {
+		if strings.Contains(d.Message, "Fprintf") {
+			t.Errorf("fmt.Fprintf must stay a sanctioned sink, got: %s", d.String())
+		}
+	}
 }
 
 // workerFixtureDirs keeps the determinism test off the heavyweight

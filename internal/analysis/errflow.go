@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // ErrFlow guards the scan spine against silently swallowed errors: the
@@ -37,10 +38,12 @@ var errFlowSinkNames = map[string]bool{
 }
 
 // errFlowSinkPkgs hold callees documented never to fail (bytes.Buffer,
-// strings.Builder, hash writers) plus fmt's Fprint family, whose only
-// error is the destination writer's — in-process writers here.
+// strings.Builder, hash writers). fmt is handled separately: only its
+// Fprint family is sanctioned, whose sole error is the destination
+// writer's — in-process writers here. Sscanf/Scan errors carry parse
+// results and must be handled.
 var errFlowSinkPkgs = map[string]bool{
-	"bytes": true, "strings": true, "hash": true, "fmt": true,
+	"bytes": true, "strings": true, "hash": true,
 }
 
 func runErrFlow(pass *Pass) error {
@@ -157,7 +160,13 @@ func sanctionedErrSink(info *types.Info, call *ast.CallExpr) bool {
 	if errFlowSinkNames[fn.Name()] {
 		return true
 	}
-	return fn.Pkg() != nil && errFlowSinkPkgs[fn.Pkg().Path()]
+	if fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" {
+		return strings.HasPrefix(fn.Name(), "Fprint")
+	}
+	return errFlowSinkPkgs[fn.Pkg().Path()]
 }
 
 // calleeDisplay renders the callee for messages: pkg.Fn, Type.Method, or

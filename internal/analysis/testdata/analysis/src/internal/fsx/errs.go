@@ -4,6 +4,7 @@ package fsx
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 )
 
@@ -41,4 +42,14 @@ func sanctioned(path string, data []byte) error {
 	buf.Write(data)
 	f.Sync()
 	return nil
+}
+
+// fmtScoped pins the fmt exemption to the Fprint family: an Fprintf
+// error is only the in-process writer's, but Sscanf's error carries the
+// parse outcome and discarding it is a finding.
+func fmtScoped(s string, buf *bytes.Buffer) int {
+	fmt.Fprintf(buf, "n=%s", s)
+	var n int
+	fmt.Sscanf(s, "%d", &n) //want:errflow
+	return n
 }
